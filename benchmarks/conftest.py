@@ -1,0 +1,50 @@
+"""Benchmark-suite plumbing.
+
+Each bench regenerates one paper table/figure, asserts its qualitative
+shape, and registers a text rendering.  Renderings are written to
+``benchmarks/results/`` and printed in the terminal summary so that
+``pytest benchmarks/ --benchmark-only`` leaves the full set of
+reproduced tables in its output.
+"""
+
+import os
+
+import pytest
+
+_REPORTS = []
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def report():
+    """Register a rendered table: ``report(name, text)``."""
+    def _add(name, text):
+        _REPORTS.append((name, text))
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        path = os.path.join(_RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+    return _add
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("SpotCheck reproduction results")
+    for name, text in _REPORTS:
+        terminalreporter.write_line(f"[{name}]")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+        terminalreporter.write_line("")
+
+
+@pytest.fixture
+def bench_days():
+    """Simulated span for policy benches (override for quick runs)."""
+    return float(os.environ.get("REPRO_BENCH_DAYS", "183"))
+
+
+@pytest.fixture
+def bench_vms():
+    """Fleet size for policy benches."""
+    return int(os.environ.get("REPRO_BENCH_VMS", "40"))

@@ -1,0 +1,63 @@
+"""Section 4.4's analytical model vs the full simulator.
+
+The paper derives expected cost and availability analytically from the
+price CDF, then validates the design by simulation.  This bench closes
+that loop in the reproduction: the closed-form prediction for the
+1P-M policy must agree with the end-to-end controller simulation on
+the same trace.
+"""
+
+import pytest
+
+from repro.core.analysis import predict
+from repro.experiments.policy_grid import run_cell, shared_archive
+from repro.experiments.reporting import format_table
+
+DAYS = 90.0
+VMS = 40
+SEED = 11
+
+
+def sweep():
+    archive = shared_archive(SEED, DAYS)
+    simulated = run_cell("1P-M", "spotcheck-lazy", seed=SEED, days=DAYS,
+                         vms=VMS, archive=archive)
+    trace = archive.get("m3.medium", "us-east-1a")
+    analytic = predict(
+        trace,
+        backup_share_per_hour=0.28 / VMS,
+        downtime_per_migration_s=23.0,
+        degraded_per_migration_s=90.0,
+        migrations_per_revocation=2.0)
+    return analytic, simulated
+
+
+def test_analysis_predicts_simulation(benchmark, report):
+    analytic, simulated = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # Cost: the closed form must land within ~20% of the simulator
+    # (the simulator additionally pays allocation transients and the
+    # return hold-down window).
+    assert simulated["cost_per_vm_hour"] == pytest.approx(
+        analytic.expected_cost_per_hour, rel=0.20)
+
+    # Availability: same order of magnitude of *un*availability.
+    sim_unavail = 1.0 - simulated["availability"]
+    if analytic.expected_unavailability > 0:
+        ratio = sim_unavail / analytic.expected_unavailability
+        assert 0.2 < ratio < 5.0
+
+    rows = [
+        ("cost $/VM-hr", f"${analytic.expected_cost_per_hour:.4f}",
+         f"${simulated['cost_per_vm_hour']:.4f}"),
+        ("unavailability %", f"{100 * analytic.expected_unavailability:.4f}%",
+         f"{simulated['unavailability_pct']:.4f}%"),
+        ("revocations/hr", f"{analytic.revocation_rate_per_hour:.5f}",
+         f"{simulated['revocation_events'] / (DAYS * 24):.5f}"),
+    ]
+    text = format_table(
+        ["metric", "Section 4.4 model", "full simulation"],
+        rows,
+        title=(f"Analytical model vs simulation (1P-M, {VMS} VMs, "
+               f"{DAYS:.0f} days)"))
+    report("analysis_vs_simulation", text)

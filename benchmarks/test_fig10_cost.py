@@ -1,0 +1,61 @@
+"""Figure 10: average cost per VM under the Table 2 policies.
+
+Paper shapes: all policies land near $0.015/hr for an m3.medium
+equivalent — almost 5x below the $0.07 on-demand price; 1P-M is
+cheapest; spreading over two/four pools costs marginally more (about
++$0.002 for 4P-ED); pure live migration (no backup servers) is cheaper
+still but risks losing VM state.
+"""
+
+import pytest
+
+from repro.experiments.policy_grid import figure10_rows, run_grid
+from repro.experiments.reporting import format_table
+from repro.experiments.scenario import MECHANISMS, POLICIES
+
+ON_DEMAND_PRICE = 0.07
+
+
+def test_fig10_average_cost(benchmark, report, bench_days, bench_vms):
+    results = benchmark.pedantic(
+        lambda: run_grid(seed=11, days=bench_days, vms=bench_vms),
+        rounds=1, iterations=1)
+    mechanisms, rows = figure10_rows(results)
+
+    cost = {(p, m): results[(p, m)]["cost_per_vm_hour"]
+            for p in POLICIES for m in MECHANISMS}
+
+    # ~5x savings: every SpotCheck variant far below on-demand.
+    for policy in POLICIES:
+        spotcheck = cost[(policy, "spotcheck-lazy")]
+        assert spotcheck < ON_DEMAND_PRICE / 3
+    # The headline: 1P-M near $0.015/hr (4-6x below $0.07).
+    assert cost[("1P-M", "spotcheck-lazy")] == pytest.approx(0.015, abs=0.005)
+
+    # "Each of SpotCheck's policies provide similar cost savings":
+    # the whole policy spread stays within a narrow band.  (The paper's
+    # specific ordering — 1P-M cheapest — reflects which market drifted
+    # cheapest in *their* six months; on synthetic traces a different
+    # pool can win, but the band and the 1P-M level reproduce.)
+    lazy_costs = [cost[(policy, "spotcheck-lazy")] for policy in POLICIES]
+    assert max(lazy_costs) - min(lazy_costs) < 0.009
+    # Distribution costs more but stays in the same savings class
+    # (paper saw +$0.002 for 4P-ED; our synthetic volatile pools spike
+    # more often, so the on-demand parking premium is larger).
+    assert cost[("4P-ED", "spotcheck-lazy")] - \
+        cost[("1P-M", "spotcheck-lazy")] < 0.009
+
+    # Live-only (no backup server) is cheaper than any backup variant.
+    for policy in POLICIES:
+        assert cost[(policy, "xen-live")] < cost[(policy, "spotcheck-lazy")]
+
+    table_rows = [
+        [row["policy"]] + [f"${row[m]:.4f}" for m in mechanisms]
+        for row in rows]
+    text = format_table(
+        ["policy"] + list(mechanisms), table_rows,
+        title=(f"Figure 10 — average cost per VM-hour over "
+               f"{bench_days:.0f} days, {bench_vms} VMs "
+               f"(on-demand m3.medium: ${ON_DEMAND_PRICE}/hr; paper "
+               f"SpotCheck ~ $0.015/hr)"))
+    report("fig10_cost", text)

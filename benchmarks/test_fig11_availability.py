@@ -1,0 +1,56 @@
+"""Figure 11: nested-VM unavailability under the Table 2 policies.
+
+Paper shapes: live migration has the lowest unavailability but risks
+state loss; unavailability stays below 0.25% for every policy even
+with full restoration; lazy restore brings SpotCheck close to live
+migration; the stable single-pool policy 1P-M reaches 99.999%-class
+availability (paper: 99.9989%).
+"""
+
+from repro.experiments.policy_grid import figure11_rows, run_grid
+from repro.experiments.reporting import format_table
+from repro.experiments.scenario import MECHANISMS, POLICIES
+
+
+def test_fig11_unavailability(benchmark, report, bench_days, bench_vms):
+    results = benchmark.pedantic(
+        lambda: run_grid(seed=11, days=bench_days, vms=bench_vms),
+        rounds=1, iterations=1)
+    mechanisms, rows = figure11_rows(results)
+
+    unavail = {(p, m): results[(p, m)]["unavailability_pct"]
+               for p in POLICIES for m in MECHANISMS}
+
+    for policy in POLICIES:
+        # Small even without lazy restoration.  (The paper reports
+        # <0.25% here; our restore model charges storm-concurrency-
+        # scaled read times where the paper seeded a constant 23 s per
+        # migration, so the full-restore bars run slightly higher.)
+        assert unavail[(policy, "spotcheck-full")] < 0.60
+        assert unavail[(policy, "unoptimized-full")] < 1.20
+        # Optimizations increase availability.
+        assert unavail[(policy, "spotcheck-full")] <= \
+            unavail[(policy, "unoptimized-full")] + 1e-9
+        # Lazy restore close to live migration (well under full).
+        assert unavail[(policy, "spotcheck-lazy")] < \
+            0.5 * unavail[(policy, "spotcheck-full")] + 1e-6
+
+    # The headline: 1P-M availability ~ five nines (paper 99.9989%).
+    one_pool = results[("1P-M", "spotcheck-lazy")]
+    assert one_pool["availability"] > 0.99995
+    # And no mechanism ever loses VM state except possibly live-only.
+    for policy in POLICIES:
+        for mechanism in MECHANISMS:
+            if mechanism != "xen-live":
+                assert results[(policy, mechanism)]["state_loss_events"] == 0
+
+    table_rows = [
+        [row["policy"]] + [f"{row[m]:.4f}%" for m in mechanisms]
+        for row in rows]
+    availability = f"{100 * one_pool['availability']:.4f}%"
+    text = format_table(
+        ["policy"] + list(mechanisms), table_rows,
+        title=(f"Figure 11 — unavailability (%) over {bench_days:.0f} "
+               f"days; 1P-M SpotCheck availability {availability} "
+               f"(paper 99.9989%)"))
+    report("fig11_availability", text)

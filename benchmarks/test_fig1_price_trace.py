@@ -1,0 +1,31 @@
+"""Figure 1: spot price of a small server type spiking far above its
+on-demand price.
+
+Paper shape: the m1.small spot price hovers well below $0.06/hr and
+spikes to multiple dollars per hour (tens of times the on-demand
+price).
+"""
+
+from repro.experiments import fig1
+from repro.experiments.reporting import format_series
+
+
+def test_fig1_price_trace(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig1.run(seed=1, days=30), rounds=1, iterations=1)
+
+    # Shape assertions: spike well above on-demand, base well below.
+    assert result["peak_multiple"] > 10.0
+    base = min(result["prices"])
+    assert base < result["on_demand_price"]
+
+    # Render a decimated series (every ~2 hours) like the figure.
+    xs, ys = result["times_h"], result["prices"]
+    step = max(len(xs) // 40, 1)
+    text = format_series(
+        xs[::step], ys[::step], "hour", "price $/hr",
+        title=(f"Figure 1 — m1.small spot price over "
+               f"{result['window_days']} days (on-demand $0.06/hr, "
+               f"peak ${result['peak_price']:.2f} = "
+               f"{result['peak_multiple']:.0f}x)"))
+    report("fig1_price_trace", text)

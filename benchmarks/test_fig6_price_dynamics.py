@@ -1,0 +1,98 @@
+"""Figure 6: price dynamics across spot markets.
+
+Paper shapes:
+(a) availability CDFs with the knee below the on-demand price; direct
+    spot availability between ~90% and ~99.97% at bid = on-demand;
+    mean prices far below on-demand.
+(b) hourly percentage price jumps spanning orders of magnitude.
+(c) near-zero price correlation across availability zones.
+(d) near-zero price correlation across instance types.
+"""
+
+import numpy as np
+
+from repro.experiments import fig6
+from repro.experiments.reporting import format_table
+
+SIX_MONTHS_S = 183 * 24 * 3600.0
+
+
+def test_fig6a_availability_cdf(benchmark, report):
+    curves = benchmark.pedantic(
+        lambda: fig6.availability_cdfs(seed=6, duration_s=SIX_MONTHS_S),
+        rounds=1, iterations=1)
+
+    rows = []
+    for name, curve in curves.items():
+        availability = curve["availability_at_od"]
+        assert 0.90 <= availability <= 0.9999
+        assert curve["mean_ratio"] < 0.5  # "extremely low on average"
+        ratios, cdf = curve["ratios"], curve["availability"]
+        knee_ratio = float(ratios[np.searchsorted(cdf, 0.9)])
+        assert knee_ratio < 1.0  # knee below the on-demand price
+        rows.append((name, f"{availability:.4f}",
+                     f"{curve['mean_ratio']:.3f}", f"{knee_ratio:.2f}"))
+    text = format_table(
+        ["type", "availability@od-bid", "mean spot/od ratio",
+         "90%-avail knee (bid/od)"],
+        rows, title="Figure 6a — availability CDF of spot/on-demand ratio")
+    report("fig6a_availability_cdf", text)
+
+
+def test_fig6b_price_jumps(benchmark, report):
+    jumps = benchmark.pedantic(
+        lambda: fig6.price_jumps(seed=6, duration_s=SIX_MONTHS_S),
+        rounds=1, iterations=1)
+
+    assert jumps["max_increase_pct"] > 1000.0      # thousands of percent
+    assert jumps["orders_of_magnitude"] >= 3.0      # log tail, Fig 6b
+    increases = jumps["increases_pct"]
+    decreases = jumps["decreases_pct"]
+    assert len(increases) > 50 and len(decreases) > 50
+
+    quantiles = (0.5, 0.9, 0.99, 1.0)
+    rows = [(f"p{int(q * 100)}",
+             f"{np.quantile(increases, q):.1f}",
+             f"{np.quantile(decreases, q):.1f}") for q in quantiles]
+    text = format_table(
+        ["quantile", "increase %", "decrease %"], rows,
+        title=("Figure 6b — hourly percentage price jumps (m3.large, "
+               f"max increase {jumps['max_increase_pct']:.0f}%)"))
+    report("fig6b_price_jumps", text)
+
+
+def test_fig6c_zone_correlations(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig6.zone_correlations(
+            seed=6, zones=18, duration_s=SIX_MONTHS_S / 3),
+        rounds=1, iterations=1)
+    matrix = np.asarray(result["matrix"])
+    assert matrix.shape == (18, 18)
+    assert result["max_offdiag"] < 0.25  # uncorrelated across zones
+    text = _matrix_summary("Figure 6c — price correlation across 18 zones",
+                           matrix)
+    report("fig6c_zone_correlations", text)
+
+
+def test_fig6d_type_correlations(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig6.type_correlations(
+            seed=6, duration_s=SIX_MONTHS_S / 3, max_types=15),
+        rounds=1, iterations=1)
+    matrix = np.asarray(result["matrix"])
+    assert matrix.shape == (15, 15)
+    assert result["max_offdiag"] < 0.25  # uncorrelated across types
+    text = _matrix_summary(
+        "Figure 6d — price correlation across 15 instance types", matrix)
+    report("fig6d_type_correlations", text)
+
+
+def _matrix_summary(title, matrix):
+    off = matrix[~np.eye(len(matrix), dtype=bool)]
+    rows = [
+        ("diagonal", "1.0"),
+        ("off-diagonal mean", f"{off.mean():+.4f}"),
+        ("off-diagonal |max|", f"{np.abs(off).max():.4f}"),
+        ("off-diagonal std", f"{off.std():.4f}"),
+    ]
+    return format_table(["statistic", "value"], rows, title=title)

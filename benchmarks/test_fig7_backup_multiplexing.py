@@ -1,0 +1,53 @@
+"""Figure 7: nested-VM performance vs VMs per backup server.
+
+Paper shapes: turning checkpointing on costs TPC-W ~15% response time
+and SpecJBB nothing; performance holds until ~35 VMs share one backup
+server, then drops — roughly 30% for both at 50 VMs.  The knee is why
+"SpotCheck assigns at most 35-40 VMs per backup server", making the
+amortized backup cost ~$0.007/VM-hr.
+"""
+
+import pytest
+
+from repro.backup.server import BackupServerSpec
+from repro.experiments import fig7
+from repro.experiments.reporting import format_table
+
+
+def test_fig7_backup_multiplexing(benchmark, report):
+    result = benchmark.pedantic(fig7.run, rounds=1, iterations=1)
+    rows = {row["vms"]: row for row in result["rows"]}
+
+    # Checkpointing-on overhead (column 0 -> 1).
+    assert rows[1]["tpcw"] == pytest.approx(rows[0]["tpcw"] * 1.15, rel=0.02)
+    assert rows[1]["specjbb"] == pytest.approx(rows[0]["specjbb"], rel=0.01)
+
+    # Flat until the knee...
+    assert rows[30]["tpcw"] == pytest.approx(rows[1]["tpcw"], rel=0.02)
+    # ...then significant degradation by 50 VMs (~30% each).
+    assert rows[50]["tpcw"] > rows[1]["tpcw"] * 1.12
+    assert rows[50]["specjbb"] < rows[1]["specjbb"] * 0.80
+
+    knee = fig7.knee_vms(result, "specjbb")
+    assert 25 <= knee <= 45
+
+    # The cost consequence the paper draws from the knee.
+    assert BackupServerSpec().amortized_cost_per_vm(40) == \
+        pytest.approx(0.007)
+
+    table_rows = [
+        (row["vms"], f"{row['tpcw']:.1f}",
+         f"{100 * row['tpcw_degradation']:.0f}%",
+         f"{row['specjbb']:.0f}",
+         f"{100 * row['specjbb_degradation']:.0f}%")
+        for row in result["rows"]]
+    text = format_table(
+        ["VMs/backup", "TPC-W resp (ms)", "TPC-W degr",
+         "SpecJBB (bops)", "SpecJBB degr"],
+        table_rows,
+        title=("Figure 7 — backup-server multiplexing "
+               f"(knee at {knee} VMs; streams "
+               f"{result['tpcw_stream_mbps']:.1f}/"
+               f"{result['specjbb_stream_mbps']:.1f} MB/s vs "
+               f"{result['write_path_mbps']:.0f} MB/s write path)"))
+    report("fig7_backup_multiplexing", text)

@@ -1,0 +1,31 @@
+"""Figure 9: TPC-W response time during lazy restorations.
+
+Paper shape: ~29 ms in normal operation, rising to ~60 ms while a VM
+lazily restores, and staying roughly flat as more VMs restore
+concurrently because the backup server partitions bandwidth per VM.
+"""
+
+import pytest
+
+from repro.experiments import fig9
+from repro.experiments.reporting import format_table
+
+
+def test_fig9_lazy_restore_response_time(benchmark, report):
+    result = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
+    response = {row["concurrent"]: row["response_ms"]
+                for row in result["rows"]}
+
+    assert response[0] == pytest.approx(29.0)
+    assert response[1] == pytest.approx(60.0, abs=2.0)
+    # Flat in concurrency (within 10%).
+    assert response[10] < response[1] * 1.10
+
+    rows = [(n, f"{ms:.1f}") for n, ms in sorted(response.items())]
+    text = format_table(
+        ["concurrent lazy restores", "TPC-W response (ms)"],
+        rows,
+        title=("Figure 9 — TPC-W response time during lazy restoration "
+               "(paper: 29 ms normal, ~60 ms restoring, flat in "
+               "concurrency)"))
+    report("fig9_lazy_restore", text)

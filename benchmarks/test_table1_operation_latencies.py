@@ -1,0 +1,50 @@
+"""Table 1: latency of SpotCheck's EC2 operations (m3.medium).
+
+Paper values (seconds, 20 samples over one week):
+
+    Start spot instance        227 / 224 / 409 / 100
+    Start on-demand instance    61 /  62 /  86 /  47
+    Terminate instance         135 / 136 / 147 / 133
+    Unmount and detach EBS    10.3 / 10.3 / 11.3 / 9.6
+    Attach and mount EBS         5 / 5.1 / 9.3 / 4.4
+    Attach network interface     3 / 3.75 / 14 / 1
+    Detach network interface     2 / 3.5 / 12 / 1
+"""
+
+import pytest
+
+from repro.experiments import table1
+from repro.experiments.reporting import format_table
+
+
+def test_table1_operation_latencies(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: table1.run(seed=20140401, samples=20), rounds=1, iterations=1)
+
+    rows = []
+    for row in result["rows"]:
+        spec = row["paper"]
+        rows.append((row["operation"],
+                     round(row["median"], 1), round(row["mean"], 1),
+                     round(row["max"], 1), round(row["min"], 1),
+                     f"{spec.median}/{spec.mean}/{spec.max}/{spec.min}"))
+        # Every sampled statistic inside the paper's observed range.
+        assert spec.min - 1e-9 <= row["min"]
+        assert row["max"] <= spec.max + 1e-9
+        # 20 samples wobble (the paper's own statistics carry the
+        # same n=20 noise); tolerate a relative band with an absolute
+        # floor for the second-scale operations.
+        assert row["median"] == pytest.approx(spec.median, rel=0.35, abs=1.5)
+        assert row["mean"] == pytest.approx(spec.mean, rel=0.35, abs=1.5)
+
+    # The headline constant the policy simulations are seeded with.
+    assert result["migration_downtime_mean"] == pytest.approx(22.65, abs=0.8)
+
+    text = format_table(
+        ["operation", "median", "mean", "max", "min",
+         "paper (med/mean/max/min)"],
+        rows,
+        title=("Table 1 — operation latencies, 20 samples (s); "
+               f"mean migration downtime "
+               f"{result['migration_downtime_mean']:.2f}s (paper 22.65s)"))
+    report("table1_operation_latencies", text)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Pool policies as portfolio management.
+
+The paper's analogy: "allocating customer requests to server pools is
+analogous to managing a financial portfolio where funds are spread
+across multiple asset classes to reduce volatility and market risk."
+This example runs the five Table 2 policies over the same two months of
+synthetic m3 spot prices with a 40-VM fleet and prints the resulting
+cost / availability / mass-revocation trade-off.
+
+Run:  python examples/policy_portfolio.py        (~1 minute)
+"""
+
+from repro.experiments.policy_grid import run_cell, shared_archive
+from repro.experiments.reporting import format_table
+from repro.experiments.scenario import POLICIES
+
+DAYS = 60.0
+VMS = 40
+SEED = 11
+
+
+def main():
+    archive = shared_archive(SEED, DAYS)
+    rows = []
+    for policy in POLICIES:
+        summary = run_cell(policy, "spotcheck-lazy", seed=SEED, days=DAYS,
+                           vms=VMS, archive=archive)
+        storm = summary["storm_histogram"]
+        rows.append((
+            policy,
+            f"${summary['cost_per_vm_hour']:.4f}",
+            f"{100 * summary['availability']:.4f}%",
+            f"{summary['degradation_pct']:.3f}%",
+            summary["revocation_events"],
+            summary["max_concurrent_revocation"],
+            "yes" if storm[1.0] > 0 else "no",
+        ))
+        print(f"  simulated {policy} "
+              f"(cost ${summary['cost_per_vm_hour']:.4f}/VM-hr)")
+
+    print()
+    print(format_table(
+        ["policy", "cost/VM-hr", "availability", "degraded",
+         "revocation events", "max storm", "full-fleet storms?"],
+        rows,
+        title=(f"Table 2 policies over {DAYS:.0f} days, {VMS} VMs "
+               f"(on-demand equivalent: $0.07/hr)")))
+    print(
+        "\nReading it like the paper does: 1P-M is cheapest and most\n"
+        "available because the m3.medium market is stable — but every\n"
+        "revocation takes out the WHOLE fleet at once.  Spreading over\n"
+        "uncorrelated pools (4P-*) costs a few tenths of a cent more\n"
+        "and migrates more often, but mass revocations disappear.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Explore the synthetic spot markets (the Figure 6 view).
+
+Generates six months of prices for the m3 family, prints the paper's
+three lenses — availability-vs-bid CDF, hourly jump magnitudes, and
+cross-market correlation — and answers the bidding question SpotCheck
+asks: what availability does a bid at the on-demand price buy, and
+what does the knee of the curve look like?
+
+Run:  python examples/spot_market_explorer.py
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import format_table
+from repro.traces import stats
+from repro.traces.calibration import M3_MARKET_PARAMS
+from repro.traces.generator import SIX_MONTHS_S, TraceGenerator
+
+
+def main():
+    generator = TraceGenerator(seed=2014)
+    traces = {
+        name: generator.generate_market(name, "us-east-1a", params,
+                                        duration_s=SIX_MONTHS_S)
+        for name, params in M3_MARKET_PARAMS.items()
+    }
+
+    rows = []
+    for name, trace in traces.items():
+        summary = stats.summarize(trace)
+        ratios, cdf = stats.availability_cdf(trace)
+        knee = float(ratios[np.searchsorted(cdf, 0.9)])
+        increases, _decreases = stats.price_jump_cdf(trace)
+        rows.append((
+            name,
+            f"{summary['mean_ratio']:.3f}",
+            f"{100 * summary['availability_at_od']:.3f}%",
+            f"{knee:.2f}",
+            summary["spikes_above_od"],
+            f"{increases.max():.0f}%" if len(increases) else "-",
+        ))
+    print(format_table(
+        ["market", "mean spot/od", "availability @ od bid",
+         "90% knee (bid/od)", "spikes > od", "max hourly jump"],
+        rows, title="Six months of synthetic m3 spot markets"))
+
+    keys, matrix = stats.correlation_matrix(list(traces.values()))
+    off = matrix[~np.eye(len(matrix), dtype=bool)]
+    print(f"\ncross-market price correlation: mean {off.mean():+.4f}, "
+          f"|max| {np.abs(off).max():.4f} — effectively uncorrelated,")
+    print("which is what makes multi-pool diversification work.")
+
+    # The bidding what-if SpotCheck's policies reason about.
+    medium = traces["m3.medium"]
+    print("\nbid what-if for m3.medium (on-demand $0.070/hr):")
+    what_if = []
+    for multiple in (0.15, 0.3, 1.0, 2.0, 5.0):
+        bid = 0.07 * multiple
+        availability = stats.availability_at_bid(medium, bid)
+        what_if.append((f"{multiple:4.2f}x (${bid:.3f})",
+                        f"{100 * availability:.4f}%"))
+    print(format_table(["bid", "availability"], what_if))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""SpotCheck reproduction: a derivative IaaS cloud on the spot market.
+
+This package is a full, self-contained reproduction of *SpotCheck:
+Designing a Derivative IaaS Cloud on the Spot Market* (Sharma, Lee, Guo,
+Irwin, Shenoy — EuroSys 2015).  It contains:
+
+``repro.sim``
+    A deterministic discrete-event simulation kernel (event heap, clock,
+    generator-based processes, named seeded RNG streams).
+
+``repro.cloud``
+    An EC2-like native IaaS substrate: instance-type catalog, per
+    (type, zone) spot markets with bids and 120 s revocation warnings,
+    on-demand instances, EBS volumes, VPC/ENI networking, and a
+    Table-1-calibrated latency model for control-plane operations.
+
+``repro.traces``
+    Spot-price trace generation and analysis calibrated to the paper's
+    Figure 6 (long-tailed price-ratio CDF, large hourly jumps,
+    uncorrelated markets).
+
+``repro.virt``
+    The virtualization substrate: host and nested VMs, memory dirtying
+    models, pre-copy live migration, continuous checkpointing,
+    bounded-time migration, and stop-and-copy / lazy restore.
+
+``repro.backup``
+    Backup servers that absorb checkpoint streams from many nested VMs
+    and serve restores, with bandwidth, page-cache and read-pattern
+    models.
+
+``repro.workloads``
+    TPC-W-like and SPECjbb-like workload models used to express
+    migration overheads as response-time / throughput changes.
+
+``repro.core``
+    SpotCheck itself: the controller, server pools, customer API,
+    allocation / bidding / placement / backup-assignment / hot-spare
+    policies, the migration manager, and cost & availability accounting.
+
+``repro.experiments``
+    The harness that regenerates every table and figure in the paper's
+    evaluation (Table 1, Table 3, Figures 1 and 6-12).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["SpotCheckController", "SpotCheckConfig", "__version__"]
+
+
+def __getattr__(name):
+    # Lazy re-exports: keep `import repro` cheap and avoid importing the
+    # whole controller stack for users who only need a substrate.
+    if name == "SpotCheckController":
+        from repro.core.controller import SpotCheckController
+        return SpotCheckController
+    if name == "SpotCheckConfig":
+        from repro.core.config import SpotCheckConfig
+        return SpotCheckConfig
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,24 @@
+"""Backup servers: the checkpoint sink of bounded-time migration.
+
+Each backup server (an m3.xlarge in the paper's prototype) absorbs the
+continuous checkpoint streams of up to ~35-40 nested VMs, and serves
+their memory images back during restorations.  The model captures the
+two resource effects behind Figures 7-9:
+
+* the *write path* — aggregate checkpoint streams saturate the disk and
+  network around 35 VMs, degrading all hosted VMs' performance; and
+* the *read path* — concurrent lazy restores issue random reads whose
+  aggregate throughput collapses with concurrency unless the
+  ``fadvise``-style readahead optimization is enabled.
+"""
+
+from repro.backup.server import BackupServer, BackupServerSpec
+from repro.backup.store import CheckpointStore
+from repro.backup.scheduler import RestoreScheduler
+
+__all__ = [
+    "BackupServer",
+    "BackupServerSpec",
+    "CheckpointStore",
+    "RestoreScheduler",
+]

@@ -1,0 +1,103 @@
+"""Restore scheduling on a backup server.
+
+During a revocation storm a backup server must restore many nested VMs
+at once.  The scheduler partitions read bandwidth equally among the
+restores in flight (the paper's per-VM ``tc`` throttling: "restoring
+one VM does not negatively affect the performance of VMs using the
+same backup server") and exposes both analytic batch estimates (used by
+the Figure 8/9 benches) and a DES execution path.
+"""
+
+
+class RestoreScheduler:
+    """Plans and executes batches of concurrent restores."""
+
+    def __init__(self, server):
+        self.server = server
+
+    # -- analytic estimates (Figures 8 and 9) ---------------------------
+
+    def full_restore_downtime_s(self, image_bytes, concurrent, optimized):
+        """Downtime of each VM in a batch of ``concurrent`` full restores.
+
+        Stop-and-copy restoration reads the whole image before the VM
+        can run; with the aggregate sequential read path shared, each
+        of n concurrent restores takes n * image / aggregate.
+        """
+        if concurrent < 1:
+            raise ValueError("concurrency must be at least 1")
+        aggregate = self.server.spec.full_restore_aggregate_bps(optimized)
+        return concurrent * image_bytes / aggregate
+
+    def lazy_restore_degraded_s(self, image_bytes, concurrent, optimized):
+        """Length of the degraded period of each VM in a lazy batch.
+
+        The VM resumes almost immediately from the skeleton; the
+        degraded period lasts until the whole image has been paged in
+        by the demand + background-prefetch readers.
+        """
+        if concurrent < 1:
+            raise ValueError("concurrency must be at least 1")
+        aggregate = self.server.spec.lazy_restore_aggregate_bps(
+            concurrent, optimized)
+        return concurrent * image_bytes / aggregate
+
+    def lazy_restore_downtime_s(self, skeleton_bytes=5 * 1024 ** 2,
+                                concurrent=1):
+        """Downtime of a lazy restore: loading the skeleton state only.
+
+        The skeleton (~5 MB of vCPU state and page tables) moves over
+        the network share; execution resumes the moment it lands —
+        the paper reports restoration time "<0.1 seconds" plus the
+        transfer.
+        """
+        share = self.server.spec.net_bps / max(concurrent, 1)
+        return skeleton_bytes / share + 0.05
+
+    # -- DES execution ----------------------------------------------------
+
+    def run_batch(self, env, restores, kind, optimized):
+        """DES process: restore ``restores`` VMs concurrently.
+
+        ``restores`` is a list of ``(vm, image_bytes)`` pairs.  Returns
+        per-VM ``(downtime_s, degraded_s)`` tuples in input order.
+        """
+        from repro.virt.vm import VMState
+
+        results = [None] * len(restores)
+        n = len(restores)
+
+        def _one(index, vm, image_bytes):
+            self.server.active_restores += 1
+            started = env.now
+            try:
+                if kind == "full":
+                    vm.set_state(VMState.SUSPENDED)
+                    rate = self.server.per_restore_bps(
+                        "full", optimized, concurrent=n)
+                    yield env.timeout(image_bytes / rate)
+                    vm.set_state(VMState.RUNNING)
+                    results[index] = (env.now - started, 0.0)
+                elif kind == "lazy":
+                    vm.set_state(VMState.SUSPENDED)
+                    yield env.timeout(
+                        self.lazy_restore_downtime_s(concurrent=n))
+                    downtime = env.now - started
+                    vm.set_state(VMState.RESTORING)
+                    rate = self.server.per_restore_bps(
+                        "lazy", optimized, concurrent=n)
+                    yield env.timeout(image_bytes / rate)
+                    vm.set_state(VMState.RUNNING)
+                    results[index] = (downtime, env.now - started - downtime)
+                else:
+                    raise ValueError(f"unknown restore kind {kind!r}")
+            finally:
+                self.server.active_restores -= 1
+
+        def _batch():
+            procs = [env.process(_one(i, vm, size))
+                     for i, (vm, size) in enumerate(restores)]
+            yield env.all_of(procs)
+            return results
+
+        return env.process(_batch())

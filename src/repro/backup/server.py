@@ -1,0 +1,188 @@
+"""The backup-server resource model."""
+
+from dataclasses import dataclass
+
+from repro.sim.resources import Container
+
+
+@dataclass(frozen=True)
+class BackupServerSpec:
+    """Capacity model of one backup server (m3.xlarge by default).
+
+    The write-path numbers reflect the paper's ext4 tuning (write-back
+    journalling, ``noatime``, high ``dirty_ratio``): the page cache
+    absorbs write bursts, so the sustained write path is close to the
+    device limit.  The read-path numbers express the three regimes of
+    Figure 8: tuned sequential reads (optimized full restore), untuned
+    reads (unoptimized full restore), and random demand-paged reads
+    whose aggregate throughput collapses under concurrency unless the
+    ``fadvise`` hints are issued.
+
+    Attributes
+    ----------
+    itype_name:
+        Native type used for backup servers.
+    hourly_price:
+        On-demand price of the backup server ($0.28 for m3.xlarge).
+    net_bps:
+        NIC bandwidth (bytes/s).
+    disk_write_bps:
+        Sustained checkpoint-ingest bandwidth (bytes/s).
+    seq_read_bps:
+        Sequential image-read bandwidth with readahead hints.
+    untuned_read_factor:
+        Fraction of ``seq_read_bps`` achieved without the hints.
+    rand_read_bps:
+        Aggregate random-read bandwidth at concurrency 1 (page faults
+        during lazy restore).
+    rand_interference:
+        Quadratic seek-interference coefficient: aggregate random
+        throughput at concurrency n is ``rand_read_bps / (1 + c(n-1)^2)``.
+    fadvise_rand_read_bps:
+        Aggregate demand-paging bandwidth when the RANDOM ``fadvise``
+        hint plus background prefetch is enabled (flat in n).
+    max_checkpoint_vms:
+        Assignment cap SpotCheck enforces per backup server ("assigns
+        at most 35-40 VMs per backup server").
+    page_cache_bytes:
+        Page cache available to absorb write storms.
+    """
+
+    itype_name: str = "m3.xlarge"
+    hourly_price: float = 0.28
+    net_bps: float = 125e6
+    disk_write_bps: float = 110e6
+    seq_read_bps: float = 90e6
+    untuned_read_factor: float = 0.55
+    rand_read_bps: float = 45e6
+    rand_interference: float = 0.02
+    fadvise_rand_read_bps: float = 70e6
+    max_checkpoint_vms: int = 40
+    page_cache_bytes: float = 8 * 1024 ** 3
+
+    def __post_init__(self):
+        if self.net_bps <= 0 or self.disk_write_bps <= 0:
+            raise ValueError("bandwidths must be positive")
+        if not 0 < self.untuned_read_factor <= 1:
+            raise ValueError("untuned_read_factor must lie in (0, 1]")
+        if self.max_checkpoint_vms < 1:
+            raise ValueError("max_checkpoint_vms must be at least 1")
+
+    @property
+    def write_path_bps(self):
+        """Sustained checkpoint-ingest capacity (network or disk bound)."""
+        return min(self.net_bps, self.disk_write_bps)
+
+    def full_restore_aggregate_bps(self, optimized):
+        """Aggregate sequential read throughput for full restores."""
+        rate = self.seq_read_bps if optimized \
+            else self.seq_read_bps * self.untuned_read_factor
+        return min(rate, self.net_bps)
+
+    def lazy_restore_aggregate_bps(self, concurrent, optimized):
+        """Aggregate demand-paging throughput at ``concurrent`` restores."""
+        if concurrent < 1:
+            raise ValueError("concurrency must be at least 1")
+        if optimized:
+            rate = self.fadvise_rand_read_bps
+        else:
+            rate = self.rand_read_bps / (
+                1.0 + self.rand_interference * (concurrent - 1) ** 2)
+        return min(rate, self.net_bps)
+
+    def amortized_cost_per_vm(self, vms):
+        """Backup cost share per nested VM ($/hour)."""
+        if vms < 1:
+            raise ValueError("need at least one VM")
+        return self.hourly_price / vms
+
+
+class BackupServer:
+    """One backup server: assigned checkpoint streams + restore load.
+
+    Used analytically by the figure benches (utilization, degradation)
+    and as a stateful entity by the controller (assignment bookkeeping,
+    storm accounting).
+    """
+
+    _ids = iter(range(1, 10 ** 9))
+
+    def __init__(self, env, spec=None):
+        self.env = env
+        self.spec = spec or BackupServerSpec()
+        self.id = f"bak-{next(self._ids):04d}"
+        #: vm.id -> stream rate (bytes/s).
+        self.streams = {}
+        #: Restores in flight right now.
+        self.active_restores = 0
+        #: Disk occupancy for stored images.
+        self.store_bytes = Container(env, capacity=float("inf"))
+        self.created_at = env.now
+        #: Set when the server dies (failure injection); a failed
+        #: server accepts no assignments and serves no restores.
+        self.failed_at = None
+
+    @property
+    def failed(self):
+        return self.failed_at is not None
+
+    def mark_failed(self):
+        """The server (and the images it held) are gone."""
+        if self.failed_at is None:
+            self.failed_at = self.env.now
+
+    # -- checkpoint write path -------------------------------------------
+
+    @property
+    def assigned_vms(self):
+        return len(self.streams)
+
+    @property
+    def has_capacity(self):
+        return self.assigned_vms < self.spec.max_checkpoint_vms
+
+    def assign_stream(self, vm_id, rate_bps):
+        """Register a nested VM's checkpoint stream."""
+        if self.failed:
+            raise ValueError(f"{self.id} has failed")
+        if vm_id in self.streams:
+            raise ValueError(f"{vm_id} already assigned to {self.id}")
+        self.streams[vm_id] = float(rate_bps)
+
+    def release_stream(self, vm_id):
+        self.streams.pop(vm_id, None)
+
+    def write_utilization(self):
+        """Aggregate stream demand / write-path capacity."""
+        return sum(self.streams.values()) / self.spec.write_path_bps
+
+    def overload_fraction(self):
+        """Fraction of checkpoint demand the write path cannot absorb.
+
+        Positive once aggregate streams exceed capacity; drives the
+        post-knee performance drop of Figure 7.
+        """
+        util = self.write_utilization()
+        return max(0.0, 1.0 - 1.0 / util) if util > 0 else 0.0
+
+    # -- restore read path -------------------------------------------------
+
+    def per_restore_bps(self, kind, optimized, concurrent=None):
+        """Per-restore bandwidth for ``concurrent`` simultaneous restores.
+
+        ``kind`` is ``"full"`` or ``"lazy"``.
+        """
+        n = self.active_restores if concurrent is None else concurrent
+        n = max(n, 1)
+        if kind == "full":
+            aggregate = self.spec.full_restore_aggregate_bps(optimized)
+        elif kind == "lazy":
+            aggregate = self.spec.lazy_restore_aggregate_bps(n, optimized)
+        else:
+            raise ValueError(f"unknown restore kind {kind!r}")
+        return aggregate / n
+
+    def __repr__(self):
+        return (f"<BackupServer {self.id} vms={self.assigned_vms}"
+                f"/{self.spec.max_checkpoint_vms} "
+                f"restores={self.active_restores}>")

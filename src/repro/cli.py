@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``
+    Run one policy simulation and print its summary.
+``traces``
+    Generate a price-trace archive, or print market statistics.
+``experiment``
+    Regenerate one paper table/figure (or ``all``) as text.
+``report``
+    Run the full evaluation and write EXPERIMENTS.md.
+"""
+
+import argparse
+import json
+import sys
+
+
+def _cmd_simulate(args):
+    from repro.experiments.scenario import PolicySimulation, ScenarioConfig
+    config = ScenarioConfig(
+        policy=args.policy, mechanism=args.mechanism, seed=args.seed,
+        days=args.days, vms=args.vms, workload=args.workload,
+        bid_policy=args.bid_policy, bid_multiple=args.bid_multiple,
+        hot_spares=args.hot_spares, proactive=args.proactive,
+        predictive=args.predictive, slicing=not args.no_slicing,
+        zones=args.zones)
+    summary = PolicySimulation(config).run()
+    if args.json:
+        print(json.dumps(summary, indent=2, default=float))
+        return 0
+    print(f"policy {summary['policy']}  mechanism {summary['mechanism']}  "
+          f"({args.days:.0f} days, {args.vms} VMs, seed {args.seed})")
+    print(f"  cost ............. ${summary['cost_per_vm_hour']:.4f}/VM-hr "
+          f"(on-demand m3.medium: $0.07)")
+    print(f"  availability ..... {100 * summary['availability']:.4f}%")
+    print(f"  degraded time .... {summary['degradation_pct']:.4f}%")
+    print(f"  migrations ....... {summary['migrations']} "
+          f"({summary['revocation_events']} revocation events)")
+    print(f"  state lost ....... {summary['state_loss_events']}")
+    return 0
+
+
+def _cmd_traces(args):
+    from repro.traces import stats
+    from repro.traces.calibration import M3_MARKET_PARAMS
+    from repro.traces.generator import TraceGenerator
+    if args.import_json or args.import_csv:
+        return _import_traces(args)
+    generator = TraceGenerator(seed=args.seed)
+    duration_s = args.days * 24 * 3600.0
+    traces = [
+        generator.generate_market(name, args.zone, params,
+                                  duration_s=duration_s)
+        for name, params in sorted(M3_MARKET_PARAMS.items())
+        if args.types is None or name in args.types
+    ]
+    if args.out:
+        from repro.traces.archive import TraceArchive
+        TraceArchive(traces).save(args.out)
+        print(f"wrote {len(traces)} traces to {args.out}/")
+        return 0
+    for trace in traces:
+        summary = stats.summarize(trace)
+        print(f"{trace.type_name:12s} mean ratio "
+              f"{summary['mean_ratio']:.3f}  availability@od "
+              f"{100 * summary['availability_at_od']:.3f}%  spikes "
+              f"{summary['spikes_above_od']}")
+    return 0
+
+
+def _import_traces(args):
+    """Import real price history and print (or archive) the markets."""
+    from repro.cloud.instance_types import DEFAULT_CATALOG
+    from repro.traces import stats
+    from repro.traces.importer import load_aws_json, load_csv
+    on_demand = {itype.name: itype.on_demand_price
+                 for itype in DEFAULT_CATALOG}
+    if args.import_json:
+        archive, skipped = load_aws_json(args.import_json, on_demand)
+    else:
+        archive, skipped = load_csv(args.import_csv, on_demand)
+    for type_name, zone_name in skipped:
+        print(f"skipped ({type_name}, {zone_name}): unknown on-demand "
+              f"price", file=sys.stderr)
+    if args.out:
+        archive.save(args.out)
+        print(f"wrote {len(archive)} imported traces to {args.out}/")
+        return 0
+    for trace in archive:
+        summary = stats.summarize(trace)
+        print(f"{trace.type_name:12s} {trace.zone_name:12s} mean ratio "
+              f"{summary['mean_ratio']:.3f}  availability@od "
+              f"{100 * summary['availability_at_od']:.3f}%")
+    return 0
+
+
+def _cmd_experiment(args):
+    from repro.experiments.render import RENDERERS
+    names = list(RENDERERS) if args.name == "all" else [args.name]
+    for name in names:
+        if name not in RENDERERS:
+            print(f"unknown experiment {name!r}; choose from "
+                  f"{', '.join(RENDERERS)} or 'all'", file=sys.stderr)
+            return 2
+    for name in names:
+        renderer = RENDERERS[name]
+        if name in ("fig10", "fig11", "fig12", "table3"):
+            title, text, notes = renderer(
+                seed=args.seed, days=args.days, vms=args.vms)
+        else:
+            title, text, notes = renderer()
+        print(title)
+        print(text)
+        print(notes)
+        print()
+    return 0
+
+
+def _cmd_report(args):
+    from repro.experiments.runner import generate_report
+    print(f"running the full evaluation "
+          f"({args.days:.0f} days, {args.vms} VMs)...")
+    generate_report(path=args.out, seed=args.seed, days=args.days,
+                    vms=args.vms)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SpotCheck (EuroSys'15) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one policy simulation")
+    sim.add_argument("--policy", default="1P-M")
+    sim.add_argument("--mechanism", default="spotcheck-lazy")
+    sim.add_argument("--days", type=float, default=60.0)
+    sim.add_argument("--vms", type=int, default=40)
+    sim.add_argument("--seed", type=int, default=11)
+    sim.add_argument("--workload", default="tpcw",
+                     choices=("tpcw", "specjbb"))
+    sim.add_argument("--bid-policy", default="on-demand",
+                     choices=("on-demand", "multiple", "knee"))
+    sim.add_argument("--bid-multiple", type=float, default=1.5)
+    sim.add_argument("--hot-spares", type=int, default=0)
+    sim.add_argument("--proactive", action="store_true")
+    sim.add_argument("--predictive", action="store_true")
+    sim.add_argument("--no-slicing", action="store_true")
+    sim.add_argument("--zones", type=int, default=1,
+                     help="availability zones to operate across")
+    sim.add_argument("--json", action="store_true")
+    sim.set_defaults(func=_cmd_simulate)
+
+    traces = sub.add_parser("traces",
+                            help="generate or summarize price traces")
+    traces.add_argument("--seed", type=int, default=0)
+    traces.add_argument("--days", type=float, default=183.0)
+    traces.add_argument("--zone", default="us-east-1a")
+    traces.add_argument("--types", nargs="*", default=None)
+    traces.add_argument("--out", default=None,
+                        help="write a CSV archive to this directory")
+    traces.add_argument("--import-json", default=None, metavar="FILE",
+                        help="import aws describe-spot-price-history JSON")
+    traces.add_argument("--import-csv", default=None, metavar="FILE",
+                        help="import a price-history CSV")
+    traces.set_defaults(func=_cmd_traces)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one paper table/figure")
+    experiment.add_argument("name")
+    experiment.add_argument("--seed", type=int, default=11)
+    experiment.add_argument("--days", type=float, default=183.0)
+    experiment.add_argument("--vms", type=int, default=40)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    report = sub.add_parser("report", help="write EXPERIMENTS.md")
+    report.add_argument("--out", default="EXPERIMENTS.md")
+    report.add_argument("--seed", type=int, default=11)
+    report.add_argument("--days", type=float, default=183.0)
+    report.add_argument("--vms", type=int, default=40)
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

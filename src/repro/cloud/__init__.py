@@ -1,0 +1,53 @@
+"""An EC2-like native IaaS substrate.
+
+SpotCheck consumes only the *contract* of the native platform: instance
+types with fixed on-demand prices, per-(type, zone) spot markets whose
+price moves over time, spot requests with bids, a bounded revocation
+warning before forced termination, network-attached volumes, and VPC
+private-IP reassignment.  This package implements exactly that contract
+as a discrete-event simulation, with control-plane operation latencies
+calibrated to the paper's Table 1.
+"""
+
+from repro.cloud.api import CloudApi
+from repro.cloud.ebs import Volume, VolumeState
+from repro.cloud.errors import (
+    CapacityError,
+    CloudError,
+    InvalidOperation,
+    NotFound,
+)
+from repro.cloud.instance_types import (
+    DEFAULT_CATALOG,
+    InstanceType,
+    InstanceTypeCatalog,
+)
+from repro.cloud.instances import Instance, InstanceState, Market
+from repro.cloud.latency import OperationLatencyModel, TABLE1_SPECS
+from repro.cloud.spot_market import SpotMarket, SpotMarketplace
+from repro.cloud.vpc import NetworkInterface, Vpc
+from repro.cloud.zones import Region, Zone
+
+__all__ = [
+    "CapacityError",
+    "CloudApi",
+    "CloudError",
+    "DEFAULT_CATALOG",
+    "Instance",
+    "InstanceState",
+    "InstanceType",
+    "InstanceTypeCatalog",
+    "InvalidOperation",
+    "Market",
+    "NetworkInterface",
+    "NotFound",
+    "OperationLatencyModel",
+    "Region",
+    "SpotMarket",
+    "SpotMarketplace",
+    "TABLE1_SPECS",
+    "Volume",
+    "VolumeState",
+    "Vpc",
+    "Zone",
+]

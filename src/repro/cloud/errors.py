@@ -1,0 +1,27 @@
+"""Exception types raised by the cloud substrate."""
+
+
+class CloudError(Exception):
+    """Base class for errors raised by the native cloud."""
+
+
+class NotFound(CloudError):
+    """A referenced resource (instance, volume, interface) does not exist."""
+
+
+class InvalidOperation(CloudError):
+    """The operation is not valid in the resource's current state."""
+
+
+class CapacityError(CloudError):
+    """The platform has no capacity to satisfy the request.
+
+    The paper notes that native platforms "occasionally run out of
+    on-demand servers if the demand for them exceeds their supply";
+    SpotCheck's hot-spare and staging-server policies exist to absorb
+    exactly this failure.
+    """
+
+
+class BidTooLow(CloudError):
+    """A spot request's bid is below the current market price."""

@@ -1,0 +1,167 @@
+"""Per-(instance type, availability zone) spot markets.
+
+Each market replays a price trace.  Whenever the market price rises
+above a registered spot instance's bid, the platform issues a
+revocation warning and forcibly terminates the instance when the
+warning period (120 s on EC2) elapses — unless the instance was already
+relinquished.  This is exactly the contract SpotCheck's bounded-time
+migration is built against.
+"""
+
+import bisect
+
+from repro.cloud.instances import InstanceState, Market
+
+#: EC2's spot revocation warning, seconds ("EC2 provides a warning of
+#: 120 seconds before forcibly terminating a spot server").
+DEFAULT_WARNING_PERIOD = 120.0
+
+
+class SpotMarket:
+    """One spot market: a price trace plus the instances bidding in it."""
+
+    def __init__(self, env, itype, zone, trace,
+                 warning_period=DEFAULT_WARNING_PERIOD):
+        if warning_period < 0:
+            raise ValueError("warning period must be non-negative")
+        self.env = env
+        self.itype = itype
+        self.zone = zone
+        self.trace = trace
+        self.warning_period = warning_period
+        self._instances = []
+        self._price_listeners = []
+        self._revoke_callback = None
+        self._times, self._prices = trace.arrays()
+        if len(self._times) == 0:
+            raise ValueError("price trace is empty")
+        self._cursor = 0
+        self._driver = env.process(self._drive())
+
+    @property
+    def key(self):
+        """Market key: (type name, zone name)."""
+        return (self.itype.name, self.zone.name)
+
+    def current_price(self):
+        """The spot price in effect at the current simulated time."""
+        return self.price_at(self.env.now)
+
+    def price_at(self, when):
+        """The spot price in effect at time ``when``."""
+        idx = bisect.bisect_right(self._times, when) - 1
+        if idx < 0:
+            idx = 0
+        return float(self._prices[idx])
+
+    def on_price_change(self, callback):
+        """Call ``callback(market, price)`` on every price change."""
+        self._price_listeners.append(callback)
+
+    def set_revoke_callback(self, callback):
+        """Install the platform hook run at each forced termination.
+
+        ``callback(instance)`` is invoked when the warning period of a
+        still-running instance elapses; the API layer uses it to tear
+        down volumes and interfaces.
+        """
+        self._revoke_callback = callback
+
+    def register(self, instance):
+        """Enter a spot instance into the market.
+
+        If the current price already exceeds the bid the instance is
+        warned immediately (EC2 would never have started it, but the
+        race between allocation latency and a price spike makes this
+        reachable — the platform resolves it by immediate revocation).
+        """
+        if instance.market is not Market.SPOT:
+            raise ValueError(f"{instance.id} is not a spot instance")
+        if instance.itype is not self.itype or instance.zone != self.zone:
+            raise ValueError(f"{instance.id} does not belong to {self.key}")
+        self._instances.append(instance)
+        if self.current_price() > instance.bid:
+            self._warn(instance)
+
+    def deregister(self, instance):
+        """Remove an instance (terminated or relinquished)."""
+        if instance in self._instances:
+            self._instances.remove(instance)
+
+    def instances(self):
+        """Spot instances currently registered in this market."""
+        return list(self._instances)
+
+    # -- internal ------------------------------------------------------
+
+    def _drive(self):
+        """Process: step through the price trace, warning on crossings."""
+        times = self._times
+        while self._cursor < len(times):
+            when = times[self._cursor]
+            if when > self.env.now:
+                yield self.env.timeout(when - self.env.now)
+            price = float(self._prices[self._cursor])
+            self._cursor += 1
+            for listener in list(self._price_listeners):
+                listener(self, price)
+            for instance in list(self._instances):
+                if (instance.state is InstanceState.RUNNING
+                        and price > instance.bid):
+                    self._warn(instance)
+
+    def _warn(self, instance):
+        instance._mark_warned()
+        deadline = self.env.now + self.warning_period
+        if not instance.termination_notice.triggered:
+            instance.termination_notice.succeed(deadline)
+        self.env.process(self._terminate_after_warning(instance))
+
+    def _terminate_after_warning(self, instance):
+        yield self.env.timeout(self.warning_period)
+        if instance.state is InstanceState.MARKED_FOR_TERMINATION:
+            if self._revoke_callback is not None:
+                self._revoke_callback(instance)
+            else:
+                instance._mark_terminated()
+            self.deregister(instance)
+
+
+class SpotMarketplace:
+    """All spot markets of the platform, keyed by (type name, zone name)."""
+
+    def __init__(self, env, warning_period=DEFAULT_WARNING_PERIOD):
+        self.env = env
+        self.warning_period = warning_period
+        self._markets = {}
+
+    def add_market(self, itype, zone, trace):
+        key = (itype.name, zone.name)
+        if key in self._markets:
+            raise ValueError(f"market {key} already exists")
+        market = SpotMarket(self.env, itype, zone, trace,
+                            warning_period=self.warning_period)
+        self._markets[key] = market
+        return market
+
+    def market(self, itype, zone):
+        """The market for ``(itype, zone)`` (names or objects accepted)."""
+        type_name = itype if isinstance(itype, str) else itype.name
+        zone_name = zone if isinstance(zone, str) else zone.name
+        try:
+            return self._markets[(type_name, zone_name)]
+        except KeyError:
+            raise KeyError(f"no spot market for ({type_name}, {zone_name})") \
+                from None
+
+    def __contains__(self, key):
+        return key in self._markets
+
+    def __iter__(self):
+        return iter(self._markets.values())
+
+    def __len__(self):
+        return len(self._markets)
+
+    def keys(self):
+        return list(self._markets)

@@ -1,0 +1,60 @@
+"""Regions and availability zones.
+
+Spot prices are set per (instance type, availability zone) market; the
+paper's Figure 6(c) shows that prices across 18 zones are uncorrelated,
+which SpotCheck's pool policies exploit to diversify revocation risk.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Zone:
+    """An availability zone within a region."""
+
+    name: str
+    region_name: str
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass
+class Region:
+    """A region containing one or more availability zones."""
+
+    name: str
+    zones: list = field(default_factory=list)
+
+    @classmethod
+    def with_zones(cls, name, count):
+        """Build a region with ``count`` zones named ``<name><letter>``."""
+        if count < 1:
+            raise ValueError(f"a region needs at least one zone, got {count}")
+        letters = "abcdefghijklmnopqrstuvwxyz"
+        if count > len(letters):
+            raise ValueError(f"at most {len(letters)} zones supported")
+        region = cls(name=name)
+        region.zones = [Zone(f"{name}{letters[i]}", name)
+                        for i in range(count)]
+        return region
+
+    def zone(self, name):
+        """Return the zone called ``name``."""
+        for zone in self.zones:
+            if zone.name == name:
+                return zone
+        raise KeyError(f"no zone {name!r} in region {self.name}")
+
+    def __iter__(self):
+        return iter(self.zones)
+
+    def __len__(self):
+        return len(self.zones)
+
+
+#: The region used by default in experiments (mirrors us-east-1's size
+#: at the time of the paper's study).
+def default_region(zone_count=4):
+    """A ``us-east-1``-like region with ``zone_count`` zones."""
+    return Region.with_zones("us-east-1", zone_count)

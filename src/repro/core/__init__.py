@@ -1,0 +1,22 @@
+"""SpotCheck: the derivative-cloud controller and its policies.
+
+The controller (:mod:`.controller`) is the paper's main contribution:
+it rents spot and on-demand servers from the native platform, slices
+them into nested VMs, sells those to customers as *non-revocable*
+servers, and masks spot revocations with bounded-time migrations to
+backup-protected destinations.  Pool management (:mod:`.pools`,
+:mod:`.policies`) balances the three competing goals of Section 4 —
+maximize availability, reduce revocation risk, minimize cost.
+"""
+
+from repro.core.accounting import AccountingLedger
+from repro.core.config import SpotCheckConfig
+from repro.core.controller import SpotCheckController
+from repro.core.customer import Customer
+
+__all__ = [
+    "AccountingLedger",
+    "Customer",
+    "SpotCheckConfig",
+    "SpotCheckController",
+]

@@ -1,0 +1,643 @@
+"""The SpotCheck controller.
+
+The controller is the derivative cloud's brain (Section 5): it exposes
+an EC2-like interface to customers (request / relinquish servers),
+rents native spot and on-demand servers underneath, slices them with
+the nested hypervisor, maps nested VMs to pools and backup servers per
+the configured policies, and reacts to pool dynamics — revocation
+warnings trigger bounded-time migrations to the on-demand side, price
+recoveries trigger live migrations back to spot.
+"""
+
+from repro.cloud.errors import BidTooLow, CapacityError
+from repro.cloud.instances import InstanceState, Market
+from repro.core.accounting import AccountingLedger
+from repro.core.config import SpotCheckConfig
+from repro.core.customer import Customer
+from repro.core.migration_manager import MigrationManager
+from repro.core.policies.allocation import make_allocation_policy
+from repro.core.policies.bidding import make_bid_policy
+from repro.core.policies.placement import GreedyCheapestFirst, StabilityFirst
+from repro.core.pools import BackupPool, OnDemandPool, PoolManager, SpotPool
+from repro.backup.server import BackupServer
+from repro.backup.store import CheckpointStore
+from repro.virt.hypervisor import HostVM
+from repro.virt.migration.checkpoint import CheckpointStream
+from repro.virt.vm import NestedVM, VMState
+
+
+class _Storm:
+    """Bookkeeping for one pool-wide revocation event."""
+
+    def __init__(self, pool_key, when):
+        self.pool_key = pool_key
+        self.when = when
+        self.hosts = []
+        self.vms = []
+        self.backup_load = {}
+        self._finalized = False
+
+    def add_host(self, host, vms):
+        self.hosts.append(host)
+        self.vms.extend(vms)
+
+    def finalize_once(self):
+        """Compute backup concurrency once every warning registered."""
+        if self._finalized:
+            return False
+        self._finalized = True
+        for vm in self.vms:
+            backup = vm.backup_assignment
+            if backup is not None:
+                self.backup_load[backup.id] = \
+                    self.backup_load.get(backup.id, 0) + 1
+        return True
+
+
+class SpotCheckController:
+    """A SpotCheck deployment over one native cloud endpoint.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    api:
+        :class:`~repro.cloud.api.CloudApi` for the native platform.
+    config:
+        :class:`~repro.core.config.SpotCheckConfig`.
+    slot_type_name:
+        The advertised nested-VM type (the paper sells m3.medium
+        equivalents).
+    """
+
+    def __init__(self, env, api, config=None, slot_type_name="m3.medium"):
+        self.env = env
+        self.api = api
+        self.config = config or SpotCheckConfig()
+        self.slot_itype = api.catalog.get(slot_type_name)
+        self.pools = PoolManager()
+        self.ledger = AccountingLedger(env)
+        self.bid_policy = make_bid_policy(
+            self.config.bid_policy, self.config.bid_multiple)
+        self.allocation = self._make_allocation()
+        from repro.core.policies.spares import HotSparePolicy
+        self.spares = HotSparePolicy(
+            self.config.hot_spares, use_staging=self.config.use_staging)
+        self.backup_pool = BackupPool(self._provision_backup_server)
+        self.migrations = MigrationManager(self)
+        self.customers = {}
+        self.zone = None
+        self.zones = []
+        #: vm.id -> (vm, home spot pool) for VMs parked on on-demand.
+        self._parked = {}
+        self._storms = {}
+        self._returning_pools = set()
+        self._draining_pools = set()
+        self._rng = env.rng.stream("controller")
+        self._finalized = False
+        self.backup_failures = 0
+        self.predictor = None
+        if self.config.predictive_migration:
+            from repro.core.policies.prediction import RevocationPredictor
+            self.predictor = RevocationPredictor(
+                level_fraction=self.config.prediction_level_fraction,
+                jump_factor=self.config.prediction_jump_factor)
+
+    def _make_allocation(self):
+        name = self.config.allocation_policy
+        if name in ("greedy", "stability"):
+            return None  # Placement policies are consulted per request.
+        policy = make_allocation_policy(name)
+        if hasattr(policy, "attach_clock"):
+            policy.attach_clock(lambda: self.env.now)
+        return policy
+
+    # -- setup -----------------------------------------------------------
+
+    def install_pools(self, archive, zone, type_names=None):
+        """Create markets and pools from a trace archive.
+
+        Parameters
+        ----------
+        archive:
+            :class:`~repro.traces.archive.TraceArchive` with one trace
+            per (type, zone) market to operate in.
+        zone:
+            The primary availability zone, or a list of zones for
+            multi-zone operation ("SpotCheck's pool management
+            strategies operate across multiple markets by permitting
+            the unrestricted choice of server types and availability
+            zones (within a region)").  Each zone gets its own spot
+            pools and its own on-demand failover pool, because network
+            volumes are zone-locked.
+        type_names:
+            Pool types to create (default: every type present in the
+            archive for each zone).
+        """
+        zones = [zone] if not isinstance(zone, (list, tuple)) else list(zone)
+        if not zones:
+            raise ValueError("at least one zone is required")
+        self.zone = zones[0]
+        self.zones = zones
+        for one_zone in zones:
+            zone_types = type_names
+            if zone_types is None:
+                zone_types = sorted({t for (t, z) in archive.keys()
+                                     if z == one_zone.name})
+            for type_name in zone_types:
+                itype = self.api.catalog.get(type_name)
+                trace = archive.get(type_name, one_zone.name)
+                market = self.api.install_market(itype, one_zone, trace)
+                bid = self.bid_policy.bid_for(itype, trace=trace)
+                pool = SpotPool(itype, one_zone, self.slot_itype, market, bid)
+                self.pools.add_spot_pool(pool)
+                market.on_price_change(
+                    lambda mkt, price, p=pool: self._on_price_change(
+                        p, price))
+            od_pool = OnDemandPool(self.slot_itype, one_zone, self.slot_itype)
+            self.pools.add_on_demand_pool(od_pool)
+        if self.config.hot_spares > 0:
+            self.env.process(self._replenish_spares())
+
+    def start_customer(self, name=None):
+        customer = Customer(name)
+        self.customers[customer.id] = customer
+        return customer
+
+    # -- public API (EC2-like) ---------------------------------------------
+
+    def request_server(self, customer, type_name=None, workload=None):
+        """Process: allocate a nested VM for ``customer``.
+
+        Returns the running :class:`~repro.virt.vm.NestedVM`.
+        """
+        return self.env.process(
+            self._request_flow(customer, type_name, workload))
+
+    def relinquish(self, vm):
+        """Process: the customer returns ``vm``; resources are freed."""
+        return self.env.process(self._relinquish_flow(vm))
+
+    # -- request flow ------------------------------------------------------
+
+    def _request_flow(self, customer, type_name, workload):
+        slot_itype = self.slot_itype if type_name is None \
+            else self.api.catalog.get(type_name)
+        if slot_itype.name != self.slot_itype.name:
+            raise ValueError(
+                f"this deployment sells {self.slot_itype.name}; "
+                f"got {slot_itype.name}")
+
+        vm = NestedVM(self.env, slot_itype, workload=workload,
+                      customer=customer)
+        vm.checkpoint_stream = CheckpointStream(
+            vm.memory, self.config.mechanism.checkpoint)
+
+        # Plumbing (interface, IP, volume) is attached *before* the VM
+        # boots, so a half-built VM is never visible to revocation
+        # storms.  If the chosen host is revoked under us while the
+        # control-plane operations run, retry on a fresh host.
+        for _attempt in range(8):
+            pool = self._choose_pool(customer)
+            host, on_spot = yield from self._host_with_slot(pool)
+            yield from self._wire_networking(vm, customer, host)
+            yield from self._attach_storage(vm, host)
+            if host.instance.is_running:
+                break
+            yield from self._unwire(vm)
+            host.hypervisor.cancel_reservation()
+        else:
+            raise RuntimeError(
+                f"could not place {vm.id}: every candidate host was "
+                f"revoked during setup")
+
+        host.hypervisor.boot(vm)
+        vm.host = host
+        customer.add_vm(vm)
+        self.ledger.vm_created(vm)
+
+        if not on_spot:
+            self._parked[vm.id] = (vm, pool)
+        elif host.instance.state is InstanceState.MARKED_FOR_TERMINATION:
+            # The warning arrived between placement and boot: this VM
+            # missed the host's storm, so it joins the exodus directly
+            # (live path — it has no backup image yet).
+            deadline = host.instance.termination_notice.value
+            self.migrations.migrate_on_revocation(vm, host, deadline, pool)
+        else:
+            self._assign_backup(vm)
+        return vm
+
+    def _unwire(self, vm):
+        """Detach a never-booted VM's plumbing after a setup race."""
+        if vm.eni is not None:
+            if vm.eni.is_attached:
+                vm.eni._detach()
+            if vm.private_ip is not None:
+                self.api.vpc.unassign_private_ip(vm.eni, vm.private_ip)
+                vm.private_ip = None
+            vm.eni = None
+        if vm.volume is not None:
+            vm.volume._force_detach()
+            vm.volume.delete()
+            vm.volume = None
+        return
+        yield  # pragma: no cover — generator form for symmetry
+
+    def _choose_pool(self, customer=None):
+        spot_pools = self.pools.all_spot_pools()
+        if self.allocation is not None:
+            return self.allocation.choose(spot_pools, self._rng,
+                                          customer=customer)
+        # Placement policies pick a (type, zone, slots) from the markets.
+        markets = {market.key: market for market in self.api.marketplace}
+        if self.config.allocation_policy == "greedy":
+            policy = GreedyCheapestFirst(self.api.catalog)
+            choice = policy.choose(self.slot_itype, markets)
+        else:
+            policy = StabilityFirst(self.api.catalog)
+            choice = policy.choose(self.slot_itype, markets, now=self.env.now)
+        key = ("spot", choice.itype.name, choice.zone.name)
+        if key not in self.pools.spot_pools:
+            market = self.api.marketplace.market(choice.itype, choice.zone)
+            pool = SpotPool(choice.itype, choice.zone, self.slot_itype,
+                            market, self.bid_policy.bid_for(choice.itype))
+            self.pools.add_spot_pool(pool)
+            market.on_price_change(
+                lambda mkt, price, p=pool: self._on_price_change(p, price))
+        return self.pools.spot_pools[key]
+
+    def _slots_per_host(self, host_itype):
+        if not self.config.slicing:
+            return 1
+        return max(int(min(
+            host_itype.memory_gib // self.slot_itype.memory_gib,
+            host_itype.vcpus // self.slot_itype.vcpus)), 1)
+
+    def _host_with_slot(self, pool):
+        """Process body: a host in ``pool`` with a slot reserved for us.
+
+        Reuses reserved slots on existing (healthy) hosts first, then
+        launches a new spot host; if the pool's market price currently
+        exceeds the bid, falls back to an on-demand host (the VM is
+        born parked).
+        """
+        host = pool.host_with_free_slot()
+        if host is not None and host.instance.state is \
+                InstanceState.RUNNING:
+            host.hypervisor.reserve_slot()
+            return host, True
+        try:
+            instance = yield self.api.run_instance(
+                pool.itype, pool.zone, Market.SPOT, bid=pool.bid)
+        except (BidTooLow, CapacityError):
+            od_pool = self.pools.on_demand_pool(
+                self.slot_itype.name, pool.zone.name)
+            host = od_pool.host_with_free_slot()
+            if host is None:
+                instance = yield self.api.run_instance(
+                    self.slot_itype, pool.zone, Market.ON_DEMAND)
+                host = HostVM(self.env, instance, self.slot_itype, slots=1)
+                od_pool.add_host(host)
+            host.hypervisor.reserve_slot()
+            return host, False
+        host = HostVM(self.env, instance, self.slot_itype,
+                      slots=self._slots_per_host(pool.itype))
+        host.hypervisor.reserve_slot()
+        pool.add_host(host)
+        self.env.process(self._watch_spot_host(host, pool))
+        return host, True
+
+    def _wire_networking(self, vm, customer, host):
+        subnet = customer.subnets.get(host.zone.name)
+        if subnet is None:
+            subnet = self.api.vpc.create_subnet(host.zone)
+            customer.subnets[host.zone.name] = subnet
+        eni = self.api.create_interface(subnet)
+        yield self.api.attach_interface(eni, host.instance)
+        vm.eni = eni
+        vm.private_ip = self.api.vpc.assign_private_ip(eni)
+
+    def _attach_storage(self, vm, host):
+        volume = self.api.create_volume(
+            size_gib=max(int(vm.itype.memory_gib * 2), 8), zone=host.zone)
+        yield self.api.attach_volume(volume, host.instance)
+        vm.volume = volume
+
+    # -- backup management ---------------------------------------------------
+
+    def _assign_backup(self, vm):
+        """Give a spot-hosted VM its backup server, unless exempt.
+
+        Idempotent: a VM that is already protected keeps its server.
+        """
+        if self.config.live_migration_only or \
+                vm.backup_assignment is not None:
+            return
+        warning = self.api.marketplace.warning_period
+        if self.migrations.live_fits_warning(vm.memory, warning):
+            return  # Small-VM exception: live migration suffices.
+        backup = self.backup_pool.assign(
+            vm.id, vm.checkpoint_stream.stream_rate_bps(),
+            cap=self.config.vms_per_backup)
+        vm.backup_assignment = backup
+        backup.store.open_image(vm.id, vm.memory.total_bytes)
+        backup.store.seed_full_image(vm.id)
+
+    def on_demand_pool_for(self, vm):
+        """The on-demand pool revoked VMs of ``vm`` fail over to.
+
+        Failover stays within the VM's zone: its network volume is
+        zone-locked, so the destination must be able to attach it.
+        """
+        zone = self.zone
+        if vm.volume is not None:
+            zone = vm.volume.zone
+        elif vm.host is not None:
+            zone = vm.host.zone
+        return self.pools.on_demand_pool(self.slot_itype.name, zone.name)
+
+    def release_backup(self, vm):
+        backup = vm.backup_assignment
+        if backup is None:
+            return
+        self.backup_pool.release(vm.id, backup)
+        backup.store.close_image(vm.id)
+        vm.backup_assignment = None
+
+    def _provision_backup_server(self):
+        server = BackupServer(self.env, self.config.backup_spec)
+        server.store = CheckpointStore(self.env)
+        return server
+
+    def fail_backup_server(self, server):
+        """Failure injection: a backup server (and its images) dies.
+
+        Every VM it protected is re-assigned to a healthy (or freshly
+        provisioned) backup server and re-seeded from its own live
+        memory.  Until the new full copy completes, the VM is exposed:
+        a revocation in that window falls back to an in-warning live
+        migration, which risks (but does not necessarily cause) state
+        loss — the invariant "no state loss" holds again as soon as the
+        re-seed lands.
+        """
+        server.mark_failed()
+        self.backup_failures += 1
+        victims = [vm for vm in self.all_vms()
+                   if vm.backup_assignment is server]
+        for vm in victims:
+            self.backup_pool.release(vm.id, server)
+            vm.backup_assignment = None
+            if vm.is_running and vm.host is not None and \
+                    vm.host.instance.is_spot:
+                # Reassign immediately; the fresh full copy streams in
+                # the background and completes after transfer time.
+                backup = self.backup_pool.assign(
+                    vm.id, vm.checkpoint_stream.stream_rate_bps(),
+                    cap=self.config.vms_per_backup)
+                vm.backup_assignment = backup
+                backup.store.open_image(vm.id, vm.memory.total_bytes)
+                self.env.process(self._reseed(vm, backup))
+        return victims
+
+    def _reseed(self, vm, backup):
+        """Stream a fresh full image to the replacement backup server."""
+        reseed_rate = self.config.mechanism.checkpoint.stream_bandwidth_bps
+        yield self.env.timeout(vm.memory.total_bytes / reseed_rate)
+        if vm.backup_assignment is backup and vm.id in backup.store:
+            backup.store.seed_full_image(vm.id)
+
+    # -- revocation handling ---------------------------------------------------
+
+    def _watch_spot_host(self, host, pool):
+        deadline = yield host.instance.termination_notice
+        vms = list(host.vms)
+        storm = self._storm_for(pool)
+        storm.add_host(host, vms)
+        # Let every same-instant warning register before sizing the storm.
+        yield self.env.timeout(0)
+        if storm.finalize_once():
+            pool.record_revocation(storm.when, len(storm.hosts),
+                                   len(storm.vms))
+            self.ledger.record_revocation(
+                pool_key=pool.key, hosts_lost=len(storm.hosts),
+                vms_displaced=len(storm.vms), backup_load=storm.backup_load)
+        for vm in vms:
+            self.migrations.migrate_on_revocation(
+                vm, host, deadline, pool, storm=storm)
+        # The doomed host stays in the pool (unplaceable, still
+        # draining) until the platform actually terminates it.
+        yield host.instance.terminated
+        pool.remove_host(host)
+
+    def _storm_for(self, pool):
+        key = (pool.key, self.env.now)
+        storm = self._storms.get(key)
+        if storm is None:
+            storm = _Storm(pool.key, self.env.now)
+            self._storms[key] = storm
+        return storm
+
+    # -- pool dynamics: parking, returns, proactive moves ------------------
+
+    def note_parked(self, vm, home_pool, dest_kind):
+        """A VM landed on the on-demand side (or a staging slot)."""
+        self._parked[vm.id] = (vm, home_pool)
+        if dest_kind == "staging":
+            self.env.process(self._rebalance_from_staging(vm))
+
+    def _rebalance_from_staging(self, vm):
+        """Move a staged VM to a real on-demand host ("this strategy
+        doubles the number of migrations")."""
+        zone = vm.volume.zone if vm.volume is not None else self.zone
+        try:
+            instance = yield self.api.run_instance(
+                vm.itype, zone, Market.ON_DEMAND)
+        except CapacityError:
+            return  # Stay staged; the return-to-spot path will move it.
+        od_pool = self.pools.on_demand_pool(
+            self.slot_itype.name, zone.name)
+        host = HostVM(self.env, instance, self.slot_itype, slots=1)
+        host.hypervisor.reserve_slot()
+        od_pool.add_host(host)
+        source_host = vm.host
+        moved = yield self.migrations.live_migrate(
+            vm, source_host, cause="rebalance", dest_host=host)
+        if moved is None:
+            host.hypervisor.cancel_reservation()
+            self._gc_host_if_empty(host)
+        self._gc_host_if_empty(source_host)
+
+    def _on_price_change(self, pool, price):
+        pool.record_price(self.env.now, price)
+        od_price = pool.itype.on_demand_price
+        if self.config.proactive_migration and \
+                od_price < price <= pool.bid and \
+                pool.key not in self._draining_pools and pool.vm_count > 0:
+            self._draining_pools.add(pool.key)
+            self.env.process(self._proactive_drain(pool))
+        if self.predictor is not None and pool.vm_count > 0 and \
+                pool.key not in self._draining_pools and \
+                self.predictor.observe(pool.key, self.env.now, price,
+                                       pool.bid):
+            self._draining_pools.add(pool.key)
+            self.env.process(self._proactive_drain(pool, cause="predictive"))
+        if self.config.return_to_spot and price <= od_price and \
+                pool.key not in self._returning_pools and \
+                self._parked_vms_of(pool):
+            self._returning_pools.add(pool.key)
+            self.env.process(self._return_to_spot(pool))
+
+    def _parked_vms_of(self, pool):
+        return [vm for vm, home in self._parked.values() if home is pool]
+
+    def _proactive_drain(self, pool, cause="proactive"):
+        """Live-migrate a pool to on-demand ahead of a revocation.
+
+        All of the pool's VMs drain concurrently — a sequential drain
+        could not beat an onset ramp to the bid crossing.  VMs whose
+        drain loses the race are caught by the normal warning path
+        (they are busy-locked, so the flows never collide).
+        """
+        try:
+            drains = []
+            for host in list(pool.hosts):
+                for vm in list(host.vms):
+                    if not vm.is_running:
+                        continue
+                    drains.append((vm, self.migrations.live_migrate(
+                        vm, host, cause=cause, exclude_pool=pool)))
+            for vm, drain in drains:
+                moved = yield drain
+                if moved is None:
+                    continue
+                self.release_backup(vm)
+                self.note_parked(vm, pool, "pool")
+            if pool.market.current_price() > pool.bid:
+                return  # Too late: the warning path takes over.
+            for host in list(pool.hosts):
+                if host.vms:
+                    continue
+                pool.remove_host(host)
+                if host.instance.is_running:
+                    yield self.api.terminate_instance(host.instance)
+        finally:
+            self._draining_pools.discard(pool.key)
+
+    def _return_to_spot(self, pool):
+        """After the hold-down, bring parked VMs home to the spot pool."""
+        try:
+            yield self.env.timeout(self.config.return_holddown_s)
+            od_price = pool.itype.on_demand_price
+            if pool.market.current_price() > od_price:
+                return  # The dip did not last.
+            for vm in self._parked_vms_of(pool):
+                if not vm.is_running:
+                    continue
+                host = pool.host_with_free_slot()
+                if host is None:
+                    try:
+                        instance = yield self.api.run_instance(
+                            pool.itype, pool.zone, Market.SPOT, bid=pool.bid)
+                    except (BidTooLow, CapacityError):
+                        return
+                    host = HostVM(self.env, instance, self.slot_itype,
+                                  slots=self._slots_per_host(pool.itype))
+                    pool.add_host(host)
+                    self.env.process(self._watch_spot_host(host, pool))
+                host.hypervisor.reserve_slot()
+                source_host = vm.host
+                moved = yield self.migrations.live_migrate(
+                    vm, source_host, cause="return-to-spot", dest_host=host)
+                if moved is None:
+                    host.hypervisor.cancel_reservation()
+                    continue
+                self._parked.pop(vm.id, None)
+                # The return migration just streamed the VM's full
+                # state; the backup server tees that stream, so the
+                # image is complete the moment the VM lands — there is
+                # no unprotected window on arrival.
+                self._assign_backup(vm)
+                self.migrations.chase_if_doomed(vm, host)
+                self._gc_host_if_empty(source_host)
+                if pool.market.current_price() > od_price:
+                    return
+        finally:
+            self._returning_pools.discard(pool.key)
+
+    def _gc_host_if_empty(self, host):
+        """Relinquish an emptied on-demand host (not hot spares)."""
+        if host.vms or host in self.spares.spares:
+            return
+        pool = self.pools.pool_of_host(host)
+        if pool is None or pool.market_kind != "on-demand":
+            return
+        pool.remove_host(host)
+        if host.instance.is_running:
+            self.api.terminate_instance(host.instance)
+
+    # -- hot spares -------------------------------------------------------
+
+    def _replenish_spares(self):
+        """Keep the hot-spare reserve at its target size."""
+        od_pool = self.pools.on_demand_pool(
+            self.slot_itype.name, self.zone.name)
+        while not self._finalized:
+            while self.spares.deficit > 0:
+                try:
+                    instance = yield self.api.run_instance(
+                        self.slot_itype, self.zone, Market.ON_DEMAND)
+                except CapacityError:
+                    break
+                host = HostVM(self.env, instance, self.slot_itype, slots=1)
+                od_pool.add_host(host)
+                self.spares.add_spare(host)
+            yield self.env.timeout(60.0)
+
+    # -- relinquish -------------------------------------------------------
+
+    def _relinquish_flow(self, vm):
+        self.release_backup(vm)
+        self._parked.pop(vm.id, None)
+        if vm.customer is not None:
+            vm.customer.remove_vm(vm)
+        host = vm.host
+        vm.set_state(VMState.TERMINATED)
+        self.ledger.vm_terminated(vm)
+        if host is not None:
+            host.hypervisor.evict(vm)
+        if vm.eni is not None and vm.eni.is_attached:
+            yield self.api.detach_interface(vm.eni)
+        if vm.volume is not None and vm.volume.attached_to is not None:
+            yield self.api.detach_volume(vm.volume)
+            vm.volume.delete()
+        if host is not None and not host.vms and \
+                host not in self.spares.spares:
+            pool = self.pools.pool_of_host(host)
+            if pool is not None:
+                pool.remove_host(host)
+            if host.instance.is_running:
+                yield self.api.terminate_instance(host.instance)
+        return vm
+
+    # -- reporting -------------------------------------------------------
+
+    def finalize(self):
+        """Close the books: backup-server and lifetime accounting."""
+        if self._finalized:
+            return
+        self._finalized = True
+        for server in self.backup_pool.servers:
+            end = server.failed_at if server.failed else self.env.now
+            hours = (end - server.created_at) / 3600.0
+            self.ledger.add_cost(
+                f"backup:{server.id}", hours * server.spec.hourly_price)
+        self.ledger.finalize()
+
+    def summary(self, total_vms=None):
+        """Cost/availability/storm report (see AccountingLedger)."""
+        return self.ledger.summary(self.api, total_vms=total_vms)
+
+    def all_vms(self):
+        return [vm for customer in self.customers.values()
+                for vm in customer.vms]

@@ -1,0 +1,36 @@
+"""Customers of the derivative cloud."""
+
+from itertools import count
+
+_IDS = count(1)
+
+
+class Customer:
+    """One SpotCheck customer.
+
+    Customers see an EC2-like interface: they request and relinquish
+    servers of advertised types, and each owns a private subnet in
+    SpotCheck's VPC with one public IP on a designated "head" VM.
+    """
+
+    def __init__(self, name=None):
+        self.id = f"cust-{next(_IDS):04d}"
+        self.name = name or self.id
+        self.vms = []
+        self.subnets = {}
+        #: The nested VM carrying the customer's single public IP.
+        self.head_vm = None
+
+    def add_vm(self, vm):
+        self.vms.append(vm)
+        if self.head_vm is None:
+            self.head_vm = vm
+
+    def remove_vm(self, vm):
+        if vm in self.vms:
+            self.vms.remove(vm)
+        if self.head_vm is vm:
+            self.head_vm = self.vms[0] if self.vms else None
+
+    def __repr__(self):
+        return f"<Customer {self.name} vms={len(self.vms)}>"

@@ -1,0 +1,160 @@
+"""Controller state inspection: snapshots and invariant checking.
+
+The paper's controller "maintains a global and consistent view of
+SpotCheck's state ... and stores this information in a database".
+:func:`state_snapshot` produces that view as a JSON-serializable
+document (for audits, dashboards, or post-mortems), and
+:func:`check_invariants` verifies the consistency properties the
+controller is supposed to maintain — the long-run integration tests
+call it after every simulated storm.
+"""
+
+import json
+
+
+def state_snapshot(controller):
+    """A JSON-serializable dump of the controller's global state."""
+    env = controller.env
+    snapshot = {
+        "time_s": env.now,
+        "config": {
+            "allocation_policy": controller.config.allocation_policy,
+            "bid_policy": controller.config.bid_policy,
+            "mechanism": controller.config.mechanism.restore_kind,
+            "live_migration_only": controller.config.live_migration_only,
+        },
+        "pools": [],
+        "customers": [],
+        "backup_servers": [],
+        "parked_vm_ids": sorted(controller._parked),
+        "backup_failures": controller.backup_failures,
+    }
+    for pool in controller.pools.all_pools():
+        snapshot["pools"].append({
+            "key": list(pool.key),
+            "bid": getattr(pool, "bid", None),
+            "hosts": [{
+                "instance": host.instance.id,
+                "type": host.itype.name,
+                "state": host.instance.state.value,
+                "slots": host.hypervisor.slots,
+                "vms": [vm.id for vm in host.vms],
+            } for host in pool.hosts],
+        })
+    for customer in controller.customers.values():
+        snapshot["customers"].append({
+            "id": customer.id,
+            "name": customer.name,
+            "vms": [{
+                "id": vm.id,
+                "type": vm.itype.name,
+                "state": vm.state.value,
+                "host": vm.host.instance.id if vm.host else None,
+                "private_ip": str(vm.private_ip) if vm.private_ip else None,
+                "volume": vm.volume.id if vm.volume else None,
+                "backup": vm.backup_assignment.id
+                if vm.backup_assignment else None,
+            } for vm in customer.vms],
+        })
+    for server in controller.backup_pool.servers:
+        snapshot["backup_servers"].append({
+            "id": server.id,
+            "assigned_vms": sorted(server.streams),
+            "failed": server.failed,
+        })
+    return snapshot
+
+
+def save_snapshot(controller, path):
+    """Write :func:`state_snapshot` to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        json.dump(state_snapshot(controller), handle, indent=2)
+
+
+def check_invariants(controller):
+    """Verify the controller's consistency properties.
+
+    Returns a list of human-readable violation strings (empty when the
+    state is consistent).
+    """
+    violations = []
+    vms = controller.all_vms()
+
+    # 1. Every running VM sits in exactly one host's slot list.
+    placements = {}
+    for pool in controller.pools.all_pools():
+        for host in pool.hosts:
+            for vm in host.vms:
+                placements.setdefault(vm.id, []).append(host)
+    for vm in vms:
+        hosts = placements.get(vm.id, [])
+        if vm.is_running:
+            if len(hosts) != 1:
+                violations.append(
+                    f"{vm.id} is running but placed on {len(hosts)} hosts")
+            elif vm.host is not hosts[0]:
+                violations.append(
+                    f"{vm.id}.host disagrees with its pool placement")
+
+    # 2. Slot accounting never exceeds capacity.
+    for pool in controller.pools.all_pools():
+        for host in pool.hosts:
+            hv = host.hypervisor
+            if len(hv.vms) + hv.reserved > hv.slots:
+                violations.append(
+                    f"{host.id} overcommitted: {len(hv.vms)} VMs + "
+                    f"{hv.reserved} reserved > {hv.slots} slots")
+
+    # 3. Running VMs never sit on terminated instances.
+    for vm in vms:
+        if vm.is_running and vm.host is not None and \
+                not vm.host.instance.is_running:
+            violations.append(
+                f"{vm.id} runs on terminated {vm.host.instance.id}")
+
+    # 4. Private IPs are unique across live VMs.
+    seen_ips = {}
+    for vm in vms:
+        if vm.private_ip is None or not vm.is_running:
+            continue
+        if vm.private_ip in seen_ips:
+            violations.append(
+                f"{vm.id} and {seen_ips[vm.private_ip]} share IP "
+                f"{vm.private_ip}")
+        seen_ips[vm.private_ip] = vm.id
+
+    # 5. Volumes of running VMs are attached to their current host.
+    for vm in vms:
+        if vm.state.value != "running" or vm.volume is None or \
+                vm.host is None:
+            continue
+        if vm.volume.attached_to is not vm.host.instance:
+            violations.append(
+                f"{vm.id} volume {vm.volume.id} attached to "
+                f"{getattr(vm.volume.attached_to, 'id', None)} "
+                f"but VM is on {vm.host.instance.id}")
+
+    # 6. Backup assignments are mutual and never on failed servers.
+    for vm in vms:
+        backup = vm.backup_assignment
+        if backup is None:
+            continue
+        if backup.failed:
+            violations.append(f"{vm.id} assigned to failed {backup.id}")
+        if vm.id not in backup.streams:
+            violations.append(
+                f"{vm.id} believes it streams to {backup.id}, which "
+                f"does not know it")
+
+    # 7. Parked VMs sit on the non-revocable side.
+    for vm_id, (vm, _home) in controller._parked.items():
+        if vm.is_running and vm.host is not None and \
+                vm.host.instance.is_spot:
+            pool = controller.pools.pool_of_host(vm.host)
+            if pool is not None and pool.market_kind == "spot" and \
+                    not controller.config.use_staging:
+                violations.append(
+                    f"parked {vm_id} sits on spot host "
+                    f"{vm.host.instance.id}")
+
+    return violations

@@ -1,0 +1,366 @@
+"""Migration execution: the timelines behind every VM move.
+
+Three flows, mirroring Section 3.5:
+
+* :meth:`MigrationManager.migrate_on_revocation` — the bounded-time
+  path.  On a warning the manager immediately starts acquiring a
+  destination, lets the VM run (with the checkpoint ramp degrading it
+  slightly) until the latest safe suspend point, commits the residual
+  state, performs the EBS/ENI detach-attach dance through the cloud
+  API (the ~23 s of control-plane downtime), and restores at the
+  destination — fully or lazily per the configured mechanism.
+* :meth:`MigrationManager.live_migrate` — the planned path (returns to
+  spot, proactive moves, small-VM revocations): pre-copy rounds while
+  running, a sub-second stop-and-copy, no backup server involved.
+* Destination acquisition, shared by both: hot spare, free slot in the
+  on-demand pool, staging slot, or a fresh on-demand instance.
+"""
+
+from repro.cloud.errors import CapacityError
+from repro.cloud.instances import Market
+from repro.virt.hypervisor import HostVM
+from repro.virt.migration.checkpoint import CheckpointStream
+from repro.virt.migration.live import PreCopyMigration
+from repro.virt.migration.restore import SKELETON_BYTES, RestorePlanner
+from repro.virt.vm import VMState
+
+#: Safety margin, seconds, added to the worst-case suspend-side costs
+#: when scheduling the latest safe suspend point.
+SUSPEND_MARGIN_S = 2.0
+
+#: Worst-case detach-side control-plane time (Table 1 max of
+#: detach_volume + detach_network_interface).
+WORST_DETACH_S = 11.3 + 12.0
+
+
+class MigrationError(Exception):
+    """A migration could not be carried out."""
+
+
+class MigrationManager:
+    """Executes migrations on behalf of the controller."""
+
+    def __init__(self, controller):
+        self.controller = controller
+        self.env = controller.env
+        self.api = controller.api
+        self.config = controller.config
+        self.ledger = controller.ledger
+
+    # -- destination acquisition ------------------------------------------
+
+    def acquire_destination(self, vm, exclude_pool=None):
+        """Process: produce a running host with a free slot for ``vm``.
+
+        Preference order: hot spare, free slot in the on-demand pool,
+        staging slot in another healthy pool, fresh on-demand instance.
+        Returns ``(host, kind)`` where kind is one of ``"spare"``,
+        ``"pool"``, ``"staging"``, ``"fresh"``.
+        """
+        ctl = self.controller
+
+        def _acquire():
+            vm_zone = vm.volume.zone if vm.volume is not None else None
+            spare = ctl.spares.take_spare(zone=vm_zone)
+            if spare is not None:
+                spare.hypervisor.reserve_slot()
+                return spare, "spare"
+            od_pool = ctl.on_demand_pool_for(vm)
+            host = od_pool.host_with_free_slot()
+            if host is not None:
+                host.hypervisor.reserve_slot()
+                return host, "pool"
+            staging = ctl.spares.find_staging_slot(
+                ctl.pools.all_spot_pools(), exclude_pool=exclude_pool,
+                zone=vm_zone)
+            if staging is not None:
+                staging.hypervisor.reserve_slot()
+                return staging, "staging"
+            try:
+                instance = yield self.api.run_instance(
+                    vm.itype, od_pool.zone, Market.ON_DEMAND)
+            except CapacityError:
+                # The platform is out of on-demand capacity; fall back
+                # to any staging slot even if staging is disabled by
+                # policy — state is already safe on the backup server,
+                # this only bounds the downtime.
+                staging = ctl.spares.find_staging_slot(
+                    ctl.pools.all_spot_pools(), exclude_pool=None,
+                    zone=vm_zone)
+                if staging is None:
+                    raise MigrationError(
+                        f"no destination available for {vm.id}")
+                staging.hypervisor.reserve_slot()
+                return staging, "staging"
+            host = HostVM(self.env, instance, vm.itype, slots=1)
+            host.hypervisor.reserve_slot()
+            od_pool.add_host(host)
+            return host, "fresh"
+
+        return self.env.process(_acquire())
+
+    # -- bounded-time path ---------------------------------------------------
+
+    def migrate_on_revocation(self, vm, source_host, deadline, source_pool,
+                              storm=None):
+        """Process: move ``vm`` off a revoked host before ``deadline``."""
+        return self.env.process(self._revocation_flow(
+            vm, source_host, deadline, source_pool, storm))
+
+    def _revocation_flow(self, vm, source_host, deadline, source_pool, storm):
+        cfg = self.config
+        mech = cfg.mechanism
+        if getattr(vm, "_migration_busy", False) or not vm.is_running:
+            return None
+        vm._migration_busy = True
+        try:
+            result = yield from self._revocation_steps(
+                vm, source_host, deadline, source_pool, storm, cfg, mech)
+        finally:
+            vm._migration_busy = False
+        return result
+
+    def _revocation_steps(self, vm, source_host, deadline, source_pool,
+                          storm, cfg, mech):
+        # VMs without a usable backup image — the live-only baseline,
+        # the small-VM exception, briefly staged VMs, and VMs whose
+        # image is still re-seeding after a backup failure — ride the
+        # warning with a live migration; state is at risk if pre-copy
+        # cannot finish inside the warning.
+        backup = vm.backup_assignment
+        image_usable = (
+            backup is not None and not getattr(backup, "failed", False)
+            and vm.id in backup.store
+            and backup.store.image(vm.id).is_complete)
+        if cfg.live_migration_only or not image_usable:
+            live_planner = PreCopyMigration(
+                bandwidth_bps=cfg.live_migration_bps)
+            live_plan = live_planner.plan(vm.memory)
+            warning = deadline - self.env.now
+            state_safe = (live_plan.converged and
+                          live_plan.total_time_s <= warning)
+            dest_host = yield self._live_proc(
+                vm, source_host, cause="revocation",
+                exclude_pool=source_pool, state_safe=state_safe)
+            if dest_host is not None:
+                # The VM now sits on the on-demand side; mark it parked
+                # so the allocation dynamics bring it back to spot when
+                # the price recovers.
+                self.controller.note_parked(vm, source_pool, "pool")
+            return dest_host
+
+        warning = deadline - self.env.now
+
+        # 1. Start destination acquisition immediately.
+        dest_proc = self.acquire_destination(vm, exclude_pool=source_pool)
+
+        # 2. Plan the suspend point: as late as safety allows.
+        stream = vm.checkpoint_stream
+        commit_s = stream.final_commit_downtime_s(ramped=mech.warning_ramp)
+        suspend_at = deadline - (commit_s + WORST_DETACH_S + SUSPEND_MARGIN_S)
+        suspend_at = max(suspend_at, self.env.now)
+
+        # 3. Ramp window: degraded while checkpoints tighten.
+        ramp_s = stream.warning_degradation_s(
+            warning, ramped=mech.warning_ramp)
+        run_until_ramp = max(suspend_at - ramp_s - self.env.now, 0.0)
+        if run_until_ramp > 0:
+            yield self.env.timeout(run_until_ramp)
+        degraded_s = 0.0
+        if ramp_s > 0:
+            vm.set_state(VMState.MIGRATING)
+            yield self.env.timeout(max(suspend_at - self.env.now, 0.0))
+            degraded_s += ramp_s
+
+        # 4. Suspend and commit the residual dirty state.
+        vm.set_state(VMState.SUSPENDED)
+        suspend_started = self.env.now
+        yield self.env.timeout(commit_s)
+
+        # 5. Detach the volume and interface from the doomed host.
+        #    These EC2 operations "can only detach a VM's EBS volumes
+        #    and its network interface after the VM is paused" and run
+        #    sequentially — together with the reattach below they are
+        #    the paper's ~22.65 s control-plane downtime.
+        yield self.api.detach_volume(vm.volume)
+        if vm.eni is not None:
+            yield self.api.detach_interface(vm.eni)
+        source_host.hypervisor.evict(vm)
+
+        # 6. Join destination acquisition (usually already complete).
+        dest_host, dest_kind = yield dest_proc
+
+        # 7. Reattach at the destination and move the private IP.
+        yield self.api.attach_volume(vm.volume, dest_host.instance)
+        if vm.eni is not None:
+            yield self.api.attach_interface(vm.eni, dest_host.instance)
+
+        # 8. Restore from the backup server.
+        backup = vm.backup_assignment
+        concurrent = 1
+        if storm is not None and backup is not None:
+            concurrent = max(storm.backup_load.get(backup.id, 1), 1)
+        planner = RestorePlanner(backup)
+        restore = planner.plan(
+            vm.memory.total_bytes, kind=mech.restore_kind,
+            optimized=mech.restore_optimized, concurrent=concurrent)
+        yield self.env.timeout(restore.downtime_s)
+        downtime_s = self.env.now - suspend_started
+        dest_host.hypervisor.attach(vm)
+        vm.host = dest_host
+        if restore.degraded_s > 0:
+            vm.set_state(VMState.RESTORING)
+            yield self.env.timeout(restore.degraded_s)
+            degraded_s += restore.degraded_s
+        vm.set_state(VMState.RUNNING)
+
+        # 9. The VM now sits on a non-revocable server: no backup needed.
+        self.controller.release_backup(vm)
+        self.controller.note_parked(vm, source_pool, dest_kind)
+
+        self.ledger.record_migration(
+            vm_id=vm.id, cause="revocation",
+            mechanism=f"bounded-{mech.restore_kind}",
+            downtime_s=downtime_s, degraded_s=degraded_s,
+            source_pool=source_pool.key,
+            dest_pool=("on-demand", vm.itype.name, dest_host.zone.name),
+            concurrent=concurrent, state_safe=True)
+        # A staging destination is itself revocable and may have been
+        # warned while we restored.
+        self.chase_if_doomed(vm, dest_host)
+        return dest_host
+
+    # -- live path -------------------------------------------------------
+
+    def live_migrate(self, vm, source_host, cause, dest_host=None,
+                     exclude_pool=None, state_safe=True):
+        """Process: pre-copy ``vm`` to a destination while it runs.
+
+        Used for returns to spot, proactive moves, and the small-VM /
+        live-only revocation paths.  If ``dest_host`` is None a
+        destination is acquired (on-demand side).
+        """
+        def _locked():
+            if getattr(vm, "_migration_busy", False) or not vm.is_running:
+                return None
+            vm._migration_busy = True
+            try:
+                result = yield from self._live_flow(
+                    vm, source_host, cause, dest_host, exclude_pool,
+                    state_safe)
+            finally:
+                vm._migration_busy = False
+            if result is not None and not result.instance.is_spot:
+                self.chase_if_doomed(vm, result)
+            return result
+
+        return self.env.process(_locked())
+
+    def chase_if_doomed(self, vm, landed_host):
+        """Chain another migration if the VM landed on a warned host.
+
+        A migration in flight cannot join the storm of its *destination*
+        (the watcher snapshot predates the arrival), so an arriving VM
+        must check the host's fate itself.  For spot landings the
+        *caller* invokes this — after re-assigning the backup server —
+        so a chained revocation can use the bounded-time path.
+        """
+        instance = landed_host.instance
+        if not instance.is_spot or vm.host is not landed_host:
+            return
+        if instance.state.value != "marked-for-termination":
+            return
+        pool = self.controller.pools.pool_of_host(landed_host)
+        deadline = instance.termination_notice.value
+        if pool is not None and deadline > self.env.now:
+            self.migrate_on_revocation(vm, landed_host, deadline, pool)
+
+    def _live_proc(self, vm, source_host, cause, dest_host=None,
+                   exclude_pool=None, state_safe=True):
+        """Live flow as a process, without taking the busy lock (used
+        from flows that already hold it)."""
+        return self.env.process(self._live_flow(
+            vm, source_host, cause, dest_host, exclude_pool, state_safe))
+
+    def _live_flow(self, vm, source_host, cause, dest_host, exclude_pool,
+                   state_safe):
+        cfg = self.config
+        planner = PreCopyMigration(bandwidth_bps=cfg.live_migration_bps)
+        plan = planner.plan(vm.memory)
+
+        if dest_host is None:
+            dest_host, _kind = yield self.acquire_destination(
+                vm, exclude_pool=exclude_pool)
+
+        # Pre-copy rounds: the VM runs, mildly degraded.
+        vm.set_state(VMState.MIGRATING)
+        yield self.env.timeout(plan.total_time_s - plan.downtime_s)
+
+        # Stop-and-copy: the only downtime of a planned live migration.
+        # (For planned moves the volume/interface handoff is overlapped
+        # with the pre-copy rounds; revocation-path migrations pay it
+        # in full — see _revocation_flow.)
+        vm.set_state(VMState.SUSPENDED)
+        yield self.env.timeout(plan.downtime_s)
+        if not dest_host.instance.is_running:
+            # The destination died during the pre-copy (e.g. a staging
+            # host got revoked): restart the stop-and-copy against a
+            # fresh destination; the source still holds the state.
+            dest_host, _kind = yield self.acquire_destination(
+                vm, exclude_pool=exclude_pool)
+            yield self.env.timeout(plan.downtime_s)
+        source_host.hypervisor.evict(vm)
+        dest_host.hypervisor.attach(vm)
+        self._relocate_attachments(vm, dest_host.instance)
+        vm.host = dest_host
+        vm.set_state(VMState.RUNNING)
+
+        source_pool = self.controller.pools.pool_of_host(source_host)
+        dest_pool = self.controller.pools.pool_of_host(dest_host)
+        self.ledger.record_migration(
+            vm_id=vm.id, cause=cause, mechanism="live",
+            downtime_s=plan.downtime_s,
+            degraded_s=plan.total_time_s - plan.downtime_s,
+            source_pool=source_pool.key if source_pool else ("?",),
+            dest_pool=dest_pool.key if dest_pool else ("?",),
+            concurrent=1, state_safe=state_safe)
+        return dest_host
+
+    def _relocate_attachments(self, vm, dest_instance):
+        """Move the VM's volume and interface to the destination host.
+
+        For *planned* live migrations the control-plane detach/attach
+        is overlapped with the pre-copy rounds, so no extra latency is
+        charged here; only the resource bookkeeping moves.  The
+        revocation path, where the ops sit squarely inside the
+        downtime window, performs them through the latency-charging
+        API instead (see ``_revocation_steps``).
+        """
+        volume = vm.volume
+        if volume is not None:
+            if volume.attached_to is not None or \
+                    volume.state.value in ("attaching", "detaching", "in-use"):
+                volume._force_detach()
+            volume._begin_attach(dest_instance)
+            volume._finish_attach()
+        eni = vm.eni
+        if eni is not None:
+            if eni.is_attached:
+                eni._detach()
+            eni._attach(dest_instance)
+
+    # -- estimates used by policies ----------------------------------------
+
+    def live_fits_warning(self, memory, warning_s):
+        """Whether a live migration is trustworthy within a warning."""
+        planner = PreCopyMigration(
+            bandwidth_bps=self.config.live_migration_bps)
+        plan = planner.plan(memory)
+        return (plan.converged and
+                plan.total_time_s <= warning_s * self.config.live_safety_factor)
+
+    def skeleton_bytes(self):
+        return SKELETON_BYTES
+
+    def checkpoint_stream_for(self, vm):
+        return CheckpointStream(vm.memory, self.config.mechanism.checkpoint)

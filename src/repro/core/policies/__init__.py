@@ -1,0 +1,44 @@
+"""SpotCheck's pluggable policies.
+
+* :mod:`.bidding` — what to bid in each spot market (Section 4.3).
+* :mod:`.allocation` — which spot pool a new nested VM lands in
+  (Table 2: 1P-M, 2P-ML, 4P-ED, 4P-COST, 4P-ST).
+* :mod:`.placement` — which native server type backs a request, with
+  slicing of larger types (greedy cheapest-first vs stability-first,
+  Section 4.2).
+* :mod:`.spares` — hot spares and staging servers for revocation
+  storms (Section 4.3).
+"""
+
+from repro.core.policies.allocation import (
+    ALLOCATION_POLICIES,
+    AllocationPolicy,
+    CostWeightedPolicy,
+    EqualSpreadPolicy,
+    SinglePoolPolicy,
+    StabilityWeightedPolicy,
+    make_allocation_policy,
+)
+from repro.core.policies.bidding import BidPolicy, make_bid_policy
+from repro.core.policies.placement import (
+    GreedyCheapestFirst,
+    PlacementChoice,
+    StabilityFirst,
+)
+from repro.core.policies.spares import HotSparePolicy
+
+__all__ = [
+    "ALLOCATION_POLICIES",
+    "AllocationPolicy",
+    "BidPolicy",
+    "CostWeightedPolicy",
+    "EqualSpreadPolicy",
+    "GreedyCheapestFirst",
+    "HotSparePolicy",
+    "PlacementChoice",
+    "SinglePoolPolicy",
+    "StabilityFirst",
+    "StabilityWeightedPolicy",
+    "make_allocation_policy",
+    "make_bid_policy",
+]

@@ -1,0 +1,175 @@
+"""Customer-to-pool mapping policies (Table 2).
+
+These decide which spot pool hosts a newly requested nested VM.  The
+portfolio analogy from the paper: spreading a customer's VMs across
+pools with uncorrelated prices reduces the probability of a revocation
+storm hitting all of them at once, at a (slightly) higher cost than
+always choosing the single cheapest pool.
+
+| Policy  | Behaviour                                                  |
+|---------|------------------------------------------------------------|
+| 1P-M    | all VMs in the m3.medium pool                              |
+| 2P-ML   | spread equally over m3.medium and m3.large                 |
+| 4P-ED   | spread equally over all four m3 pools                      |
+| 4P-COST | probability inversely weighted by historical pool cost    |
+| 4P-ST   | probability inversely weighted by historical migrations    |
+"""
+
+
+class AllocationPolicy:
+    """Base: picks a spot pool for a new nested VM.
+
+    Spreading policies operate *per customer*: "SpotCheck spreads the
+    nested VMs belonging to each of its customers across multiple
+    different server pools", so each customer's fleet individually
+    diversifies over uncorrelated markets.  ``customer`` may be None
+    for anonymous requests, which then share one global cursor.
+    """
+
+    name = "abstract"
+
+    #: Type names the policy draws from, in preference order.
+    pool_types = ()
+
+    def choose(self, pools, rng, customer=None):
+        """Pick one of ``pools`` (list of SpotPool), using ``rng``."""
+        raise NotImplementedError
+
+    def eligible(self, pools):
+        """Filter ``pools`` to the policy's type set, in policy order."""
+        by_type = {pool.itype.name: pool for pool in pools}
+        chosen = [by_type[name] for name in self.pool_types if name in by_type]
+        if not chosen:
+            raise ValueError(
+                f"{self.name}: none of {self.pool_types} present in "
+                f"{sorted(by_type)}")
+        return chosen
+
+    def __repr__(self):
+        return f"<AllocationPolicy {self.name}>"
+
+
+class SinglePoolPolicy(AllocationPolicy):
+    """1P-M: every VM goes to one pool."""
+
+    name = "1P-M"
+    pool_types = ("m3.medium",)
+
+    def choose(self, pools, rng, customer=None):
+        return self.eligible(pools)[0]
+
+
+class EqualSpreadPolicy(AllocationPolicy):
+    """2P-ML / 4P-ED: each customer's VMs distributed equally
+    (per-customer round-robin)."""
+
+    def __init__(self, name, pool_types):
+        self.name = name
+        self.pool_types = tuple(pool_types)
+        self._cursors = {}
+
+    def choose(self, pools, rng, customer=None):
+        eligible = self.eligible(pools)
+        key = customer.id if customer is not None else None
+        cursor = self._cursors.get(key, 0)
+        pool = eligible[cursor % len(eligible)]
+        self._cursors[key] = cursor + 1
+        return pool
+
+
+class _WeightedPolicy(AllocationPolicy):
+    """Probabilistic selection by per-pool weights."""
+
+    pool_types = ("m3.medium", "m3.large", "m3.xlarge", "m3.2xlarge")
+
+    def weight(self, pool):
+        raise NotImplementedError
+
+    def choose(self, pools, rng, customer=None):
+        eligible = self.eligible(pools)
+        weights = [max(self.weight(pool), 1e-12) for pool in eligible]
+        total = sum(weights)
+        probabilities = [w / total for w in weights]
+        index = rng.choice(len(eligible), p=probabilities)
+        return eligible[int(index)]
+
+
+class CostWeightedPolicy(_WeightedPolicy):
+    """4P-COST: "the lower the cost of the pool over a period, the
+    higher the probability of mapping a VM into that pool"."""
+
+    name = "4P-COST"
+
+    def weight(self, pool):
+        return 1.0 / max(pool.recent_mean_price_per_slot(), 1e-9)
+
+
+class StabilityWeightedPolicy(_WeightedPolicy):
+    """4P-ST: "the fewer the number of migrations over a period, the
+    higher the probability of mapping a VM into that pool"."""
+
+    name = "4P-ST"
+
+    def __init__(self, window_s=7 * 24 * 3600.0, now=None):
+        self.window_s = window_s
+        self._now = now or (lambda: None)
+
+    def attach_clock(self, now):
+        """Install a callable returning the current simulation time."""
+        self._now = now
+
+    def weight(self, pool):
+        now = self._now()
+        since = None if now is None else now - self.window_s
+        return 1.0 / (1.0 + pool.recent_migration_count(since))
+
+
+class ZoneSpreadPolicy(AllocationPolicy):
+    """Z-M: one instance type spread across every installed zone.
+
+    The zone-diversification counterpart of 4P-ED: Figure 6(c) shows
+    zone prices are as uncorrelated as type prices, so spreading one
+    type's VMs over zones also dissolves revocation storms — while
+    keeping every VM on the cheapest (most stable) instance type.
+    """
+
+    name = "Z-M"
+
+    def __init__(self, type_name="m3.medium"):
+        self.type_name = type_name
+        self._cursors = {}
+
+    def choose(self, pools, rng, customer=None):
+        eligible = sorted(
+            (pool for pool in pools if pool.itype.name == self.type_name),
+            key=lambda pool: pool.zone.name)
+        if not eligible:
+            raise ValueError(
+                f"{self.name}: no {self.type_name} pools installed")
+        key = customer.id if customer is not None else None
+        cursor = self._cursors.get(key, 0)
+        self._cursors[key] = cursor + 1
+        return eligible[cursor % len(eligible)]
+
+
+#: Name -> zero-argument factory.
+ALLOCATION_POLICIES = {
+    "1P-M": SinglePoolPolicy,
+    "2P-ML": lambda: EqualSpreadPolicy("2P-ML", ("m3.medium", "m3.large")),
+    "4P-ED": lambda: EqualSpreadPolicy(
+        "4P-ED", ("m3.medium", "m3.large", "m3.xlarge", "m3.2xlarge")),
+    "4P-COST": CostWeightedPolicy,
+    "4P-ST": StabilityWeightedPolicy,
+    "Z-M": ZoneSpreadPolicy,
+}
+
+
+def make_allocation_policy(name):
+    """Instantiate a Table 2 policy by name."""
+    try:
+        factory = ALLOCATION_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown allocation policy {name!r}; choose from "
+            f"{sorted(ALLOCATION_POLICIES)}") from None
+    return factory()

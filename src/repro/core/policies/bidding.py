@@ -1,0 +1,98 @@
+"""Bidding policies (Section 4.3).
+
+SpotCheck deliberately keeps bidding simple: "either bid the equivalent
+on-demand price for a spot server or bid k times the on-demand price".
+Bidding the on-demand price approximates the knee of the
+availability-bid curve (Figure 6a); bidding above it trades money for a
+lower revocation frequency and makes proactive migration possible (the
+controller can react inside the band between the on-demand price and
+the bid).
+"""
+
+
+class BidPolicy:
+    """Computes the bid for spot servers of a given type."""
+
+    def __init__(self, multiple=1.0):
+        if multiple < 1.0:
+            raise ValueError("bid multiple must be at least 1")
+        self.multiple = multiple
+
+    def bid_for(self, itype, trace=None):
+        """The bid, $/hour, for spot servers of ``itype``.
+
+        ``trace`` (the market's price history) is accepted for
+        interface compatibility with history-driven policies.
+        """
+        return itype.on_demand_price * self.multiple
+
+    @property
+    def allows_proactive(self):
+        """Proactive migration needs headroom between od price and bid."""
+        return self.multiple > 1.0
+
+    def __repr__(self):
+        return f"<BidPolicy {self.multiple}x on-demand>"
+
+
+class KneeBidPolicy(BidPolicy):
+    """Bid at the knee of the market's availability-bid curve.
+
+    Section 4.3: "simply bidding the on-demand price is an
+    approximation of bidding an 'optimal' value that is equal to the
+    knee of this availability-bid curve", which empirically sits
+    "slightly lower than the on-demand price".  This policy computes
+    the knee from price history: the smallest bid that would have kept
+    the server for at least ``availability_target`` of the time,
+    clamped to at most the on-demand price.
+
+    Parameters
+    ----------
+    availability_target:
+        Availability the bid must have bought historically.
+    floor_fraction:
+        Never bid below this fraction of the on-demand price (a bid in
+        the noise band would thrash).
+    """
+
+    def __init__(self, availability_target=0.995, floor_fraction=0.3):
+        super().__init__(1.0)
+        if not 0 < availability_target <= 1:
+            raise ValueError("availability_target must lie in (0, 1]")
+        if not 0 < floor_fraction <= 1:
+            raise ValueError("floor_fraction must lie in (0, 1]")
+        self.availability_target = availability_target
+        self.floor_fraction = floor_fraction
+
+    def bid_for(self, itype, trace=None):
+        if trace is None:
+            return itype.on_demand_price
+        from repro.traces.stats import availability_cdf
+        import numpy as np
+        ratios, availability = availability_cdf(trace)
+        above_target = np.flatnonzero(
+            availability >= self.availability_target)
+        if len(above_target) == 0:
+            knee_ratio = 1.0
+        else:
+            knee_ratio = float(ratios[above_target[0]])
+        knee_ratio = min(max(knee_ratio, self.floor_fraction), 1.0)
+        return itype.on_demand_price * knee_ratio
+
+    @property
+    def allows_proactive(self):
+        return False
+
+    def __repr__(self):
+        return f"<KneeBidPolicy target={self.availability_target}>"
+
+
+def make_bid_policy(name, multiple=1.5, availability_target=0.995):
+    """Factory for the named bid policies."""
+    if name == "on-demand":
+        return BidPolicy(1.0)
+    if name == "multiple":
+        return BidPolicy(multiple)
+    if name == "knee":
+        return KneeBidPolicy(availability_target)
+    raise ValueError(f"unknown bid policy {name!r}")

@@ -1,0 +1,109 @@
+"""Native-server placement: which type backs a nested-VM request.
+
+Section 4.2's arbitrage insight: "the server size-to-price ratio is not
+uniform: a large server ... which is able to accommodate two medium VM
+servers ... may be cheaper than buying two medium servers."  The greedy
+policy picks the cheapest current price per nested-VM slot; the
+conservative policy picks the market with the most stable recent
+prices.  Slicing a large server concentrates risk (one revocation
+displaces every resident nested VM), which is why both policies are
+offered.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PlacementChoice:
+    """Outcome of a placement decision."""
+
+    itype: object
+    zone: object
+    slots: int
+    price_per_slot: float
+
+    @property
+    def sliced(self):
+        return self.slots > 1
+
+
+class _PlacementPolicy:
+    """Shared slicing-option enumeration."""
+
+    def __init__(self, catalog, max_slice_factor=4):
+        self.catalog = catalog
+        self.max_slice_factor = max_slice_factor
+
+    def _options(self, requested, markets):
+        """Yield (itype, zone, slots, market) placement options.
+
+        ``markets`` maps (type_name, zone_name) -> SpotMarket.
+        """
+        slicable = dict(self.catalog.slicing_options(
+            requested, self.max_slice_factor))
+        for (type_name, _zone_name), market in markets.items():
+            itype = self.catalog.get(type_name)
+            slots = slicable.get(itype)
+            if slots:
+                yield itype, market.zone, slots, market
+
+    def choose(self, requested, markets):
+        raise NotImplementedError
+
+
+class GreedyCheapestFirst(_PlacementPolicy):
+    """Pick the option with the lowest current price per slot."""
+
+    def choose(self, requested, markets):
+        best = None
+        for itype, zone, slots, market in self._options(requested, markets):
+            price_per_slot = market.current_price() / slots
+            if best is None or price_per_slot < best.price_per_slot:
+                best = PlacementChoice(itype=itype, zone=zone, slots=slots,
+                                       price_per_slot=price_per_slot)
+        if best is None:
+            raise ValueError(
+                f"no market can host a {requested.name} nested VM")
+        return best
+
+
+class StabilityFirst(_PlacementPolicy):
+    """Pick the market with the most stable recent prices.
+
+    "The more volatile the prices of a particular spot server type, the
+    greater the chance of a price spike, and the higher the frequency
+    of revocations."  Stability is measured as the coefficient of
+    variation of the market's recent price history.
+    """
+
+    def __init__(self, catalog, max_slice_factor=4, window_s=7 * 24 * 3600.0):
+        super().__init__(catalog, max_slice_factor)
+        self.window_s = window_s
+
+    def _volatility(self, market, now):
+        times, prices = market.trace.arrays()
+        lo = np.searchsorted(times, now - self.window_s)
+        hi = np.searchsorted(times, now, side="right")
+        window = prices[max(lo, 0):max(hi, 1)]
+        if len(window) < 2:
+            return 0.0
+        mean = window.mean()
+        return float(window.std() / mean) if mean > 0 else 0.0
+
+    def choose(self, requested, markets, now=None):
+        best = None
+        best_vol = None
+        for itype, zone, slots, market in self._options(requested, markets):
+            when = market.env.now if now is None else now
+            volatility = self._volatility(market, when)
+            if best_vol is None or volatility < best_vol:
+                best_vol = volatility
+                best = PlacementChoice(
+                    itype=itype, zone=zone, slots=slots,
+                    price_per_slot=market.current_price() / slots)
+        if best is None:
+            raise ValueError(
+                f"no market can host a {requested.name} nested VM")
+        return best

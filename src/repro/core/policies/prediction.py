@@ -1,0 +1,116 @@
+"""Revocation prediction (the paper's predictive-migration option).
+
+Section 3.2: "SpotCheck may also perform proactive migrations from a
+spot server if it predicts that a revocation is imminent ... e.g., by
+tracking and predicting a rise in market prices of spot servers that
+causes revocations.  However, such optimizations incur significant
+risk of losing VM state unless they are able to predict an imminent
+revocation with high confidence."
+
+The predictor tracks each market with an exponentially weighted moving
+average and fires on two signals:
+
+* **level** — the price has climbed into the top band below the bid
+  (``level_fraction * bid``), so one more step of the same size
+  crosses it; and
+* **momentum** — the price jumped by more than ``jump_factor`` relative
+  to its EWMA, the signature of the spike onsets in Figure 6(b).
+
+Predictions trade a planned live migration (sub-second downtime)
+against false positives (needless migrations) and false negatives
+(the bounded-time machinery still catches those — state is never at
+risk as long as backup servers stay assigned).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PredictionStats:
+    """Outcome counters for evaluating a predictor."""
+
+    signals: int = 0
+    #: Signals followed by an actual bid crossing within the horizon.
+    true_positives: int = 0
+    #: Signals with no crossing within the horizon.
+    false_positives: int = 0
+    #: Crossings that arrived with no preceding signal.
+    missed: int = 0
+
+    @property
+    def precision(self):
+        judged = self.true_positives + self.false_positives
+        return self.true_positives / judged if judged else 0.0
+
+    @property
+    def recall(self):
+        actual = self.true_positives + self.missed
+        return self.true_positives / actual if actual else 0.0
+
+
+class RevocationPredictor:
+    """Online price-trend predictor for one or more spot pools.
+
+    Parameters
+    ----------
+    level_fraction:
+        Fraction of the bid at which the level signal fires.
+    jump_factor:
+        Price / EWMA ratio at which the momentum signal fires.
+    ewma_alpha:
+        Smoothing factor of the moving average.
+    holdoff_s:
+        Minimum time between signals for the same pool (a fired pool
+        is presumably already drained).
+    """
+
+    def __init__(self, level_fraction=0.75, jump_factor=2.0,
+                 ewma_alpha=0.05, holdoff_s=3600.0):
+        if not 0 < level_fraction <= 1:
+            raise ValueError("level_fraction must lie in (0, 1]")
+        if jump_factor <= 1:
+            raise ValueError("jump_factor must exceed 1")
+        if not 0 < ewma_alpha <= 1:
+            raise ValueError("ewma_alpha must lie in (0, 1]")
+        self.level_fraction = level_fraction
+        self.jump_factor = jump_factor
+        self.ewma_alpha = ewma_alpha
+        self.holdoff_s = holdoff_s
+        self._ewma = {}
+        self._last_signal = {}
+        self.stats = PredictionStats()
+
+    def observe(self, pool_key, when, price, bid):
+        """Feed one price sample; returns True if a signal fires.
+
+        ``pool_key`` identifies the market; ``bid`` is the pool's
+        standing bid (the revocation boundary).
+        """
+        previous = self._ewma.get(pool_key, price)
+        ewma = (1 - self.ewma_alpha) * previous + self.ewma_alpha * price
+        self._ewma[pool_key] = ewma
+
+        if price > bid:
+            return False  # Already revoked; nothing to predict.
+
+        last = self._last_signal.get(pool_key)
+        if last is not None and when - last < self.holdoff_s:
+            return False
+
+        level = price >= self.level_fraction * bid
+        momentum = previous > 0 and price / previous >= self.jump_factor
+        if level or momentum:
+            self._last_signal[pool_key] = when
+            self.stats.signals += 1
+            return True
+        return False
+
+    def record_outcome(self, crossed_within_horizon, had_signal=True):
+        """Book-keep a signal's (or a miss's) outcome for evaluation."""
+        if had_signal:
+            if crossed_within_horizon:
+                self.stats.true_positives += 1
+            else:
+                self.stats.false_positives += 1
+        elif crossed_within_horizon:
+            self.stats.missed += 1

@@ -1,0 +1,78 @@
+"""Hot spares and staging servers (Section 4.3).
+
+Starting a fresh on-demand server takes up to ~90 s (Table 1), leaving
+only ~30 s of a 120 s warning for the migration itself.  Two risk
+mitigations:
+
+* **hot spares** — idle on-demand hosts kept running so displaced VMs
+  have an immediate destination; costs money, removes the race.
+* **staging servers** — free slots on healthy hosts in *other* pools
+  temporarily hold displaced VMs while a final destination starts;
+  doubles the migrations but costs nothing extra.
+
+Either way "there is never a risk of losing nested VM state, since the
+backup server stores it even if there is not a destination server
+available".
+"""
+
+
+class HotSparePolicy:
+    """Manages the reserve of idle on-demand hosts."""
+
+    def __init__(self, target, use_staging=False):
+        if target < 0:
+            raise ValueError("target must be non-negative")
+        self.target = target
+        self.use_staging = use_staging
+        self.spares = []
+        #: Spares consumed, replenishments, staging placements (stats).
+        self.consumed = 0
+        self.replenished = 0
+        self.staged = 0
+
+    @property
+    def available(self):
+        return len(self.spares)
+
+    @property
+    def deficit(self):
+        """How many spares must be provisioned to reach the target."""
+        return max(self.target - len(self.spares), 0)
+
+    def add_spare(self, host):
+        self.spares.append(host)
+        self.replenished += 1
+
+    def take_spare(self, zone=None):
+        """Claim a spare as a migration destination, or None.
+
+        ``zone`` restricts the choice to spares whose host can attach
+        the displaced VM's (zone-locked) volume.
+        """
+        for index, host in enumerate(self.spares):
+            if zone is None or host.zone == zone:
+                self.consumed += 1
+                return self.spares.pop(index)
+        return None
+
+    def find_staging_slot(self, pools, exclude_pool=None, zone=None):
+        """A free slot on a healthy host in another pool, or None.
+
+        Only pools that are not currently under revocation pressure are
+        candidates — staging onto a pool that is itself being revoked
+        would just displace the VM twice for nothing.  ``zone``
+        restricts staging to hosts that can attach the VM's volume.
+        """
+        if not self.use_staging:
+            return None
+        for pool in pools:
+            if pool is exclude_pool:
+                continue
+            if zone is not None and pool.zone != zone:
+                continue
+            host = pool.host_with_free_slot()
+            if host is not None and host.instance.is_running and \
+                    host.instance.state.value != "marked-for-termination":
+                self.staged += 1
+                return host
+        return None

@@ -1,0 +1,196 @@
+"""Server pools: spot pools, the on-demand pool, and the backup pool.
+
+SpotCheck "maintains multiple pools of servers ... for each server
+type, separate spot and on-demand pools".  A pool groups the native
+hosts of one (market, type, zone) and tracks the statistics the
+allocation policies weigh: historical cost per nested-VM slot and
+revocation/migration counts.
+"""
+
+from collections import deque
+
+
+class ServerPool:
+    """Base pool: the native hosts of one (market, type, zone)."""
+
+    market_kind = "abstract"
+
+    def __init__(self, itype, zone, slot_itype):
+        self.itype = itype
+        self.zone = zone
+        self.slot_itype = slot_itype
+        self.hosts = []
+
+    @property
+    def key(self):
+        return (self.market_kind, self.itype.name, self.zone.name)
+
+    def add_host(self, host):
+        self.hosts.append(host)
+
+    def remove_host(self, host):
+        if host in self.hosts:
+            self.hosts.remove(host)
+
+    def host_with_free_slot(self):
+        """A healthy host with a free nested-VM slot, or None.
+
+        Hosts that have received a revocation warning stay in the pool
+        until the platform actually terminates them (their VMs are
+        still draining), but they are never offered for placement.
+        """
+        for host in self.hosts:
+            if host.free_slots > 0 and \
+                    host.instance.state.value == "running":
+                return host
+        return None
+
+    def vms(self):
+        """All nested VMs across the pool's hosts."""
+        return [vm for host in self.hosts for vm in host.vms]
+
+    @property
+    def vm_count(self):
+        return sum(len(host.vms) for host in self.hosts)
+
+    @property
+    def host_count(self):
+        return len(self.hosts)
+
+    def __repr__(self):
+        return (f"<{type(self).__name__} {self.key} hosts={self.host_count} "
+                f"vms={self.vm_count}>")
+
+
+class SpotPool(ServerPool):
+    """A pool of spot hosts sharing one market and one bid price."""
+
+    market_kind = "spot"
+
+    def __init__(self, itype, zone, slot_itype, market, bid):
+        super().__init__(itype, zone, slot_itype)
+        self.market = market
+        self.bid = bid
+        #: Revocation-event history: (time, hosts_lost, vms_displaced).
+        self.revocations = []
+        #: Recent per-slot spot prices (time, price) for policy stats.
+        self._price_samples = deque(maxlen=512)
+
+    def record_revocation(self, when, hosts_lost, vms_displaced):
+        self.revocations.append((when, hosts_lost, vms_displaced))
+
+    def record_price(self, when, price):
+        self._price_samples.append((when, price))
+
+    def price_per_slot(self):
+        """Current spot price divided by nested-VM slots per host."""
+        slots = max(int(self.itype.memory_gib // self.slot_itype.memory_gib), 1)
+        return self.market.current_price() / slots
+
+    def recent_mean_price_per_slot(self):
+        """Historical mean price per slot (4P-COST's weight input)."""
+        if not self._price_samples:
+            return self.price_per_slot()
+        slots = max(int(self.itype.memory_gib // self.slot_itype.memory_gib), 1)
+        prices = [price for _when, price in self._price_samples]
+        return (sum(prices) / len(prices)) / slots
+
+    def recent_migration_count(self, since=None):
+        """Revocation events in the window (4P-ST's weight input)."""
+        if since is None:
+            return len(self.revocations)
+        return sum(1 for when, _h, _v in self.revocations if when >= since)
+
+
+class OnDemandPool(ServerPool):
+    """The non-revocable pool VMs fail over to."""
+
+    market_kind = "on-demand"
+
+
+class BackupPool:
+    """The pool of backup servers, with round-robin VM assignment.
+
+    "SpotCheck employs a simple round-robin policy to map nested VMs
+    within each pool across the set of backup servers.  Once every
+    backup server becomes fully utilized, SpotCheck provisions a native
+    VM from the IaaS platform to serve as a new backup server."
+    """
+
+    def __init__(self, provision):
+        self._provision = provision
+        self.servers = []
+        self._cursor = 0
+
+    def assign(self, vm_id, stream_rate_bps, cap=None):
+        """Assign a VM's checkpoint stream round-robin; grow if full.
+
+        Returns the chosen :class:`~repro.backup.server.BackupServer`.
+        """
+        chosen = self._next_with_capacity(cap)
+        if chosen is None:
+            chosen = self._provision()
+            self.servers.append(chosen)
+        chosen.assign_stream(vm_id, stream_rate_bps)
+        return chosen
+
+    def _next_with_capacity(self, cap):
+        if not self.servers:
+            return None
+        n = len(self.servers)
+        for offset in range(n):
+            server = self.servers[(self._cursor + offset) % n]
+            if getattr(server, "failed", False):
+                continue
+            limit = cap if cap is not None else server.spec.max_checkpoint_vms
+            if server.assigned_vms < limit:
+                self._cursor = (self._cursor + offset + 1) % n
+                return server
+        return None
+
+    def release(self, vm_id, server):
+        server.release_stream(vm_id)
+
+    @property
+    def server_count(self):
+        return len(self.servers)
+
+    def total_assigned(self):
+        return sum(server.assigned_vms for server in self.servers)
+
+
+class PoolManager:
+    """Registry of every pool the controller manages."""
+
+    def __init__(self):
+        self.spot_pools = {}
+        self.on_demand_pools = {}
+
+    def add_spot_pool(self, pool):
+        if pool.key in self.spot_pools:
+            raise ValueError(f"duplicate spot pool {pool.key}")
+        self.spot_pools[pool.key] = pool
+
+    def add_on_demand_pool(self, pool):
+        if pool.key in self.on_demand_pools:
+            raise ValueError(f"duplicate on-demand pool {pool.key}")
+        self.on_demand_pools[pool.key] = pool
+
+    def spot_pool(self, type_name, zone_name):
+        return self.spot_pools[("spot", type_name, zone_name)]
+
+    def on_demand_pool(self, type_name, zone_name):
+        return self.on_demand_pools[("on-demand", type_name, zone_name)]
+
+    def all_spot_pools(self):
+        return list(self.spot_pools.values())
+
+    def all_pools(self):
+        return list(self.spot_pools.values()) + \
+            list(self.on_demand_pools.values())
+
+    def pool_of_host(self, host):
+        for pool in self.all_pools():
+            if host in pool.hosts:
+                return pool
+        return None

@@ -1,0 +1,21 @@
+"""The experiment harness: one module per paper table/figure.
+
+| Module        | Regenerates                                            |
+|---------------|--------------------------------------------------------|
+| ``fig1``      | Figure 1 — a spiky m1.small spot-price trace           |
+| ``table1``    | Table 1 — EC2 operation latencies (20-sample stats)    |
+| ``fig6``      | Figure 6 — price CDFs, jumps, cross-market correlation |
+| ``fig7``      | Figure 7 — backup-server multiplexing sweep            |
+| ``fig8``      | Figure 8 — full/lazy restore, 1/5/10 concurrent        |
+| ``fig9``      | Figure 9 — TPC-W response during lazy restores         |
+| ``policy_grid``| Figures 10-12 — cost/availability/degradation grid    |
+| ``table3``    | Table 3 — concurrent-revocation probabilities          |
+
+All experiments are deterministic given a seed and return plain data
+structures; ``reporting`` renders them as the paper-style text tables
+printed by the benchmarks.
+"""
+
+from repro.experiments.scenario import PolicySimulation, ScenarioConfig
+
+__all__ = ["PolicySimulation", "ScenarioConfig"]

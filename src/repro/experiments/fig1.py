@@ -1,0 +1,35 @@
+"""Figure 1: the m1.small spot price fluctuating over ~2.5 days,
+spiking far above the $0.06 on-demand price."""
+
+from repro.traces.calibration import M1_SMALL_PARAMS
+from repro.traces.generator import TraceGenerator
+
+
+def run(seed=1, days=30.0, window_days=2.5):
+    """Generate a month of m1.small prices and pick the spikiest window.
+
+    Returns a dict with the windowed (times, prices) series, the
+    on-demand price, and the peak multiple reached.
+    """
+    generator = TraceGenerator(seed=seed)
+    trace = generator.generate_market(
+        "m1.small", "us-east-1a", M1_SMALL_PARAMS,
+        duration_s=days * 24 * 3600.0)
+
+    window_s = window_days * 24 * 3600.0
+    # Slide a window to find the one containing the largest spike —
+    # Figure 1 deliberately shows a dramatic stretch.
+    peak_idx = int(trace.prices.argmax())
+    peak_time = float(trace.times[peak_idx])
+    start = max(trace.start, peak_time - window_s / 2)
+    end = min(trace.end, start + window_s)
+    windowed = trace.slice(start, end)
+
+    return {
+        "times_h": [(t - windowed.start) / 3600.0 for t in windowed.times],
+        "prices": list(map(float, windowed.prices)),
+        "on_demand_price": trace.on_demand_price,
+        "peak_price": float(trace.prices.max()),
+        "peak_multiple": float(trace.prices.max() / trace.on_demand_price),
+        "window_days": window_days,
+    }

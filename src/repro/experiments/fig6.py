@@ -1,0 +1,85 @@
+"""Figure 6: spot-price dynamics across EC2 markets.
+
+(a) the availability CDF — spot/on-demand ratio vs fraction of time a
+    bid at that ratio keeps the server;
+(b) the CDF of hourly percentage price jumps (increases/decreases);
+(c) near-zero price correlation across availability zones;
+(d) near-zero price correlation across instance types.
+"""
+
+import numpy as np
+
+from repro.cloud.instance_types import DEFAULT_CATALOG, M3_FAMILY
+from repro.cloud.zones import Region
+from repro.traces import stats
+from repro.traces.calibration import market_params_for, paper_market_set
+from repro.traces.generator import TraceGenerator
+
+SIX_MONTHS_S = 183 * 24 * 3600.0
+
+
+def availability_cdfs(seed=6, duration_s=SIX_MONTHS_S):
+    """Fig 6a: one availability CDF per m3 type."""
+    generator = TraceGenerator(seed=seed)
+    curves = {}
+    for itype in M3_FAMILY:
+        trace = generator.generate_market(
+            itype.name, "us-east-1a", market_params_for(itype),
+            duration_s=duration_s)
+        ratios, availability = stats.availability_cdf(trace)
+        curves[itype.name] = {
+            "ratios": ratios,
+            "availability": availability,
+            "availability_at_od": stats.availability_at_bid(
+                trace, itype.on_demand_price),
+            "mean_ratio": stats.mean_price(trace) / itype.on_demand_price,
+        }
+    return curves
+
+
+def price_jumps(seed=6, duration_s=SIX_MONTHS_S, type_name="m3.large"):
+    """Fig 6b: hourly percentage jump CDFs for one volatile market."""
+    generator = TraceGenerator(seed=seed)
+    itype = DEFAULT_CATALOG.get(type_name)
+    trace = generator.generate_market(
+        type_name, "us-east-1a", market_params_for(itype),
+        duration_s=duration_s)
+    increases, decreases = stats.price_jump_cdf(trace)
+    return {
+        "increases_pct": increases,
+        "decreases_pct": decreases,
+        "max_increase_pct": float(increases.max()) if len(increases) else 0.0,
+        "orders_of_magnitude": float(
+            np.log10(max(increases.max(), 1.0))) if len(increases) else 0.0,
+    }
+
+
+def zone_correlations(seed=6, zones=18, type_name="m3.medium",
+                      duration_s=SIX_MONTHS_S / 6):
+    """Fig 6c: correlation matrix of one type across many zones."""
+    region = Region.with_zones("us-east-1", zones)
+    itype = DEFAULT_CATALOG.get(type_name)
+    params = paper_market_set([itype], region.zones)
+    generator = TraceGenerator(seed=seed)
+    archive = generator.generate_archive(params, duration_s=duration_s)
+    keys, matrix = stats.correlation_matrix(list(archive))
+    return {"keys": keys, "matrix": matrix,
+            "max_offdiag": _max_offdiag(matrix)}
+
+
+def type_correlations(seed=6, duration_s=SIX_MONTHS_S / 6, max_types=15):
+    """Fig 6d: correlation matrix across instance types in one zone."""
+    region = Region.with_zones("us-east-1", 1)
+    types = list(DEFAULT_CATALOG)[:max_types]
+    params = paper_market_set(types, region.zones, zone_jitter=0.0)
+    generator = TraceGenerator(seed=seed)
+    archive = generator.generate_archive(params, duration_s=duration_s)
+    keys, matrix = stats.correlation_matrix(list(archive))
+    return {"keys": keys, "matrix": matrix,
+            "max_offdiag": _max_offdiag(matrix)}
+
+
+def _max_offdiag(matrix):
+    matrix = np.asarray(matrix)
+    off = matrix - np.eye(len(matrix))
+    return float(np.abs(off).max())

@@ -1,0 +1,62 @@
+"""Figure 7: nested-VM performance vs VMs per backup server.
+
+Sweeps the number of VMs whose checkpoint streams share one backup
+server, reporting SPECjbb throughput and TPC-W response time.  Column
+"0" is checkpointing off; column "1" is a dedicated backup server.
+The knee appears where aggregate stream demand saturates the backup
+write path (~35 VMs), exactly as in the paper.
+"""
+
+from repro.backup.server import BackupServer, BackupServerSpec
+from repro.sim.kernel import Environment
+from repro.virt.migration.checkpoint import CheckpointConfig, CheckpointStream
+from repro.workloads import Conditions, SpecJbbWorkload, TpcwWorkload
+
+GUEST_BYTES = int(3.75 * 0.45 * 1024 ** 3)  # nested m3.medium guest
+
+DEFAULT_COUNTS = (0, 1, 10, 20, 30, 35, 40, 45, 50)
+
+
+def run(vm_counts=DEFAULT_COUNTS, backup_spec=None,
+        checkpoint_config=None):
+    """Sweep backup-server load; returns per-count performance rows."""
+    spec = backup_spec or BackupServerSpec()
+    ckpt = checkpoint_config or CheckpointConfig()
+    tpcw = TpcwWorkload()
+    jbb = SpecJbbWorkload()
+    tpcw_stream = CheckpointStream(tpcw.memory_model(GUEST_BYTES), ckpt)
+    jbb_stream = CheckpointStream(jbb.memory_model(GUEST_BYTES), ckpt)
+
+    rows = []
+    for count in vm_counts:
+        row = {"vms": count}
+        for label, workload, stream in (
+                ("tpcw", tpcw, tpcw_stream), ("specjbb", jbb, jbb_stream)):
+            if count == 0:
+                conditions = Conditions(checkpointing=False)
+            else:
+                env = Environment()
+                server = BackupServer(env, spec)
+                for i in range(count):
+                    server.assign_stream(f"vm-{i}", stream.stream_rate_bps())
+                conditions = Conditions(
+                    checkpointing=True,
+                    backup_overload=server.overload_fraction())
+            row[label] = workload.performance(conditions)
+            row[f"{label}_degradation"] = \
+                workload.degradation_fraction(conditions)
+        rows.append(row)
+    return {
+        "rows": rows,
+        "tpcw_stream_mbps": tpcw_stream.stream_rate_bps() / 1e6,
+        "specjbb_stream_mbps": jbb_stream.stream_rate_bps() / 1e6,
+        "write_path_mbps": spec.write_path_bps / 1e6,
+    }
+
+
+def knee_vms(result, workload="specjbb", threshold=0.05):
+    """First VM count whose degradation exceeds ``threshold``."""
+    for row in result["rows"]:
+        if row["vms"] >= 1 and row[f"{workload}_degradation"] > threshold:
+            return row["vms"]
+    return None

@@ -1,0 +1,26 @@
+"""Figure 9: TPC-W response time vs concurrent lazy restorations.
+
+Zero concurrent restores is normal operation (~29 ms); during a lazy
+restore the restoring VM's response time roughly doubles (~60 ms), and
+additional concurrent restores barely move it because the backup server
+partitions bandwidth per VM.
+"""
+
+from repro.workloads import Conditions, TpcwWorkload
+
+CONCURRENCY = (0, 1, 5, 10)
+
+
+def run(concurrency=CONCURRENCY):
+    workload = TpcwWorkload()
+    rows = []
+    for n in concurrency:
+        if n == 0:
+            conditions = Conditions()
+        else:
+            conditions = Conditions(restoring=True, restore_concurrency=n)
+        rows.append({
+            "concurrent": n,
+            "response_ms": workload.response_time_ms(conditions),
+        })
+    return {"rows": rows, "baseline_ms": workload.baseline_response_ms}

@@ -1,0 +1,99 @@
+"""Figures 10-12: the policy x mechanism grid.
+
+The paper runs each Table 2 policy under four migration mechanisms over
+six months of spot prices, reporting average cost per VM-hour
+(Figure 10), unavailability (Figure 11), and time under degraded
+performance (Figure 12).  One :func:`run_grid` call produces all three
+views from the same set of simulations, with the trace archive shared
+across cells so every cell sees identical prices.
+"""
+
+from repro.experiments.scenario import (
+    MECHANISMS,
+    POLICIES,
+    PolicySimulation,
+    ScenarioConfig,
+)
+
+_CACHE = {}
+
+
+def run_cell(policy, mechanism, seed=11, days=183.0, vms=40, archive=None,
+             **overrides):
+    """Run (or fetch from cache) one grid cell's summary."""
+    key = (policy, mechanism, seed, days, vms, tuple(sorted(
+        overrides.items())))
+    if key in _CACHE:
+        return _CACHE[key]
+    config = ScenarioConfig(policy=policy, mechanism=mechanism, seed=seed,
+                            days=days, vms=vms, **overrides)
+    if archive is None:
+        archive = shared_archive(seed, days)
+    summary = PolicySimulation(config, archive=archive).run()
+    _CACHE[key] = summary
+    return summary
+
+
+_ARCHIVES = {}
+
+
+def shared_archive(seed, days):
+    """One trace archive per (seed, days), shared by every cell."""
+    key = (seed, days)
+    if key not in _ARCHIVES:
+        _ARCHIVES[key] = PolicySimulation.build_archive(
+            seed, days * 24 * 3600.0)
+    return _ARCHIVES[key]
+
+
+def run_grid(policies=POLICIES, mechanisms=MECHANISMS, seed=11, days=183.0,
+             vms=40, **overrides):
+    """The full grid: {(policy, mechanism): summary}."""
+    results = {}
+    for policy in policies:
+        for mechanism in mechanisms:
+            results[(policy, mechanism)] = run_cell(
+                policy, mechanism, seed=seed, days=days, vms=vms,
+                **overrides)
+    return results
+
+
+def figure10_rows(results):
+    """Average cost per VM-hour, one row per policy."""
+    return _pivot(results, "cost_per_vm_hour")
+
+
+def figure11_rows(results):
+    """Unavailability %, one row per policy."""
+    return _pivot(results, "unavailability_pct")
+
+
+def figure12_rows(results):
+    """Degraded-time %, one row per policy."""
+    return _pivot(results, "degradation_pct")
+
+
+def _pivot(results, metric):
+    policies = sorted({p for p, _m in results}, key=_policy_order)
+    mechanisms = sorted({m for _p, m in results}, key=_mechanism_order)
+    rows = []
+    for policy in policies:
+        row = {"policy": policy}
+        for mechanism in mechanisms:
+            row[mechanism] = results[(policy, mechanism)][metric]
+        rows.append(row)
+    return mechanisms, rows
+
+
+def _policy_order(policy):
+    try:
+        return POLICIES.index(policy)
+    except ValueError:
+        return len(POLICIES)
+
+
+def _mechanism_order(mechanism):
+    try:
+        return MECHANISMS.index(mechanism)
+    except ValueError:
+        return len(MECHANISMS)

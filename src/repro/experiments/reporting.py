@@ -1,0 +1,38 @@
+"""Plain-text rendering of experiment results (paper-style tables)."""
+
+
+def format_table(headers, rows, title=None):
+    """Render a list-of-rows table with aligned columns."""
+    columns = [str(h) for h in headers]
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in columns]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(columns, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value):
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e5:
+            return f"{value:.3g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_series(xs, ys, x_label, y_label, title=None, fmt="{:.4g}"):
+    """Render a two-column series."""
+    rows = [(fmt.format(x) if isinstance(x, float) else x,
+             fmt.format(y) if isinstance(y, float) else y)
+            for x, y in zip(xs, ys)]
+    return format_table([x_label, y_label], rows, title=title)

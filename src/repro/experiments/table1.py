@@ -1,0 +1,46 @@
+"""Table 1: latencies of SpotCheck's EC2 operations.
+
+The paper reports median/mean/max/min over 20 measurements taken across
+one week for the m3.medium type.  We draw the same 20 samples from the
+calibrated latency model and report the same statistics, alongside the
+paper's values for comparison.
+"""
+
+import numpy as np
+
+from repro.cloud.latency import OperationLatencyModel, TABLE1_SPECS
+from repro.sim.rng import RngRegistry
+
+#: Operation name -> label used in the paper's table.
+PAPER_LABELS = {
+    "start_spot_instance": "Start spot instance",
+    "start_on_demand_instance": "Start on-demand instance",
+    "terminate_instance": "Terminate instance",
+    "detach_volume": "Unmount and detach EBS",
+    "attach_volume": "Attach and mount EBS",
+    "attach_network_interface": "Attach Network interface",
+    "detach_network_interface": "Detach Network interface",
+}
+
+
+def run(seed=20140401, samples=20):
+    """Sample each operation and summarize.
+
+    Returns rows of ``(label, median, mean, max, min, paper_spec)``.
+    """
+    rng = RngRegistry(seed).stream("table1")
+    model = OperationLatencyModel(rng)
+    rows = []
+    for operation, label in PAPER_LABELS.items():
+        draws = model.sample(operation, size=samples)
+        spec = TABLE1_SPECS[operation]
+        rows.append({
+            "operation": label,
+            "median": float(np.median(draws)),
+            "mean": float(np.mean(draws)),
+            "max": float(np.max(draws)),
+            "min": float(np.min(draws)),
+            "paper": spec,
+        })
+    downtime = model.migration_downtime_mean()
+    return {"rows": rows, "migration_downtime_mean": downtime}

@@ -1,0 +1,28 @@
+"""Deterministic discrete-event simulation kernel.
+
+A small, dependency-free kernel in the style of SimPy: an event heap
+ordered by (time, priority, sequence number), generator-based processes
+that ``yield`` events, and named seeded random-number streams so every
+experiment is exactly reproducible.
+"""
+
+from repro.sim.errors import Interrupt, SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.kernel import Environment
+from repro.sim.process import Process
+from repro.sim.resources import Container, Resource
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "SimulationError",
+    "Timeout",
+]

@@ -1,0 +1,33 @@
+"""Exception types used by the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The interrupting party supplies ``cause``, an arbitrary payload that
+    the interrupted process can inspect (e.g. a revocation warning).
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self):
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class StopProcess(Exception):
+    """Internal: raised to return a value from a process generator.
+
+    Process generators normally terminate with ``return value``; this
+    exception exists for callers that need to abort a generator from the
+    outside while still recording a result.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value

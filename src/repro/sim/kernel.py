@@ -1,0 +1,138 @@
+"""The simulation environment: clock, event heap, and run loop."""
+
+import heapq
+from itertools import count
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+
+#: Priority for ordinary events.
+NORMAL = 1
+#: Priority for process-resumption events (run before ordinary events at
+#: the same timestamp so interrupts observe a consistent state).
+URGENT = 0
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    The environment owns the simulated clock (:attr:`now`), the event
+    heap, and a registry of named seeded RNG streams so that independent
+    stochastic components do not perturb each other's randomness.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock, in seconds.
+    seed:
+        Master seed for the RNG registry.
+    """
+
+    def __init__(self, initial_time=0.0, seed=0):
+        self._now = float(initial_time)
+        self._heap = []
+        self._eid = count()
+        self.rng = RngRegistry(seed)
+        self._active_process = None
+
+    @property
+    def now(self):
+        """Current simulated time, in seconds."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event construction helpers ------------------------------------
+
+    def event(self):
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        """Create an event that triggers after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator):
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events):
+        """Event that triggers when all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        """Event that triggers when any of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    # -- scheduling and execution --------------------------------------
+
+    def schedule(self, event, delay=0.0, priority=NORMAL):
+        """Place a triggered event on the heap ``delay`` seconds ahead."""
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self):
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self):
+        """Process the single next event on the heap.
+
+        A failed event that no waiter consumed ("defused") re-raises
+        its exception here — errors never pass silently.
+        """
+        if not self._heap:
+            raise SimulationError("no scheduled events")
+        when, _priority, _eid, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event._defused:
+            raise event._value
+
+    def run(self, until=None):
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` runs until the heap drains.  A number runs until the
+            clock reaches that time.  An :class:`Event` runs until that
+            event has been processed and returns its value (re-raising
+            its exception if it failed).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        deadline = float(until)
+        if deadline < self._now:
+            raise ValueError(
+                f"until={deadline} is in the past (now={self._now})")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None
+
+    def _run_until_event(self, until):
+        done = []
+        if until.callbacks is None:
+            done.append(until)
+        else:
+            until.callbacks.append(done.append)
+        while not done:
+            if not self._heap:
+                raise SimulationError(
+                    "event heap drained before the awaited event triggered")
+            self.step()
+        if until._ok is False:
+            raise until._value
+        return until._value

@@ -1,0 +1,121 @@
+"""Shared-resource primitives: counted resources and continuous containers."""
+
+from collections import deque
+
+from repro.sim.events import Event
+
+
+class _Request(Event):
+    """Pending acquisition of one resource slot."""
+
+    def __init__(self, resource):
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.resource.release(self)
+        return False
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots and a FIFO queue.
+
+    Processes ``yield resource.request()`` to acquire a slot and call
+    ``resource.release(request)`` (or use the request as a context
+    manager) to return it.
+    """
+
+    def __init__(self, env, capacity=1):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users = []
+        self.queue = deque()
+
+    @property
+    def count(self):
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self):
+        """Return an event that triggers once a slot is granted."""
+        req = _Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            self.queue.append(req)
+        return req
+
+    def release(self, request):
+        """Return a previously granted slot and wake the next waiter."""
+        if request in self.users:
+            self.users.remove(request)
+        elif request in self.queue:
+            self.queue.remove(request)
+            return
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class Container:
+    """A continuous quantity (e.g. bytes of disk) with put/get semantics."""
+
+    def __init__(self, env, capacity=float("inf"), init=0.0):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init {init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters = deque()
+        self._putters = deque()
+
+    @property
+    def level(self):
+        """Current stored amount."""
+        return self._level
+
+    def put(self, amount):
+        """Event that triggers once ``amount`` fits into the container."""
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        event = Event(self.env)
+        self._putters.append((event, amount))
+        self._settle()
+        return event
+
+    def get(self, amount):
+        """Event that triggers once ``amount`` can be drawn."""
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        event = Event(self.env)
+        self._getters.append((event, amount))
+        self._settle()
+        return event
+
+    def _settle(self):
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    event.succeed()
+                    progress = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if self._level >= amount:
+                    self._getters.popleft()
+                    self._level -= amount
+                    event.succeed()
+                    progress = True

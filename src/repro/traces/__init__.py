@@ -1,0 +1,54 @@
+"""Spot-price traces: generation, storage, and analysis.
+
+The paper drives its policy simulations with six months of real EC2
+spot-price history (April–October 2014).  We cannot ship that data, so
+this package provides a regime-switching price model calibrated to the
+statistical properties the paper reports in Figure 6:
+
+* a long-tailed spot/on-demand price-ratio distribution whose knee sits
+  below the on-demand price (Fig 6a),
+* hourly price changes spanning many orders of magnitude in percentage
+  terms (Fig 6b), and
+* near-zero correlation between the prices of different availability
+  zones (Fig 6c) and instance types (Fig 6d).
+
+The ``stats`` module computes exactly those three views from any set of
+traces, which is how the calibration is validated.
+"""
+
+from repro.traces.archive import PriceTrace, TraceArchive
+from repro.traces.calibration import (
+    M3_MARKET_PARAMS,
+    market_params_for,
+    paper_market_set,
+)
+from repro.traces.generator import TraceGenerator
+from repro.traces.importer import load_aws_json, load_csv
+from repro.traces.model import MarketParams, SpotPriceModel
+from repro.traces.stats import (
+    availability_at_bid,
+    availability_cdf,
+    correlation_matrix,
+    mean_price,
+    price_jump_cdf,
+    resample_hourly,
+)
+
+__all__ = [
+    "M3_MARKET_PARAMS",
+    "MarketParams",
+    "PriceTrace",
+    "SpotPriceModel",
+    "TraceArchive",
+    "TraceGenerator",
+    "availability_at_bid",
+    "availability_cdf",
+    "correlation_matrix",
+    "load_aws_json",
+    "load_csv",
+    "market_params_for",
+    "mean_price",
+    "paper_market_set",
+    "price_jump_cdf",
+    "resample_hourly",
+]

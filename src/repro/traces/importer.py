@@ -1,0 +1,131 @@
+"""Import real EC2 spot-price history into a trace archive.
+
+The simulation normally runs on synthetic traces, but everything
+downstream (markets, policies, statistics, the whole controller)
+consumes plain :class:`~repro.traces.archive.PriceTrace` objects — so
+users with real data can drive the reproduction with it.  Two formats
+are supported:
+
+* the JSON emitted by
+  ``aws ec2 describe-spot-price-history`` (the ``SpotPriceHistory``
+  array of ``{Timestamp, InstanceType, AvailabilityZone, SpotPrice}``
+  records), and
+* a generic CSV with ``timestamp,instance_type,availability_zone,
+  spot_price`` columns (the format of the third-party archives the
+  paper cites [21]).
+
+Timestamps may be ISO-8601 strings or epoch seconds; each market's
+series is sorted and de-duplicated on import.
+"""
+
+import csv
+import json
+from datetime import datetime, timezone
+
+from repro.traces.archive import PriceTrace, TraceArchive
+
+
+def _parse_timestamp(value):
+    """Epoch seconds from an ISO-8601 string or a number."""
+    if isinstance(value, (int, float)):
+        return float(value)
+    text = str(value).strip()
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    # ISO-8601, with or without a trailing Z.
+    if text.endswith("Z"):
+        text = text[:-1] + "+00:00"
+    parsed = datetime.fromisoformat(text)
+    if parsed.tzinfo is None:
+        parsed = parsed.replace(tzinfo=timezone.utc)
+    return parsed.timestamp()
+
+
+def _build_archive(records, on_demand_prices, rebase_time=True):
+    """Group raw (time, type, zone, price) records into an archive.
+
+    ``on_demand_prices`` maps instance type name -> $/hr (needed for
+    every ratio statistic).  Markets without a known on-demand price
+    are skipped.  With ``rebase_time`` the earliest record across all
+    markets becomes t=0.
+    """
+    markets = {}
+    for when, type_name, zone_name, price in records:
+        markets.setdefault((type_name, zone_name), []).append((when, price))
+
+    origin = None
+    if rebase_time and markets:
+        origin = min(when for series in markets.values()
+                     for when, _price in series)
+
+    archive = TraceArchive()
+    skipped = []
+    for (type_name, zone_name), series in sorted(markets.items()):
+        if type_name not in on_demand_prices:
+            skipped.append((type_name, zone_name))
+            continue
+        series.sort()
+        times, prices = [], []
+        for when, price in series:
+            if rebase_time:
+                when -= origin
+            if times and when == times[-1]:
+                prices[-1] = price  # keep the later record
+                continue
+            times.append(when)
+            prices.append(price)
+        archive.add(PriceTrace(times, prices, type_name, zone_name,
+                               on_demand_prices[type_name]))
+    return archive, skipped
+
+
+def load_aws_json(path, on_demand_prices, rebase_time=True):
+    """Import ``describe-spot-price-history`` JSON.
+
+    Returns ``(archive, skipped_markets)``.
+    """
+    with open(path) as handle:
+        document = json.load(handle)
+    raw = document.get("SpotPriceHistory", document)
+    if not isinstance(raw, list):
+        raise ValueError(
+            "expected a SpotPriceHistory array or a top-level list")
+    records = []
+    for entry in raw:
+        records.append((
+            _parse_timestamp(entry["Timestamp"]),
+            entry["InstanceType"],
+            entry["AvailabilityZone"],
+            float(entry["SpotPrice"]),
+        ))
+    return _build_archive(records, on_demand_prices, rebase_time)
+
+
+def load_csv(path, on_demand_prices, rebase_time=True):
+    """Import a generic price-history CSV.
+
+    Required columns: ``timestamp``, ``instance_type``,
+    ``availability_zone``, ``spot_price`` (extra columns are ignored;
+    header names are case-insensitive).
+    """
+    records = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise ValueError("empty CSV")
+        fields = {name.lower().strip(): name for name in reader.fieldnames}
+        required = ("timestamp", "instance_type", "availability_zone",
+                    "spot_price")
+        missing = [column for column in required if column not in fields]
+        if missing:
+            raise ValueError(f"CSV missing columns: {', '.join(missing)}")
+        for row in reader:
+            records.append((
+                _parse_timestamp(row[fields["timestamp"]]),
+                row[fields["instance_type"]].strip(),
+                row[fields["availability_zone"]].strip(),
+                float(row[fields["spot_price"]]),
+            ))
+    return _build_archive(records, on_demand_prices, rebase_time)

@@ -1,0 +1,146 @@
+"""Trace statistics: the three views of the paper's Figure 6.
+
+* :func:`availability_cdf` — Fig 6a: for each bid expressed as a
+  fraction of the on-demand price, the fraction of time the market
+  price sat at or below the bid (i.e. the availability a bidder at that
+  level would have seen).
+* :func:`price_jump_cdf` — Fig 6b: the distribution of hour-over-hour
+  percentage price changes, split into increases and decreases.
+* :func:`correlation_matrix` — Figs 6c/6d: Pearson correlation of
+  hourly price series across zones or types.
+"""
+
+import numpy as np
+
+
+def resample_hourly(trace, horizon=None, step_s=3600.0):
+    """Sample a trace's step function onto a regular grid.
+
+    Returns (grid_times, prices-at-grid).
+    """
+    horizon = trace.end if horizon is None else float(horizon)
+    if horizon <= trace.start:
+        raise ValueError("horizon precedes the start of the trace")
+    grid = np.arange(trace.start, horizon, step_s)
+    idx = np.searchsorted(trace.times, grid, side="right") - 1
+    idx = np.clip(idx, 0, len(trace.prices) - 1)
+    return grid, trace.prices[idx]
+
+
+def availability_at_bid(trace, bid, horizon=None):
+    """Fraction of time the market price was at or below ``bid``.
+
+    This is exactly the availability a spot instance bid at ``bid``
+    would have seen (ignoring migration downtime): the paper derives
+    the revocation probability "from the cumulative distribution shown
+    in Figure 6(a)".
+    """
+    durations = trace.durations(horizon)
+    total = durations.sum()
+    if total == 0:
+        return 1.0 if trace.prices[-1] <= bid else 0.0
+    return float(durations[trace.prices <= bid].sum() / total)
+
+
+def availability_cdf(trace, ratios=None, horizon=None):
+    """Fig 6a: availability as a function of bid / on-demand ratio.
+
+    Returns ``(ratios, availability)`` arrays.
+    """
+    if ratios is None:
+        ratios = np.linspace(0.0, 1.0, 101)
+    ratios = np.asarray(ratios, dtype=float)
+    durations = trace.durations(horizon)
+    total = durations.sum()
+    price_ratios = trace.ratios()
+    availability = np.empty_like(ratios)
+    for i, ratio in enumerate(ratios):
+        if total == 0:
+            availability[i] = 1.0 if price_ratios[-1] <= ratio else 0.0
+        else:
+            availability[i] = durations[price_ratios <= ratio].sum() / total
+    return ratios, availability
+
+
+def price_jump_cdf(trace, horizon=None, step_s=3600.0):
+    """Fig 6b: CDFs of hourly percentage price increases and decreases.
+
+    Returns ``(increases, decreases)``: sorted arrays of positive
+    percentage magnitudes (a 2x hourly jump reports as 100.0).
+    """
+    _grid, prices = resample_hourly(trace, horizon=horizon, step_s=step_s)
+    if len(prices) < 2:
+        return np.array([]), np.array([])
+    changes = 100.0 * (prices[1:] - prices[:-1]) / prices[:-1]
+    increases = np.sort(changes[changes > 0])
+    decreases = np.sort(-changes[changes < 0])
+    return increases, decreases
+
+
+def correlation_matrix(traces, horizon=None, step_s=3600.0):
+    """Figs 6c/6d: pairwise Pearson correlation of hourly prices.
+
+    Parameters
+    ----------
+    traces:
+        Sequence of traces; all are resampled onto the grid of the
+        shortest one.
+
+    Returns
+    -------
+    (keys, matrix):
+        ``keys[i]`` is the (type, zone) key of row/column ``i``.
+    """
+    traces = list(traces)
+    if len(traces) < 2:
+        raise ValueError("need at least two traces to correlate")
+    if horizon is None:
+        # Step functions extend forward, so the longest trace sets the
+        # common grid; shorter traces hold their last price.
+        horizon = max(t.end for t in traces)
+        if horizon <= max(t.start for t in traces):
+            horizon = max(t.start for t in traces) + step_s
+    series = []
+    for trace in traces:
+        _grid, prices = resample_hourly(trace, horizon=horizon, step_s=step_s)
+        series.append(prices)
+    length = min(len(s) for s in series)
+    stacked = np.vstack([s[:length] for s in series])
+    # (Near-)constant series have no meaningful variance; corrcoef
+    # would emit NaN or rounding noise.  The threshold is relative to
+    # the series magnitude to absorb mean-subtraction float error.
+    stds = stacked.std(axis=1)
+    matrix = np.eye(len(traces))
+    variable = stds > 1e-9 * np.maximum(np.abs(stacked).max(axis=1), 1e-30)
+    if variable.sum() >= 2:
+        sub = np.corrcoef(stacked[variable])
+        idx = np.flatnonzero(variable)
+        for a, i in enumerate(idx):
+            for b, j in enumerate(idx):
+                matrix[i, j] = sub[a, b]
+    return [t.key for t in traces], matrix
+
+
+def mean_price(trace, horizon=None):
+    """Time-average price over the trace."""
+    return trace.time_weighted_mean(horizon)
+
+
+def spike_count(trace, threshold_ratio=1.0):
+    """Number of upward crossings of ``threshold_ratio`` x on-demand."""
+    return len(trace.crossings_above(threshold_ratio * trace.on_demand_price))
+
+
+def summarize(trace, horizon=None):
+    """One-line summary statistics for reports."""
+    ratios = trace.ratios()
+    return {
+        "market": trace.key,
+        "points": len(trace),
+        "mean_price": mean_price(trace, horizon),
+        "mean_ratio": mean_price(trace, horizon) / trace.on_demand_price,
+        "max_ratio": float(ratios.max()),
+        "availability_at_od": availability_at_bid(
+            trace, trace.on_demand_price, horizon),
+        "spikes_above_od": spike_count(trace),
+    }

@@ -1,0 +1,23 @@
+"""Migration mechanisms: live pre-copy, continuous checkpointing,
+bounded-time migration, and stop-and-copy / lazy restoration."""
+
+from repro.virt.migration.bounded import (
+    BoundedMigrationConfig,
+    BoundedTimeMigration,
+    MigrationOutcome,
+)
+from repro.virt.migration.checkpoint import CheckpointConfig, CheckpointStream
+from repro.virt.migration.live import LiveMigrationPlan, PreCopyMigration
+from repro.virt.migration.restore import RestorePlan, RestorePlanner
+
+__all__ = [
+    "BoundedMigrationConfig",
+    "BoundedTimeMigration",
+    "CheckpointConfig",
+    "CheckpointStream",
+    "LiveMigrationPlan",
+    "MigrationOutcome",
+    "PreCopyMigration",
+    "RestorePlan",
+    "RestorePlanner",
+]

@@ -1,0 +1,57 @@
+"""Restoration planning: stop-and-copy (full) versus lazy restore.
+
+Lazy restore reads only the ~5 MB skeleton state (vCPU registers, page
+tables) before resuming execution; the remaining pages arrive by demand
+paging with a background prefetcher [post-copy migration, SnowFlock].
+Full restore reads the entire image first.  The planner converts a
+backup server's read-path model into the (downtime, degraded-time)
+pair the controller charges against availability.
+"""
+
+from dataclasses import dataclass
+
+#: Skeleton state: "typically around 5MB ... dominated by the size of
+#: the page tables".
+SKELETON_BYTES = 5 * 1024 ** 2
+
+
+@dataclass(frozen=True)
+class RestorePlan:
+    """Outcome of one VM's restoration."""
+
+    kind: str
+    optimized: bool
+    concurrent: int
+    downtime_s: float
+    degraded_s: float
+
+    @property
+    def disruption_s(self):
+        """Total disturbed wall-clock time (down + degraded)."""
+        return self.downtime_s + self.degraded_s
+
+
+class RestorePlanner:
+    """Plans restorations against one backup server's read path."""
+
+    def __init__(self, server):
+        self.server = server
+
+    def plan(self, image_bytes, kind="lazy", optimized=True, concurrent=1):
+        """Plan a restore of ``image_bytes`` with ``concurrent`` peers."""
+        from repro.backup.scheduler import RestoreScheduler
+        scheduler = RestoreScheduler(self.server)
+        if kind == "full":
+            downtime = scheduler.full_restore_downtime_s(
+                image_bytes, concurrent, optimized)
+            degraded = 0.0
+        elif kind == "lazy":
+            downtime = scheduler.lazy_restore_downtime_s(
+                skeleton_bytes=SKELETON_BYTES, concurrent=concurrent)
+            degraded = scheduler.lazy_restore_degraded_s(
+                image_bytes, concurrent, optimized)
+        else:
+            raise ValueError(f"unknown restore kind {kind!r}")
+        return RestorePlan(kind=kind, optimized=optimized,
+                           concurrent=concurrent, downtime_s=downtime,
+                           degraded_s=degraded)

@@ -1,0 +1,143 @@
+"""A max-min fair-shared network link for the simulation kernel.
+
+Checkpoint streams, migrations and restores all contend for host (or
+backup-server) bandwidth.  ``FairShareLink`` models a single bottleneck
+shared equally among active flows, with optional per-flow rate caps —
+the analogue of SpotCheck's ``tc``-based per-VM throttling, which it
+uses "to avoid affecting nested VMs that are not migrating".
+
+The link is event-driven: whenever a flow joins or leaves, remaining
+transfer times of the other flows are re-planned.  Progress accounting
+is exact for the equal-share discipline.
+"""
+
+
+class _Flow:
+    def __init__(self, env, size_bytes, rate_cap):
+        self.env = env
+        self.remaining = float(size_bytes)
+        self.rate_cap = rate_cap
+        self.done = env.event()
+        self.started_at = env.now
+
+
+class FairShareLink:
+    """A shared link of fixed capacity with max-min fair allocation.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    capacity_bps:
+        Link capacity in *bytes* per second.
+    """
+
+    def __init__(self, env, capacity_bps):
+        if capacity_bps <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = float(capacity_bps)
+        self._flows = []
+        self._last_update = env.now
+        self._wakeup = None
+
+    @property
+    def active_flows(self):
+        return len(self._flows)
+
+    def transfer(self, size_bytes, rate_cap=None):
+        """Start a transfer; returns an event that fires on completion.
+
+        ``rate_cap`` bounds this flow's share (bytes/s), modelling the
+        per-VM ``tc`` throttle.
+        """
+        if size_bytes <= 0:
+            raise ValueError("size must be positive")
+        if rate_cap is not None and rate_cap <= 0:
+            raise ValueError("rate cap must be positive")
+        self._advance()
+        flow = _Flow(self.env, size_bytes, rate_cap)
+        self._flows.append(flow)
+        self._replan()
+        return flow.done
+
+    def current_rate(self, rate_cap=None):
+        """The rate a hypothetical new flow would receive right now."""
+        shares = self._fair_shares(self._flows + [_FakeFlow(rate_cap)])
+        return shares[-1]
+
+    # -- internals -------------------------------------------------------
+
+    def _fair_shares(self, flows):
+        """Max-min fair allocation with per-flow caps (water-filling)."""
+        n = len(flows)
+        if n == 0:
+            return []
+        shares = [0.0] * n
+        remaining_capacity = self.capacity
+        unfixed = list(range(n))
+        while unfixed:
+            level = remaining_capacity / len(unfixed)
+            capped = [i for i in unfixed
+                      if flows[i].rate_cap is not None
+                      and flows[i].rate_cap < level]
+            if not capped:
+                for i in unfixed:
+                    shares[i] = level
+                break
+            for i in capped:
+                shares[i] = flows[i].rate_cap
+                remaining_capacity -= flows[i].rate_cap
+                unfixed.remove(i)
+        return shares
+
+    #: Flows within this many bytes of completion are done.  Transfer
+    #: sizes are ~1e8 bytes, so float64 progress arithmetic leaves
+    #: residues up to ~1e-8 bytes; a smaller threshold would re-plan a
+    #: completion time below the clock's resolution and spin forever.
+    _DONE_EPSILON_BYTES = 1e-6
+
+    def _advance(self):
+        """Credit progress since the last event to all active flows."""
+        elapsed = self.env.now - self._last_update
+        self._last_update = self.env.now
+        if not self._flows:
+            return
+        if elapsed > 0:
+            shares = self._fair_shares(self._flows)
+            for flow, rate in zip(self._flows, shares):
+                flow.remaining -= rate * elapsed
+        finished = [flow for flow in self._flows
+                    if flow.remaining <= self._DONE_EPSILON_BYTES]
+        for flow in finished:
+            self._flows.remove(flow)
+            flow.done.succeed(self.env.now - flow.started_at)
+
+    def _replan(self):
+        """Schedule a wakeup at the next flow-completion time."""
+        if self._wakeup is not None and self._wakeup.is_alive:
+            self._wakeup.interrupt()
+            self._wakeup = None
+        if not self._flows:
+            return
+        shares = self._fair_shares(self._flows)
+        next_done = min(
+            flow.remaining / rate
+            for flow, rate in zip(self._flows, shares) if rate > 0)
+        # Never plan a wakeup below the clock's float resolution.
+        next_done = max(next_done, 1e-9 * max(self.env.now, 1.0))
+        self._wakeup = self.env.process(self._sleep_then_settle(next_done))
+
+    def _sleep_then_settle(self, delay):
+        from repro.sim.errors import Interrupt
+        try:
+            yield self.env.timeout(delay)
+        except Interrupt:
+            return
+        self._advance()
+        self._replan()
+
+
+class _FakeFlow:
+    def __init__(self, rate_cap):
+        self.rate_cap = rate_cap

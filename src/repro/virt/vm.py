@@ -1,0 +1,106 @@
+"""Nested VMs — the unit SpotCheck sells to its customers."""
+
+import enum
+from itertools import count
+
+from repro.virt.memory import MemoryModel
+
+_IDS = count(1)
+
+
+class VMState(enum.Enum):
+    """Lifecycle of a nested VM as SpotCheck's controller sees it."""
+
+    PROVISIONING = "provisioning"
+    RUNNING = "running"
+    #: Live pre-copy in progress: running, slightly degraded.
+    MIGRATING = "migrating"
+    #: Suspended between checkpoint commit and resume at destination.
+    SUSPENDED = "suspended"
+    #: Lazily restoring: running, degraded by demand paging.
+    RESTORING = "restoring"
+    TERMINATED = "terminated"
+
+
+class NestedVM:
+    """A customer-visible VM running inside a nested hypervisor.
+
+    Attributes
+    ----------
+    itype:
+        The *advertised* instance type (what the customer asked for —
+        the native host may be larger, holding several nested VMs).
+    memory:
+        :class:`~repro.virt.memory.MemoryModel` for the guest.
+    workload:
+        Optional workload model (drives dirty rate and performance
+        reporting); anything with a ``memory_model(guest_bytes)``
+        method and performance hooks.
+    private_ip:
+        The VPC address that follows the VM across migrations.
+    """
+
+    def __init__(self, env, itype, memory=None, workload=None, customer=None):
+        self.env = env
+        self.id = f"nvm-{next(_IDS):06x}"
+        self.itype = itype
+        self.customer = customer
+        self.workload = workload
+        if memory is None:
+            if workload is not None:
+                memory = workload.memory_model(self._default_guest_bytes())
+            else:
+                memory = MemoryModel(
+                    total_bytes=self._default_guest_bytes(),
+                    write_rate_pages=2000.0)
+        self.memory = memory
+        self.state = VMState.PROVISIONING
+        self.host = None
+        self.private_ip = None
+        self.eni = None
+        self.volume = None
+        self.backup_assignment = None
+        self.checkpoint_stream = None
+        self.created_at = env.now
+        #: (time, state) transition log for availability accounting.
+        self.state_log = [(env.now, VMState.PROVISIONING)]
+
+    def _default_guest_bytes(self):
+        # The nested hypervisor and dom0 take a slice of the host's RAM;
+        # the paper's m3.medium nested VMs expose roughly half the
+        # host's 3.75 GiB to the guest.
+        return int(self.itype.memory_gib * 0.45 * (1024 ** 3))
+
+    def set_state(self, state):
+        if self.state is VMState.TERMINATED:
+            raise ValueError(f"{self.id} is terminated")
+        self.state = state
+        self.state_log.append((self.env.now, state))
+
+    @property
+    def is_running(self):
+        return self.state in (
+            VMState.RUNNING, VMState.MIGRATING, VMState.RESTORING)
+
+    def downtime_between(self, start, end):
+        """Seconds of SUSPENDED/PROVISIONING time within [start, end]."""
+        return self._time_in_states(
+            start, end, (VMState.SUSPENDED, VMState.PROVISIONING))
+
+    def degraded_time_between(self, start, end):
+        """Seconds spent MIGRATING or RESTORING within [start, end]."""
+        return self._time_in_states(
+            start, end, (VMState.MIGRATING, VMState.RESTORING))
+
+    def _time_in_states(self, start, end, states):
+        total = 0.0
+        log = self.state_log
+        for i, (when, state) in enumerate(log):
+            seg_end = log[i + 1][0] if i + 1 < len(log) else end
+            lo, hi = max(when, start), min(seg_end, end)
+            if hi > lo and state in states:
+                total += hi - lo
+        return total
+
+    def __repr__(self):
+        return f"<NestedVM {self.id} {self.itype.name} {self.state.value}>"

@@ -1,0 +1,29 @@
+"""Workload models for the paper's two benchmarks.
+
+The paper evaluates SpotCheck with TPC-W (an interactive multi-tier web
+application, reported as response time) and SPECjbb2005 (a server-side
+throughput benchmark).  Both models expose:
+
+* a memory-dirtying profile (:meth:`~repro.workloads.base.Workload.memory_model`),
+  which drives checkpoint traffic and migration behaviour, and
+* a performance response to the conditions SpotCheck creates —
+  checkpointing overhead, backup-server overload, and lazy-restore
+  demand paging (:class:`~repro.workloads.base.Conditions`).
+"""
+
+from repro.workloads.base import Conditions, Workload
+from repro.workloads.memory_profiles import MEMORY_PROFILES, profile_for
+from repro.workloads.requests import RequestAnalyzer, RequestStats
+from repro.workloads.specjbb import SpecJbbWorkload
+from repro.workloads.tpcw import TpcwWorkload
+
+__all__ = [
+    "Conditions",
+    "MEMORY_PROFILES",
+    "RequestAnalyzer",
+    "RequestStats",
+    "SpecJbbWorkload",
+    "TpcwWorkload",
+    "Workload",
+    "profile_for",
+]

@@ -1,0 +1,77 @@
+"""Workload abstractions."""
+
+from dataclasses import dataclass
+
+from repro.virt.memory import MemoryModel
+
+
+@dataclass(frozen=True)
+class Conditions:
+    """The environment a nested VM's workload currently experiences.
+
+    Attributes
+    ----------
+    checkpointing:
+        Whether continuous checkpointing is active (spot pools only).
+    backup_overload:
+        Fraction of the VM's checkpoint demand the backup server's
+        write path cannot absorb (0 below the Figure 7 knee).
+    restoring:
+        Whether the VM is inside a lazy-restore degraded window.
+    restore_concurrency:
+        Peers restoring from the same backup server (per-VM bandwidth
+        partitioning keeps the per-VM effect roughly flat in this).
+    """
+
+    checkpointing: bool = False
+    backup_overload: float = 0.0
+    restoring: bool = False
+    restore_concurrency: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.backup_overload <= 1.0:
+            raise ValueError("backup_overload must lie in [0, 1]")
+        if self.restore_concurrency < 0:
+            raise ValueError("restore_concurrency must be non-negative")
+
+
+class Workload:
+    """Base class for workload models."""
+
+    #: Human-readable name.
+    name = "abstract"
+
+    #: Page writes per second while running.
+    write_rate_pages = 0.0
+    #: Fraction of guest RAM in the write-hot working set.
+    working_set_fraction = 0.2
+    #: Fraction of writes landing outside the hot set.
+    cold_write_fraction = 0.02
+
+    def memory_model(self, guest_bytes):
+        """The dirtying profile of this workload in ``guest_bytes`` RAM."""
+        return MemoryModel(
+            total_bytes=guest_bytes,
+            write_rate_pages=self.write_rate_pages,
+            working_set_fraction=self.working_set_fraction,
+            cold_write_fraction=self.cold_write_fraction,
+        )
+
+    def performance(self, conditions):
+        """The workload's primary metric under ``conditions``.
+
+        Subclasses define the metric (response time or throughput).
+        """
+        raise NotImplementedError
+
+    def degradation_fraction(self, conditions):
+        """Relative degradation versus the unperturbed baseline.
+
+        Positive values mean worse (slower responses or lower
+        throughput), expressed uniformly so policy code can reason
+        about either workload type.
+        """
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<Workload {self.name}>"

@@ -1,0 +1,35 @@
+"""Named memory-dirtying profiles for synthetic experiments.
+
+Beyond the two paper benchmarks, the test suite and ablation benches
+use a spread of profiles — from a nearly idle VM (live migration
+converges instantly) to a write-storm VM (pre-copy cannot converge and
+bounded-time migration is mandatory).
+"""
+
+from repro.virt.memory import MemoryModel
+
+#: name -> (write_rate_pages, working_set_fraction, cold_write_fraction)
+MEMORY_PROFILES = {
+    "idle": (20.0, 0.02, 0.01),
+    "web": (800.0, 0.20, 0.02),        # TPC-W-like
+    "jvm": (1100.0, 0.15, 0.02),       # SPECjbb-like
+    "database": (1800.0, 0.30, 0.05),
+    "analytics": (4000.0, 0.50, 0.10),
+    "write-storm": (20000.0, 0.80, 0.15),
+}
+
+
+def profile_for(name, guest_bytes):
+    """Build a :class:`MemoryModel` from a named profile."""
+    try:
+        rate, wsf, cold = MEMORY_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown profile {name!r}; choose from "
+            f"{sorted(MEMORY_PROFILES)}") from None
+    return MemoryModel(
+        total_bytes=guest_bytes,
+        write_rate_pages=rate,
+        working_set_fraction=wsf,
+        cold_write_fraction=cold,
+    )

@@ -1,0 +1,53 @@
+"""SPECjbb2005: a memory-intensive server-side throughput model.
+
+Calibration targets, from the paper's Figure 7:
+
+* ~10,500 business operations per second (bops) unperturbed;
+* "no noticeable performance degradation" when checkpointing turns on
+  with a dedicated backup server;
+* throughput drops past ~35 VMs per backup server, by roughly 30 % at
+  50 VMs.
+"""
+
+from repro.workloads.base import Workload
+
+
+class SpecJbbWorkload(Workload):
+    """The SPECjbb2005 middle-tier emulation model."""
+
+    name = "specjbb"
+    #: SPECjbb is "generally more memory-intensive than TPC-W": a higher
+    #: raw write rate over a tighter hot set.
+    write_rate_pages = 1100.0
+    working_set_fraction = 0.15
+    cold_write_fraction = 0.02
+
+    #: Unperturbed throughput, bops.
+    baseline_throughput_bops = 10500.0
+    #: Checkpointing alone costs nothing measurable (paper: "no
+    #: noticeable performance degradation during normal operation").
+    checkpoint_factor = 1.0
+    #: Throughput lost per unit of backup write overload.
+    overload_sensitivity = 0.80
+    #: Throughput multiplier while demand paging during a lazy restore.
+    restore_factor = 0.55
+
+    def throughput_bops(self, conditions):
+        """Throughput under ``conditions``, in bops."""
+        throughput = self.baseline_throughput_bops
+        if conditions.checkpointing:
+            throughput *= self.checkpoint_factor
+            throughput *= max(
+                0.0,
+                1.0 - self.overload_sensitivity * conditions.backup_overload)
+        if conditions.restoring:
+            throughput = min(
+                throughput, self.baseline_throughput_bops * self.restore_factor)
+        return throughput
+
+    def performance(self, conditions):
+        return self.throughput_bops(conditions)
+
+    def degradation_fraction(self, conditions):
+        baseline = self.baseline_throughput_bops
+        return (baseline - self.throughput_bops(conditions)) / baseline

@@ -1,0 +1,57 @@
+"""TPC-W: an interactive multi-tier web application model.
+
+Calibration targets, from the paper:
+
+* baseline average response time 29 ms (Figure 9's zero column);
+* +15 % response time when continuous checkpointing turns on
+  (Figure 7, column "1");
+* roughly +30 % once the backup server saturates around 35-40 VMs
+  (Figure 7, column "50");
+* ~60 ms during a lazy restore, roughly flat in the number of
+  concurrent restores thanks to per-VM bandwidth partitioning
+  (Figure 9).
+"""
+
+from repro.workloads.base import Workload
+
+
+class TpcwWorkload(Workload):
+    """The TPC-W "ordering workload" (Tomcat + MySQL) model."""
+
+    name = "tpcw"
+    write_rate_pages = 800.0
+    working_set_fraction = 0.2
+    cold_write_fraction = 0.02
+
+    #: Unperturbed mean response time, ms.
+    baseline_response_ms = 29.0
+    #: Multiplier when continuous checkpointing is active.
+    checkpoint_factor = 1.15
+    #: Extra response-time fraction per unit of backup write overload.
+    overload_sensitivity = 0.70
+    #: Multiplier during the lazy-restore degraded window (60/29).
+    restore_factor = 60.0 / 29.0
+    #: Mild additional penalty per concurrent restore peer; kept small
+    #: because the backup server partitions bandwidth per VM.
+    restore_concurrency_slope = 0.005
+
+    def response_time_ms(self, conditions):
+        """Mean response time under ``conditions``, in milliseconds."""
+        response = self.baseline_response_ms
+        if conditions.checkpointing:
+            response *= self.checkpoint_factor
+            response *= 1.0 + (self.overload_sensitivity
+                               * conditions.backup_overload)
+        if conditions.restoring:
+            factor = self.restore_factor
+            extra_peers = max(conditions.restore_concurrency - 1, 0)
+            factor *= 1.0 + self.restore_concurrency_slope * extra_peers
+            response = max(response, self.baseline_response_ms * factor)
+        return response
+
+    def performance(self, conditions):
+        return self.response_time_ms(conditions)
+
+    def degradation_fraction(self, conditions):
+        baseline = self.baseline_response_ms
+        return (self.response_time_ms(conditions) - baseline) / baseline

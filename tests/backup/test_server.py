@@ -1,0 +1,104 @@
+"""Tests for the backup-server resource model."""
+
+import pytest
+
+from repro.backup.server import BackupServer, BackupServerSpec
+
+MB = 1e6
+
+
+class TestSpec:
+    def test_defaults_match_paper(self):
+        spec = BackupServerSpec()
+        assert spec.itype_name == "m3.xlarge"
+        assert spec.hourly_price == 0.28  # paper: $0.28/hr East region
+        assert 35 <= spec.max_checkpoint_vms <= 40
+
+    def test_amortized_cost_per_vm(self):
+        # Paper: "the amortized cost per-VM across 40 nested VMs is
+        # $0.007 or less than one cent per VM".
+        spec = BackupServerSpec()
+        assert spec.amortized_cost_per_vm(40) == pytest.approx(0.007)
+
+    def test_amortized_cost_validation(self):
+        with pytest.raises(ValueError):
+            BackupServerSpec().amortized_cost_per_vm(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackupServerSpec(net_bps=0)
+        with pytest.raises(ValueError):
+            BackupServerSpec(untuned_read_factor=0)
+        with pytest.raises(ValueError):
+            BackupServerSpec(max_checkpoint_vms=0)
+
+    def test_write_path_is_bottleneck_min(self):
+        spec = BackupServerSpec(net_bps=50 * MB, disk_write_bps=110 * MB)
+        assert spec.write_path_bps == 50 * MB
+
+    def test_lazy_aggregate_shrinks_with_concurrency(self):
+        spec = BackupServerSpec()
+        assert spec.lazy_restore_aggregate_bps(10, optimized=False) < \
+            spec.lazy_restore_aggregate_bps(1, optimized=False) / 2
+
+    def test_optimized_lazy_flat_in_concurrency(self):
+        spec = BackupServerSpec()
+        assert spec.lazy_restore_aggregate_bps(10, optimized=True) == \
+            spec.lazy_restore_aggregate_bps(1, optimized=True)
+
+    def test_full_restore_optimization_factor(self):
+        spec = BackupServerSpec()
+        assert spec.full_restore_aggregate_bps(True) > \
+            spec.full_restore_aggregate_bps(False)
+
+    def test_concurrency_validation(self):
+        with pytest.raises(ValueError):
+            BackupServerSpec().lazy_restore_aggregate_bps(0, True)
+
+
+class TestServer:
+    def test_stream_assignment(self, env):
+        server = BackupServer(env)
+        server.assign_stream("vm-1", 3 * MB)
+        assert server.assigned_vms == 1
+        with pytest.raises(ValueError):
+            server.assign_stream("vm-1", 3 * MB)
+        server.release_stream("vm-1")
+        assert server.assigned_vms == 0
+
+    def test_release_unknown_is_noop(self, env):
+        BackupServer(env).release_stream("vm-x")
+
+    def test_has_capacity_cap(self, env):
+        server = BackupServer(env, BackupServerSpec(max_checkpoint_vms=2))
+        server.assign_stream("a", MB)
+        assert server.has_capacity
+        server.assign_stream("b", MB)
+        assert not server.has_capacity
+
+    def test_no_overload_below_capacity(self, env):
+        server = BackupServer(env)
+        for i in range(30):
+            server.assign_stream(f"vm-{i}", 2.9 * MB)
+        assert server.overload_fraction() == 0.0
+
+    def test_overload_past_knee(self, env):
+        # The Figure 7 knee: ~35-40 TPC-W-class streams saturate the
+        # write path; 50 must overload it by ~20-40%.
+        server = BackupServer(env)
+        for i in range(50):
+            server.assign_stream(f"vm-{i}", 2.9 * MB)
+        assert 0.1 < server.overload_fraction() < 0.5
+
+    def test_per_restore_bandwidth_split(self, env):
+        server = BackupServer(env)
+        solo = server.per_restore_bps("full", True, concurrent=1)
+        shared = server.per_restore_bps("full", True, concurrent=4)
+        assert shared == pytest.approx(solo / 4)
+
+    def test_per_restore_unknown_kind(self, env):
+        with pytest.raises(ValueError):
+            BackupServer(env).per_restore_bps("warp", True, concurrent=1)
+
+    def test_unique_ids(self, env):
+        assert BackupServer(env).id != BackupServer(env).id

@@ -1,0 +1,127 @@
+"""Tests for the checkpoint store and restore scheduler."""
+
+import pytest
+
+from repro.backup.scheduler import RestoreScheduler
+from repro.backup.server import BackupServer
+from repro.backup.store import CheckpointStore
+from repro.cloud.instance_types import M3_CATALOG
+from repro.virt.vm import NestedVM, VMState
+from repro.workloads import TpcwWorkload
+
+GiB = 1024 ** 3
+
+
+class TestCheckpointStore:
+    def test_open_and_seed(self, env):
+        store = CheckpointStore(env)
+        record = store.open_image("vm-1", GiB)
+        assert not record.is_complete
+        store.seed_full_image("vm-1")
+        assert record.is_complete
+        assert record.commits == 1
+
+    def test_double_open_rejected(self, env):
+        store = CheckpointStore(env)
+        store.open_image("vm-1", GiB)
+        with pytest.raises(ValueError):
+            store.open_image("vm-1", GiB)
+
+    def test_dirty_then_commit_cycle(self, env):
+        store = CheckpointStore(env)
+        store.open_image("vm-1", GiB)
+        store.seed_full_image("vm-1")
+        store.mark_dirty("vm-1", 50e6)
+        assert not store.image("vm-1").is_complete
+        store.commit("vm-1", 50e6)
+        assert store.image("vm-1").is_complete
+
+    def test_commit_never_negative(self, env):
+        store = CheckpointStore(env)
+        store.open_image("vm-1", GiB)
+        store.mark_dirty("vm-1", 10.0)
+        store.commit("vm-1", 100.0)
+        assert store.image("vm-1").outstanding_bytes == 0.0
+
+    def test_close_image(self, env):
+        store = CheckpointStore(env)
+        store.open_image("vm-1", GiB)
+        assert "vm-1" in store
+        store.close_image("vm-1")
+        assert "vm-1" not in store
+        assert store.close_image("vm-1") is None
+
+    def test_missing_image_raises(self, env):
+        with pytest.raises(KeyError):
+            CheckpointStore(env).image("ghost")
+
+    def test_total_bytes(self, env):
+        store = CheckpointStore(env)
+        for i, size in enumerate((GiB, 2 * GiB)):
+            store.open_image(f"vm-{i}", size)
+            store.seed_full_image(f"vm-{i}")
+        assert store.total_bytes() == 3 * GiB
+
+    def test_no_state_loss_when_committed(self, env):
+        store = CheckpointStore(env)
+        store.open_image("vm-1", GiB)
+        store.seed_full_image("vm-1")
+        store.mark_dirty("vm-1", 5.0)
+        assert store.state_loss_events() == []
+
+
+class TestRestoreScheduler:
+    def test_full_downtime_scales_with_concurrency(self, env):
+        scheduler = RestoreScheduler(BackupServer(env))
+        d1 = scheduler.full_restore_downtime_s(GiB, 1, True)
+        d5 = scheduler.full_restore_downtime_s(GiB, 5, True)
+        assert d5 == pytest.approx(5 * d1)
+
+    def test_lazy_downtime_is_skeleton_scale(self, env):
+        scheduler = RestoreScheduler(BackupServer(env))
+        assert scheduler.lazy_restore_downtime_s(concurrent=1) < 0.5
+
+    def test_validation(self, env):
+        scheduler = RestoreScheduler(BackupServer(env))
+        with pytest.raises(ValueError):
+            scheduler.full_restore_downtime_s(GiB, 0, True)
+        with pytest.raises(ValueError):
+            scheduler.lazy_restore_degraded_s(GiB, 0, True)
+
+    def test_des_batch_full_restores(self, env):
+        server = BackupServer(env)
+        scheduler = RestoreScheduler(server)
+        itype = M3_CATALOG.get("m3.medium")
+        vms = [NestedVM(env, itype, workload=TpcwWorkload())
+               for _ in range(3)]
+        batch = scheduler.run_batch(
+            env, [(vm, GiB) for vm in vms], "full", True)
+        results = env.run(until=batch)
+        expected = scheduler.full_restore_downtime_s(GiB, 3, True)
+        for downtime, degraded in results:
+            assert downtime == pytest.approx(expected)
+            assert degraded == 0.0
+        assert all(vm.state is VMState.RUNNING for vm in vms)
+        assert server.active_restores == 0
+
+    def test_des_batch_lazy_restores_track_states(self, env):
+        server = BackupServer(env)
+        scheduler = RestoreScheduler(server)
+        itype = M3_CATALOG.get("m3.medium")
+        vm = NestedVM(env, itype, workload=TpcwWorkload())
+        batch = scheduler.run_batch(env, [(vm, GiB)], "lazy", True)
+        [(downtime, degraded)] = env.run(until=batch)
+        assert downtime < 1.0
+        assert degraded == pytest.approx(
+            scheduler.lazy_restore_degraded_s(GiB, 1, True), rel=0.01)
+        states = [state for _t, state in vm.state_log]
+        assert VMState.SUSPENDED in states
+        assert VMState.RESTORING in states
+
+    def test_des_unknown_kind_fails(self, env):
+        scheduler = RestoreScheduler(BackupServer(env))
+        itype = M3_CATALOG.get("m3.medium")
+        vm = NestedVM(env, itype)
+        batch = scheduler.run_batch(env, [(vm, GiB)], "warp", True)
+        with pytest.raises(ValueError):
+            env.run(until=batch)

@@ -1,0 +1,132 @@
+"""Tests for the billing ledger."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.billing import BillingLedger, integrate_trace
+from repro.cloud.instance_types import M3_CATALOG
+from repro.cloud.instances import Instance, Market
+from repro.cloud.spot_market import SpotMarket
+from repro.sim.kernel import Environment
+
+from tests.conftest import flat_trace, step_trace
+
+MEDIUM = M3_CATALOG.get("m3.medium")
+
+
+class TestIntegrateTrace:
+    def test_constant_price(self):
+        times = np.array([0.0])
+        prices = np.array([0.10])
+        assert integrate_trace(times, prices, 0, 3600) == \
+            pytest.approx(360.0)
+
+    def test_step_change(self):
+        times = np.array([0.0, 100.0])
+        prices = np.array([1.0, 2.0])
+        assert integrate_trace(times, prices, 0, 200) == \
+            pytest.approx(100 * 1.0 + 100 * 2.0)
+
+    def test_window_inside_segment(self):
+        times = np.array([0.0, 1000.0])
+        prices = np.array([1.0, 5.0])
+        assert integrate_trace(times, prices, 200, 300) == pytest.approx(100.0)
+
+    def test_window_starting_mid_segment(self):
+        times = np.array([0.0, 100.0, 200.0])
+        prices = np.array([1.0, 2.0, 4.0])
+        assert integrate_trace(times, prices, 150, 250) == \
+            pytest.approx(50 * 2.0 + 50 * 4.0)
+
+    def test_empty_window(self):
+        times = np.array([0.0])
+        prices = np.array([1.0])
+        assert integrate_trace(times, prices, 10, 10) == 0.0
+
+    def test_start_before_trace(self):
+        times = np.array([100.0])
+        prices = np.array([2.0])
+        # The first price extends back to the window start.
+        assert integrate_trace(times, prices, 0, 200) == pytest.approx(400.0)
+
+
+class TestOnDemandBilling:
+    def test_exact_hours(self, env, zone):
+        ledger = BillingLedger(env)
+        instance = Instance(env, MEDIUM, zone, Market.ON_DEMAND)
+        ledger.open(instance)
+        env._now = 7200.0
+        assert ledger.close(instance) == pytest.approx(2 * 0.07)
+
+    def test_hourly_rounding(self, env, zone):
+        ledger = BillingLedger(env, hourly_rounding=True)
+        instance = Instance(env, MEDIUM, zone, Market.ON_DEMAND)
+        ledger.open(instance)
+        env._now = 3601.0
+        assert ledger.close(instance) == pytest.approx(2 * 0.07)
+
+    def test_double_open_rejected(self, env, zone):
+        ledger = BillingLedger(env)
+        instance = Instance(env, MEDIUM, zone, Market.ON_DEMAND)
+        ledger.open(instance)
+        with pytest.raises(ValueError):
+            ledger.open(instance)
+
+    def test_close_idempotent(self, env, zone):
+        ledger = BillingLedger(env)
+        instance = Instance(env, MEDIUM, zone, Market.ON_DEMAND)
+        ledger.open(instance)
+        env._now = 3600.0
+        first = ledger.close(instance)
+        env._now = 7200.0
+        assert ledger.close(instance) == first
+
+
+class TestSpotBilling:
+    def test_charges_market_price_not_bid(self, env, zone):
+        market = SpotMarket(env, MEDIUM, zone, flat_trace(0.02))
+        ledger = BillingLedger(env)
+        instance = Instance(env, MEDIUM, zone, Market.SPOT, bid=0.07)
+        ledger.open(instance)
+        env._now = 3600.0
+        assert ledger.close(instance, market=market) == pytest.approx(0.02)
+
+    def test_integrates_price_changes(self, env, zone):
+        market = SpotMarket(env, MEDIUM, zone,
+                            step_trace([(0, 0.02), (1800, 0.04)]))
+        ledger = BillingLedger(env)
+        instance = Instance(env, MEDIUM, zone, Market.SPOT, bid=0.07)
+        ledger.open(instance)
+        env._now = 3600.0
+        assert ledger.close(instance, market=market) == \
+            pytest.approx(0.5 * 0.02 + 0.5 * 0.04)
+
+    def test_spot_close_without_market_raises(self, env, zone):
+        ledger = BillingLedger(env)
+        instance = Instance(env, MEDIUM, zone, Market.SPOT, bid=0.07)
+        ledger.open(instance)
+        with pytest.raises(ValueError):
+            ledger.close(instance)
+
+    def test_accrued_cost_open_record(self, env, zone):
+        market = SpotMarket(env, MEDIUM, zone, flat_trace(0.03))
+        ledger = BillingLedger(env)
+        instance = Instance(env, MEDIUM, zone, Market.SPOT, bid=0.07)
+        ledger.open(instance)
+        env._now = 7200.0
+        assert ledger.accrued_cost(instance, market=market) == \
+            pytest.approx(0.06)
+
+    def test_total_cost_filters_by_market(self, env, zone):
+        market = SpotMarket(env, MEDIUM, zone, flat_trace(0.02))
+        ledger = BillingLedger(env)
+        spot = Instance(env, MEDIUM, zone, Market.SPOT, bid=0.07)
+        od = Instance(env, MEDIUM, zone, Market.ON_DEMAND)
+        ledger.open(spot)
+        ledger.open(od)
+        env._now = 3600.0
+        ledger.close(spot, market=market)
+        ledger.close(od)
+        assert ledger.total_cost(Market.SPOT) == pytest.approx(0.02)
+        assert ledger.total_cost(Market.ON_DEMAND) == pytest.approx(0.07)
+        assert ledger.total_cost() == pytest.approx(0.09)

@@ -1,0 +1,162 @@
+"""Tests for EBS volumes and VPC networking."""
+
+import ipaddress
+
+import pytest
+
+from repro.cloud.ebs import Volume, VolumeState
+from repro.cloud.errors import InvalidOperation, NotFound
+from repro.cloud.instance_types import M3_CATALOG
+from repro.cloud.instances import Instance, Market
+from repro.cloud.vpc import Vpc
+
+MEDIUM = M3_CATALOG.get("m3.medium")
+
+
+def running_instance(env, zone):
+    instance = Instance(env, MEDIUM, zone, Market.ON_DEMAND)
+    instance._mark_running()
+    return instance
+
+
+class TestVolume:
+    def test_attach_detach_cycle(self, env, zone):
+        volume = Volume(env, 8, zone)
+        instance = running_instance(env, zone)
+        volume._begin_attach(instance)
+        volume._finish_attach()
+        assert volume.state is VolumeState.IN_USE
+        assert volume in instance.volumes
+        volume._begin_detach()
+        volume._finish_detach()
+        assert volume.state is VolumeState.AVAILABLE
+        assert volume not in instance.volumes
+
+    def test_cross_zone_attach_rejected(self, env, region):
+        volume = Volume(env, 8, region.zones[0])
+        instance = running_instance(env, region.zones[1])
+        with pytest.raises(InvalidOperation):
+            volume._begin_attach(instance)
+
+    def test_double_attach_rejected(self, env, zone):
+        volume = Volume(env, 8, zone)
+        instance = running_instance(env, zone)
+        volume._begin_attach(instance)
+        volume._finish_attach()
+        with pytest.raises(InvalidOperation):
+            volume._begin_attach(instance)
+
+    def test_detach_available_rejected(self, env, zone):
+        with pytest.raises(InvalidOperation):
+            Volume(env, 8, zone)._begin_detach()
+
+    def test_force_detach_from_any_state(self, env, zone):
+        volume = Volume(env, 8, zone)
+        instance = running_instance(env, zone)
+        volume._begin_attach(instance)
+        volume._force_detach()
+        assert volume.state is VolumeState.AVAILABLE
+
+    def test_delete_attached_rejected(self, env, zone):
+        volume = Volume(env, 8, zone)
+        instance = running_instance(env, zone)
+        volume._begin_attach(instance)
+        volume._finish_attach()
+        with pytest.raises(InvalidOperation):
+            volume.delete()
+
+    def test_size_validation(self, env, zone):
+        with pytest.raises(ValueError):
+            Volume(env, 0, zone)
+
+    def test_attach_history_recorded(self, env, zone):
+        volume = Volume(env, 8, zone)
+        instance = running_instance(env, zone)
+        volume._begin_attach(instance)
+        volume._finish_attach()
+        assert volume.attach_history == [(0.0, instance.id)]
+
+
+class TestVpc:
+    def test_subnets_are_disjoint(self, env, region):
+        vpc = Vpc(env, region)
+        s1 = vpc.create_subnet(region.zones[0])
+        s2 = vpc.create_subnet(region.zones[1])
+        assert not s1.network.overlaps(s2.network)
+
+    def test_ip_allocation_unique(self, env, region):
+        vpc = Vpc(env, region)
+        subnet = vpc.create_subnet(region.zones[0])
+        eni = vpc.create_interface(subnet)
+        ips = {vpc.assign_private_ip(eni) for _ in range(20)}
+        assert len(ips) == 20
+        assert all(ip in subnet.network for ip in ips)
+
+    def test_ip_release_and_reuse(self, env, region):
+        vpc = Vpc(env, region)
+        subnet = vpc.create_subnet(region.zones[0])
+        ip = subnet.allocate_ip()
+        subnet.release_ip(ip)
+        assert subnet.allocate_ip() == ip
+
+    def test_release_unallocated_raises(self, env, region):
+        vpc = Vpc(env, region)
+        subnet = vpc.create_subnet(region.zones[0])
+        with pytest.raises(NotFound):
+            subnet.release_ip(ipaddress.ip_address("10.99.99.99"))
+
+    def test_interface_attach_detach(self, env, region):
+        vpc = Vpc(env, region)
+        subnet = vpc.create_subnet(region.zones[0])
+        eni = vpc.create_interface(subnet)
+        instance = running_instance(env, region.zones[0])
+        eni._attach(instance)
+        assert eni.is_attached
+        assert eni in instance.interfaces
+        eni._detach()
+        assert not eni.is_attached
+
+    def test_double_attach_rejected(self, env, region):
+        vpc = Vpc(env, region)
+        subnet = vpc.create_subnet(region.zones[0])
+        eni = vpc.create_interface(subnet)
+        instance = running_instance(env, region.zones[0])
+        eni._attach(instance)
+        with pytest.raises(InvalidOperation):
+            eni._attach(instance)
+
+    def test_move_private_ip_keeps_address(self, env, region):
+        # The heart of migration transparency: the nested VM's IP is
+        # deallocated from the source interface and reassigned to the
+        # destination, so "the IP address of nested VMs remains
+        # unchanged after migration".
+        vpc = Vpc(env, region)
+        subnet = vpc.create_subnet(region.zones[0])
+        source, dest = vpc.create_interface(subnet), vpc.create_interface(subnet)
+        ip = vpc.assign_private_ip(source)
+        moved = vpc.move_private_ip(ip, source, dest)
+        assert moved == ip
+        assert ip in dest.private_ips
+        assert ip not in source.private_ips
+
+    def test_unassign_missing_ip_raises(self, env, region):
+        vpc = Vpc(env, region)
+        subnet = vpc.create_subnet(region.zones[0])
+        eni = vpc.create_interface(subnet)
+        with pytest.raises(NotFound):
+            vpc.unassign_private_ip(eni, "10.0.0.77")
+
+    def test_assign_ip_outside_subnet_rejected(self, env, region):
+        vpc = Vpc(env, region)
+        subnet = vpc.create_subnet(region.zones[0])
+        eni = vpc.create_interface(subnet)
+        with pytest.raises(InvalidOperation):
+            vpc.assign_private_ip(eni, "192.168.1.1")
+
+    def test_interface_lookup(self, env, region):
+        vpc = Vpc(env, region)
+        subnet = vpc.create_subnet(region.zones[0])
+        eni = vpc.create_interface(subnet)
+        assert vpc.interface(eni.id) is eni
+        with pytest.raises(NotFound):
+            vpc.interface("eni-nope")

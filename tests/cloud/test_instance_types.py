@@ -1,0 +1,85 @@
+"""Tests for the instance-type catalog."""
+
+import pytest
+
+from repro.cloud.errors import NotFound
+from repro.cloud.instance_types import (
+    DEFAULT_CATALOG,
+    M3_CATALOG,
+    M3_FAMILY,
+    InstanceType,
+    InstanceTypeCatalog,
+)
+
+
+class TestInstanceType:
+    def test_paper_prices(self):
+        # Prices the paper quotes explicitly.
+        assert M3_CATALOG.get("m3.medium").on_demand_price == 0.070
+        assert M3_CATALOG.get("m3.xlarge").on_demand_price == 0.28
+        assert DEFAULT_CATALOG.get("m1.small").on_demand_price == 0.06
+
+    def test_memory_bytes(self):
+        itype = M3_CATALOG.get("m3.large")
+        assert itype.memory_bytes == int(7.5 * 1024 ** 3)
+
+    def test_unit_price_monotone_family(self):
+        # m3 family prices are proportional to RAM (paper: "pricing of
+        # on-demand servers is roughly proportional to their resource
+        # allotment").
+        unit_prices = [t.unit_price() for t in M3_FAMILY]
+        assert max(unit_prices) - min(unit_prices) < 1e-9
+
+    def test_str(self):
+        assert str(M3_CATALOG.get("m3.medium")) == "m3.medium"
+
+
+class TestCatalog:
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(NotFound):
+            M3_CATALOG.get("z9.mega")
+
+    def test_contains(self):
+        assert "m3.medium" in M3_CATALOG
+        assert "m1.small" not in M3_CATALOG
+
+    def test_duplicate_rejected(self):
+        dup = InstanceType("x", 1, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            InstanceTypeCatalog([dup, dup])
+
+    def test_hvm_filter(self):
+        hvm_names = {t.name for t in DEFAULT_CATALOG.hvm_types()}
+        assert "m3.medium" in hvm_names
+        assert "m1.small" not in hvm_names  # PV-only, unusable by XenBlanket
+
+    def test_len_and_iter(self):
+        assert len(M3_CATALOG) == 4
+        assert sorted(t.name for t in M3_CATALOG) == [
+            "m3.2xlarge", "m3.large", "m3.medium", "m3.xlarge"]
+
+
+class TestSlicing:
+    def test_medium_slices(self):
+        medium = M3_CATALOG.get("m3.medium")
+        options = dict(M3_CATALOG.slicing_options(medium))
+        assert options[M3_CATALOG.get("m3.medium")] == 1
+        assert options[M3_CATALOG.get("m3.large")] == 2
+        assert options[M3_CATALOG.get("m3.xlarge")] == 4
+
+    def test_max_factor_respected(self):
+        medium = M3_CATALOG.get("m3.medium")
+        options = dict(M3_CATALOG.slicing_options(medium, max_factor=4))
+        # m3.2xlarge could hold 8 mediums; excluded by the factor cap.
+        assert M3_CATALOG.get("m3.2xlarge") not in options
+
+    def test_larger_request_fits_fewer(self):
+        xlarge = M3_CATALOG.get("m3.xlarge")
+        options = dict(M3_CATALOG.slicing_options(xlarge))
+        assert options[M3_CATALOG.get("m3.xlarge")] == 1
+        assert M3_CATALOG.get("m3.medium") not in options
+
+    def test_non_hvm_excluded(self):
+        small = DEFAULT_CATALOG.get("m1.small")
+        options = DEFAULT_CATALOG.slicing_options(small)
+        assert all(itype.hvm for itype, _slots in options)

@@ -1,0 +1,75 @@
+"""Property-based tests for the latency distribution fits."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.cloud.latency import LatencySpec, SplitPowerLatency, \
+    fit_latency_sampler
+from repro.sim.rng import RngRegistry
+
+
+@st.composite
+def latency_specs(draw):
+    low = draw(st.floats(min_value=0.5, max_value=100.0))
+    median = low + draw(st.floats(min_value=0.1, max_value=200.0))
+    high = median + draw(st.floats(min_value=0.1, max_value=400.0))
+    # A mean anywhere strictly between the achievable extremes.
+    fraction = draw(st.floats(min_value=0.05, max_value=0.95))
+    mean = low + fraction * (high - low)
+    assume(low <= mean <= high)
+    return LatencySpec("prop", median=median, mean=mean, max=high, min=low)
+
+
+class TestSplitPowerProperties:
+    @given(latency_specs())
+    @settings(max_examples=80, deadline=None)
+    def test_closed_form_median_exact(self, spec):
+        sampler = SplitPowerLatency(spec)
+        assert sampler.median() == pytest.approx(spec.median)
+
+    @given(latency_specs())
+    @settings(max_examples=80, deadline=None)
+    def test_closed_form_mean_close(self, spec):
+        # Exact whenever the target mean is reachable with the fixed
+        # lower exponent; clamped k values may deviate, but only when
+        # the spec demands mass the family cannot place.
+        sampler = SplitPowerLatency(spec)
+        reachable_low = spec.median - \
+            0.5 * (spec.median - spec.min) / 3.0
+        reachable_high = spec.median + \
+            0.5 * (spec.max - spec.median) / 1.05 - \
+            0.5 * (spec.median - spec.min) / 3.0
+        if reachable_low <= spec.mean <= reachable_high:
+            assert sampler.mean() == pytest.approx(spec.mean, rel=0.01)
+
+    @given(latency_specs(), st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=60, deadline=None)
+    def test_samples_always_in_range(self, spec, seed):
+        sampler = fit_latency_sampler(spec)
+        rng = RngRegistry(seed).stream("prop")
+        draws = np.asarray(sampler.sample(rng, size=500))
+        assert draws.min() >= spec.min - 1e-9
+        assert draws.max() <= spec.max + 1e-9
+
+    @given(latency_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_fit_median_matches_at_scale(self, spec):
+        sampler = fit_latency_sampler(spec)
+        if isinstance(sampler, SplitPowerLatency) and sampler._k < 1.0:
+            # Extreme skew (mean deep in the upper range): *any*
+            # distribution matching all four statistics must leave a
+            # density gap just above the median, so the empirical
+            # median is knife-edge there.  No Table 1 operation is in
+            # this regime; only the closed-form median is checked.
+            assert sampler.median() == pytest.approx(spec.median)
+            return
+        rng = RngRegistry(17).stream("prop-median")
+        draws = np.asarray(sampler.sample(rng, size=6000))
+        # Whatever family was picked, the sampled median must track
+        # the spec within a band scaled to the spec's span (sampling
+        # noise around the median maps through the local density,
+        # which flattens as the range stretches).
+        assert np.median(draws) == pytest.approx(
+            spec.median, rel=0.15,
+            abs=max(0.30, 0.03 * (spec.max - spec.min)))

@@ -1,0 +1,152 @@
+"""Tests for spot markets: prices, warnings, revocations."""
+
+import pytest
+
+from repro.cloud.instance_types import M3_CATALOG
+from repro.cloud.instances import Instance, InstanceState, Market
+from repro.cloud.spot_market import SpotMarket, SpotMarketplace
+from repro.cloud.zones import default_region
+
+from tests.conftest import flat_trace, step_trace
+
+MEDIUM = M3_CATALOG.get("m3.medium")
+
+
+def make_market(env, zone, steps=None, price=0.02, warning=120.0):
+    trace = step_trace(steps) if steps else flat_trace(price)
+    return SpotMarket(env, MEDIUM, zone, trace, warning_period=warning)
+
+
+def spot_instance(env, zone, bid):
+    instance = Instance(env, MEDIUM, zone, Market.SPOT, bid=bid)
+    instance._mark_running()
+    return instance
+
+
+class TestPrices:
+    def test_current_price_follows_trace(self, env, zone):
+        market = make_market(env, zone, steps=[(0, 0.02), (100, 0.09)])
+        assert market.current_price() == 0.02
+        env.run(until=150)
+        assert market.current_price() == 0.09
+
+    def test_price_at_before_start(self, env, zone):
+        market = make_market(env, zone, steps=[(10, 0.05)])
+        assert market.price_at(0.0) == 0.05
+
+    def test_price_listeners_called(self, env, zone):
+        market = make_market(env, zone, steps=[(0, 0.02), (50, 0.03)])
+        seen = []
+        market.on_price_change(lambda m, p: seen.append((env.now, p)))
+        env.run(until=100)
+        assert (50.0, 0.03) in seen
+
+    def test_empty_trace_rejected(self, env, zone):
+        import numpy as np
+        from repro.traces.archive import PriceTrace
+        with pytest.raises(ValueError):
+            PriceTrace(np.array([]), np.array([]), "m3.medium", zone.name,
+                       0.07)
+
+
+class TestWarningsAndRevocation:
+    def test_price_crossing_warns(self, env, zone):
+        market = make_market(env, zone, steps=[(0, 0.02), (1000, 0.10)])
+        instance = spot_instance(env, zone, bid=0.07)
+        market.register(instance)
+        env.run(until=1000)
+        assert instance.state is InstanceState.MARKED_FOR_TERMINATION
+        assert instance.termination_notice.triggered
+        assert instance.termination_notice.value == 1000 + 120
+
+    def test_forced_termination_after_warning(self, env, zone):
+        market = make_market(env, zone, steps=[(0, 0.02), (1000, 0.10)])
+        instance = spot_instance(env, zone, bid=0.07)
+        market.register(instance)
+        env.run(until=1121)
+        assert instance.state is InstanceState.TERMINATED
+        assert instance.terminated_at == 1120.0
+
+    def test_price_below_bid_never_warns(self, env, zone):
+        market = make_market(env, zone, steps=[(0, 0.02), (500, 0.06)])
+        instance = spot_instance(env, zone, bid=0.07)
+        market.register(instance)
+        env.run(until=10000)
+        assert instance.state is InstanceState.RUNNING
+
+    def test_graceful_exit_before_deadline_survives(self, env, zone):
+        market = make_market(env, zone, steps=[(0, 0.02), (1000, 0.10)])
+        instance = spot_instance(env, zone, bid=0.07)
+        market.register(instance)
+        env.run(until=1050)
+        # SpotCheck relinquishes the instance before the deadline.
+        instance._mark_terminated()
+        market.deregister(instance)
+        env.run(until=2000)
+        assert instance.terminated_at == 1050.0
+
+    def test_register_above_price_immediately_warned(self, env, zone):
+        market = make_market(env, zone, price=0.10)
+        instance = spot_instance(env, zone, bid=0.07)
+        market.register(instance)
+        assert instance.state is InstanceState.MARKED_FOR_TERMINATION
+
+    def test_revoke_callback_invoked(self, env, zone):
+        market = make_market(env, zone, steps=[(0, 0.02), (100, 0.2)])
+        revoked = []
+        market.set_revoke_callback(
+            lambda inst: (revoked.append(inst), inst._mark_terminated()))
+        instance = spot_instance(env, zone, bid=0.07)
+        market.register(instance)
+        env.run(until=400)
+        assert revoked == [instance]
+
+    def test_multiple_instances_all_warned_together(self, env, zone):
+        market = make_market(env, zone, steps=[(0, 0.02), (600, 0.5)])
+        instances = [spot_instance(env, zone, bid=0.07) for _ in range(5)]
+        for instance in instances:
+            market.register(instance)
+        env.run(until=601)
+        assert all(i.state is InstanceState.MARKED_FOR_TERMINATION
+                   for i in instances)
+        assert len({i.warned_at for i in instances}) == 1
+
+    def test_wrong_market_registration_rejected(self, env, zone, region):
+        market = make_market(env, zone)
+        other = Instance(env, M3_CATALOG.get("m3.large"), zone, Market.SPOT,
+                         bid=0.2)
+        with pytest.raises(ValueError):
+            market.register(other)
+
+    def test_on_demand_registration_rejected(self, env, zone):
+        market = make_market(env, zone)
+        instance = Instance(env, MEDIUM, zone, Market.ON_DEMAND)
+        with pytest.raises(ValueError):
+            market.register(instance)
+
+
+class TestMarketplace:
+    def test_add_and_lookup(self, env, zone):
+        marketplace = SpotMarketplace(env)
+        market = marketplace.add_market(MEDIUM, zone, flat_trace(0.02))
+        assert marketplace.market("m3.medium", zone.name) is market
+        assert marketplace.market(MEDIUM, zone) is market
+
+    def test_duplicate_market_rejected(self, env, zone):
+        marketplace = SpotMarketplace(env)
+        marketplace.add_market(MEDIUM, zone, flat_trace(0.02))
+        with pytest.raises(ValueError):
+            marketplace.add_market(MEDIUM, zone, flat_trace(0.03))
+
+    def test_missing_market_raises(self, env, zone):
+        with pytest.raises(KeyError):
+            SpotMarketplace(env).market("m3.medium", zone.name)
+
+    def test_len_and_iter(self, env, region):
+        marketplace = SpotMarketplace(env)
+        for zone in region.zones:
+            marketplace.add_market(
+                MEDIUM, zone, flat_trace(0.02, zone_name=zone.name))
+        assert len(marketplace) == len(region.zones)
+        assert {m.zone.name for m in marketplace} == \
+            {z.name for z in region.zones}

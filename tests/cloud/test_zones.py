@@ -1,0 +1,42 @@
+"""Tests for regions and zones."""
+
+import pytest
+
+from repro.cloud.zones import Region, default_region
+
+
+class TestRegion:
+    def test_with_zones_names(self):
+        region = Region.with_zones("eu-west-1", 3)
+        assert [z.name for z in region] == \
+            ["eu-west-1a", "eu-west-1b", "eu-west-1c"]
+
+    def test_zone_lookup(self):
+        region = Region.with_zones("r", 2)
+        assert region.zone("rb").name == "rb"
+
+    def test_zone_lookup_missing(self):
+        with pytest.raises(KeyError):
+            Region.with_zones("r", 1).zone("rz")
+
+    def test_zero_zones_rejected(self):
+        with pytest.raises(ValueError):
+            Region.with_zones("r", 0)
+
+    def test_too_many_zones_rejected(self):
+        with pytest.raises(ValueError):
+            Region.with_zones("r", 27)
+
+    def test_len(self):
+        assert len(Region.with_zones("r", 5)) == 5
+
+    def test_default_region(self):
+        region = default_region()
+        assert region.name == "us-east-1"
+        assert len(region) == 4
+
+    def test_zones_hashable_and_equal(self):
+        a = Region.with_zones("r", 1).zones[0]
+        b = Region.with_zones("r", 1).zones[0]
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.cloud.api import CloudApi
+from repro.cloud.instance_types import M3_CATALOG
+from repro.cloud.zones import default_region
+from repro.sim.kernel import Environment
+from repro.traces.archive import PriceTrace
+
+GUEST_BYTES = int(3.75 * 0.45 * 1024 ** 3)
+
+
+@pytest.fixture
+def env():
+    return Environment(seed=1234)
+
+
+@pytest.fixture
+def region():
+    return default_region(2)
+
+
+@pytest.fixture
+def zone(region):
+    return region.zones[0]
+
+
+@pytest.fixture
+def api(env, region):
+    return CloudApi(env, region, M3_CATALOG)
+
+
+def flat_trace(price, type_name="m3.medium", zone_name="us-east-1a",
+               on_demand_price=0.07, duration_s=30 * 24 * 3600.0):
+    """A constant-price trace (one point at t=0)."""
+    return PriceTrace([0.0, duration_s], [price, price], type_name,
+                      zone_name, on_demand_price)
+
+
+def step_trace(steps, type_name="m3.medium", zone_name="us-east-1a",
+               on_demand_price=0.07):
+    """A trace from explicit (time, price) steps."""
+    times = [t for t, _p in steps]
+    prices = [p for _t, p in steps]
+    return PriceTrace(times, prices, type_name, zone_name, on_demand_price)
+
+
+def run_process(env, generator):
+    """Run ``generator`` as a process to completion; return its value."""
+    return env.run(until=env.process(generator))

@@ -1,0 +1,150 @@
+"""Tests for the cost/availability/storm ledger."""
+
+import pytest
+
+from repro.cloud.api import CloudApi
+from repro.cloud.instance_types import M3_CATALOG
+from repro.cloud.instances import Market
+from repro.core.accounting import AccountingLedger
+from repro.virt.vm import NestedVM
+
+from tests.conftest import flat_trace, run_process
+
+MEDIUM = M3_CATALOG.get("m3.medium")
+
+
+def migration_kwargs(**overrides):
+    defaults = dict(
+        vm_id="nvm-1", cause="revocation", mechanism="bounded-lazy",
+        downtime_s=23.0, degraded_s=50.0,
+        source_pool=("spot", "m3.medium", "z"),
+        dest_pool=("on-demand", "m3.medium", "z"),
+        concurrent=1, state_safe=True)
+    defaults.update(overrides)
+    return defaults
+
+
+class TestLifetimes:
+    def test_vm_seconds_accumulate(self, env):
+        ledger = AccountingLedger(env)
+        vm = NestedVM(env, MEDIUM)
+        ledger.vm_created(vm)
+        env._now = 1000.0
+        ledger.vm_terminated(vm)
+        assert ledger.total_vm_seconds() == 1000.0
+
+    def test_open_lifetimes_closed_at_finalize(self, env):
+        ledger = AccountingLedger(env)
+        ledger.vm_created(NestedVM(env, MEDIUM))
+        env._now = 500.0
+        ledger.finalize()
+        assert ledger.total_vm_seconds() == 500.0
+
+
+class TestAvailabilityMetrics:
+    def test_unavailability_fraction(self, env):
+        ledger = AccountingLedger(env)
+        vm = NestedVM(env, MEDIUM)
+        ledger.vm_created(vm)
+        ledger.record_migration(**migration_kwargs(downtime_s=100.0))
+        env._now = 10000.0
+        ledger.finalize()
+        assert ledger.unavailability() == pytest.approx(0.01)
+        assert ledger.availability() == pytest.approx(0.99)
+
+    def test_degradation_fraction(self, env):
+        ledger = AccountingLedger(env)
+        ledger.vm_created(NestedVM(env, MEDIUM))
+        ledger.record_migration(**migration_kwargs(degraded_s=200.0))
+        env._now = 10000.0
+        ledger.finalize()
+        assert ledger.degradation() == pytest.approx(0.02)
+
+    def test_empty_ledger_fully_available(self, env):
+        ledger = AccountingLedger(env)
+        assert ledger.availability() == 1.0
+        assert ledger.degradation() == 0.0
+
+    def test_state_loss_events_tracked(self, env):
+        ledger = AccountingLedger(env)
+        ledger.record_migration(**migration_kwargs(state_safe=False))
+        ledger.record_migration(**migration_kwargs())
+        assert len(ledger.state_loss_events()) == 1
+
+    def test_migration_count_by_cause(self, env):
+        ledger = AccountingLedger(env)
+        ledger.record_migration(**migration_kwargs(cause="revocation"))
+        ledger.record_migration(**migration_kwargs(cause="return-to-spot"))
+        assert ledger.migration_count() == 2
+        assert ledger.migration_count("revocation") == 1
+
+
+class TestCost:
+    def test_total_cost_includes_extras_and_open_records(self, env, region,
+                                                         zone):
+        api = CloudApi(env, region, M3_CATALOG)
+        api.install_market(MEDIUM, zone, flat_trace(0.02))
+        ledger = AccountingLedger(env)
+        def flow():
+            spot = yield api.run_instance(MEDIUM, zone, Market.SPOT, bid=0.07)
+            od = yield api.run_instance(MEDIUM, zone, Market.ON_DEMAND)
+            yield env.timeout(3600.0)
+            yield api.terminate_instance(od)
+            return spot
+        run_process(env, flow())
+        ledger.add_cost("backup:test", 1.5)
+        total = ledger.total_cost(api)
+        # Closed od record ~0.07, open spot accrues ~0.02/hr, extra 1.5.
+        assert total > 1.5 + 0.07
+        breakdown = ledger.cost_breakdown(api)
+        assert breakdown["backup"] == 1.5
+        assert breakdown["on-demand"] == pytest.approx(0.07, rel=0.01)
+
+    def test_cost_per_vm_hour(self, env, region):
+        api = CloudApi(env, region, M3_CATALOG)
+        ledger = AccountingLedger(env)
+        vm = NestedVM(env, MEDIUM)
+        ledger.vm_created(vm)
+        env._now = 7200.0
+        ledger.finalize()
+        ledger.add_cost("x", 0.10)
+        assert ledger.cost_per_vm_hour(api) == pytest.approx(0.05)
+
+    def test_zero_vm_hours(self, env, region):
+        api = CloudApi(env, region, M3_CATALOG)
+        assert AccountingLedger(env).cost_per_vm_hour(api) == 0.0
+
+
+class TestStorms:
+    def test_histogram_buckets(self, env):
+        ledger = AccountingLedger(env)
+        env._now = 3600.0 * 100  # 100 hours of observation
+        ledger._finalized_at = env.now
+        ledger.revocations = []
+        ledger.record_revocation(("spot", "m", "z"), 1, 40)   # all N
+        ledger.record_revocation(("spot", "m", "z"), 1, 20)   # N/2
+        ledger.record_revocation(("spot", "m", "z"), 1, 9)    # < N/4
+        histogram = ledger.storm_histogram(total_vms=40)
+        assert histogram[1.0] == pytest.approx(1 / 100)
+        assert histogram[0.5] == pytest.approx(1 / 100)
+        assert histogram[0.25] == 0.0
+
+    def test_max_concurrent(self, env):
+        ledger = AccountingLedger(env)
+        assert ledger.max_concurrent_revocation() == 0
+        ledger.record_revocation(("spot", "m", "z"), 2, 17)
+        assert ledger.max_concurrent_revocation() == 17
+
+    def test_histogram_validation(self, env):
+        with pytest.raises(ValueError):
+            AccountingLedger(env).storm_histogram(total_vms=0)
+
+    def test_summary_keys(self, env, region):
+        api = CloudApi(env, region, M3_CATALOG)
+        ledger = AccountingLedger(env)
+        env._now = 3600.0
+        summary = ledger.summary(api, total_vms=10)
+        for key in ("cost_per_vm_hour", "availability", "unavailability_pct",
+                    "degradation_pct", "migrations", "revocation_events",
+                    "state_loss_events", "storm_histogram"):
+            assert key in summary

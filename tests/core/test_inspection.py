@@ -1,0 +1,92 @@
+"""Tests for state snapshots and the invariant checker."""
+
+import json
+
+import pytest
+
+from repro.core.config import SpotCheckConfig
+from repro.core.inspection import (
+    check_invariants,
+    save_snapshot,
+    state_snapshot,
+)
+
+from tests.core.test_controller import (
+    SPIKE_END,
+    SPIKE_START,
+    build,
+    launch_fleet,
+)
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_serializable(self):
+        env, api, controller = build()
+        launch_fleet(env, controller, count=2)
+        snapshot = state_snapshot(controller)
+        text = json.dumps(snapshot)
+        assert "pools" in snapshot and "customers" in snapshot
+        assert len(json.loads(text)["customers"][0]["vms"]) == 2
+
+    def test_snapshot_tracks_vm_location(self):
+        env, api, controller = build(SpotCheckConfig(return_to_spot=False))
+        [vm] = launch_fleet(env, controller, count=1)
+        before = state_snapshot(controller)
+        env.run(until=SPIKE_START + 600.0)
+        after = state_snapshot(controller)
+        vm_before = before["customers"][0]["vms"][0]
+        vm_after = after["customers"][0]["vms"][0]
+        assert vm_before["host"] != vm_after["host"]
+        assert vm_before["private_ip"] == vm_after["private_ip"]
+        assert vm_after["backup"] is None  # parked on-demand, no backup
+
+    def test_save_snapshot(self, tmp_path):
+        env, api, controller = build()
+        launch_fleet(env, controller, count=1)
+        path = tmp_path / "state.json"
+        save_snapshot(controller, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["time_s"] == env.now
+
+
+class TestInvariants:
+    def test_clean_controller_has_no_violations(self):
+        env, api, controller = build()
+        launch_fleet(env, controller, count=3)
+        assert check_invariants(controller) == []
+
+    def test_invariants_hold_through_revocation_cycle(self):
+        env, api, controller = build()
+        launch_fleet(env, controller, count=3)
+        for when in (SPIKE_START + 300.0, SPIKE_END + 2000.0,
+                     SPIKE_END + 50000.0):
+            env.run(until=when)
+            assert check_invariants(controller) == [], f"at t={when}"
+
+    def test_detects_overcommit(self):
+        env, api, controller = build()
+        [vm] = launch_fleet(env, controller, count=1)
+        vm.host.hypervisor.reserved = 5  # corrupt on purpose
+        violations = check_invariants(controller)
+        assert any("overcommitted" in v for v in violations)
+
+    def test_detects_duplicate_ip(self):
+        env, api, controller = build()
+        vms = launch_fleet(env, controller, count=2)
+        vms[1].private_ip = vms[0].private_ip  # corrupt on purpose
+        violations = check_invariants(controller)
+        assert any("share IP" in v for v in violations)
+
+    def test_detects_broken_backup_link(self):
+        env, api, controller = build()
+        [vm] = launch_fleet(env, controller, count=1)
+        vm.backup_assignment.streams.pop(vm.id)  # corrupt on purpose
+        violations = check_invariants(controller)
+        assert any("does not know it" in v for v in violations)
+
+    def test_detects_detached_volume(self):
+        env, api, controller = build()
+        [vm] = launch_fleet(env, controller, count=1)
+        vm.volume._force_detach()  # corrupt on purpose
+        violations = check_invariants(controller)
+        assert any("volume" in v for v in violations)

@@ -1,0 +1,161 @@
+"""Focused tests for the migration manager's flows."""
+
+import pytest
+
+from repro.cloud.instances import InstanceState, Market
+from repro.core.config import SpotCheckConfig
+from repro.virt.vm import VMState
+from repro.workloads import TpcwWorkload
+
+from tests.core.test_controller import (
+    SPIKE_START,
+    build,
+    launch_fleet,
+    quiet_trace,
+    spiky_trace,
+)
+
+
+class TestDestinationAcquisition:
+    def test_fresh_on_demand_host_by_default(self):
+        env, api, controller = build(SpotCheckConfig(return_to_spot=False))
+        [vm] = launch_fleet(env, controller, count=1)
+        def flow():
+            host, kind = yield controller.migrations.acquire_destination(vm)
+            return host, kind
+        host, kind = env.run(until=env.process(flow()))
+        assert kind == "fresh"
+        assert host.instance.market is Market.ON_DEMAND
+        assert host.hypervisor.reserved == 1
+
+    def test_pool_slot_preferred_over_fresh(self):
+        env, api, controller = build(SpotCheckConfig(return_to_spot=False))
+        [vm] = launch_fleet(env, controller, count=1)
+        def prime():
+            instance = yield api.run_instance(
+                controller.slot_itype, controller.zone, Market.ON_DEMAND)
+            from repro.virt.hypervisor import HostVM
+            host = HostVM(env, instance, controller.slot_itype, slots=1)
+            controller.pools.on_demand_pool(
+                "m3.medium", "us-east-1a").add_host(host)
+            return host
+        primed = env.run(until=env.process(prime()))
+        def flow():
+            result = yield controller.migrations.acquire_destination(vm)
+            return result
+        host, kind = env.run(until=env.process(flow()))
+        assert kind == "pool"
+        assert host is primed
+
+    def test_spare_preferred_over_pool(self):
+        env, api, controller = build(SpotCheckConfig(
+            hot_spares=1, return_to_spot=False))
+        [vm] = launch_fleet(env, controller, count=1)
+        env.run(until=env.now + 600.0)  # let the spare come up
+        def flow():
+            result = yield controller.migrations.acquire_destination(vm)
+            return result
+        host, kind = env.run(until=env.process(flow()))
+        assert kind == "spare"
+
+    def test_no_capacity_no_staging_fails(self):
+        env, api, controller = build(
+            SpotCheckConfig(return_to_spot=False), on_demand_capacity=0)
+        [vm] = launch_fleet(env, controller, count=1)
+        def flow():
+            result = yield controller.migrations.acquire_destination(vm)
+            return result
+        from repro.core.migration_manager import MigrationError
+        with pytest.raises(MigrationError):
+            env.run(until=env.process(flow()))
+
+
+class TestBusyLock:
+    def test_concurrent_live_migrations_collapse(self):
+        env, api, controller = build(SpotCheckConfig(return_to_spot=False))
+        [vm] = launch_fleet(env, controller, count=1)
+        source = vm.host
+        first = controller.migrations.live_migrate(vm, source, cause="test")
+        second = controller.migrations.live_migrate(vm, source, cause="test")
+        def wait_both():
+            a = yield first
+            b = yield second
+            return a, b
+        a, b = env.run(until=env.process(wait_both()))
+        # Exactly one of the two actually moved the VM.
+        assert (a is None) != (b is None)
+        assert controller.ledger.migration_count("test") == 1
+
+
+class TestLiveFlow:
+    def test_planned_live_migration_minimal_downtime(self):
+        env, api, controller = build(SpotCheckConfig(return_to_spot=False))
+        [vm] = launch_fleet(env, controller, count=1)
+        source = vm.host
+        done = controller.migrations.live_migrate(
+            vm, source, cause="rebalance")
+        dest = env.run(until=done)
+        assert dest is not None
+        assert vm.host is dest
+        assert vm.volume.attached_to is dest.instance
+        assert vm.eni.attached_to is dest.instance
+        [migration] = controller.ledger.migrations
+        assert migration.downtime_s < 1.0
+        assert migration.degraded_s > 10.0  # pre-copy window
+
+    def test_live_fits_warning_thresholds(self):
+        env, api, controller = build()
+        manager = controller.migrations
+        from repro.workloads import profile_for
+        assert manager.live_fits_warning(
+            profile_for("idle", 256 * 1024 ** 2), 120.0)
+        assert not manager.live_fits_warning(
+            profile_for("write-storm", 4 * 1024 ** 3), 120.0)
+
+
+class TestRevocationTimeline:
+    def test_suspend_happens_late_in_warning(self):
+        env, api, controller = build(SpotCheckConfig(return_to_spot=False))
+        [vm] = launch_fleet(env, controller, count=1)
+        env.run(until=SPIKE_START + 400.0)
+        # Find the SUSPENDED transition in the state log.
+        suspended_at = [t for t, s in vm.state_log
+                        if s is VMState.SUSPENDED][-1]
+        # The VM kept running for most of the 120 s warning and was
+        # suspended only near the end (deadline minus the worst-case
+        # detach + commit margin).
+        assert SPIKE_START + 60.0 < suspended_at < SPIKE_START + 120.0
+
+    def test_downtime_matches_state_log(self):
+        env, api, controller = build(SpotCheckConfig(return_to_spot=False))
+        [vm] = launch_fleet(env, controller, count=1)
+        env.run(until=SPIKE_START + 600.0)
+        [migration] = [m for m in controller.ledger.migrations
+                       if m.cause == "revocation"]
+        logged = vm.downtime_between(SPIKE_START, SPIKE_START + 600.0)
+        assert logged == pytest.approx(migration.downtime_s, rel=0.01)
+
+    def test_storm_concurrency_recorded(self):
+        env, api, controller = build(SpotCheckConfig(return_to_spot=False))
+        launch_fleet(env, controller, count=4)
+        env.run(until=SPIKE_START + 600.0)
+        revocation_migrations = [m for m in controller.ledger.migrations
+                                 if m.cause == "revocation"]
+        assert len(revocation_migrations) == 4
+        assert all(m.concurrent == 4 for m in revocation_migrations)
+
+    def test_source_instance_gone_after_warning(self):
+        env, api, controller = build(SpotCheckConfig(return_to_spot=False))
+        [vm] = launch_fleet(env, controller, count=1)
+        source_instance = vm.host.instance
+        env.run(until=SPIKE_START + 121.0)
+        assert source_instance.state is InstanceState.TERMINATED
+
+    def test_degradation_includes_restore_window(self):
+        env, api, controller = build(SpotCheckConfig(return_to_spot=False))
+        [vm] = launch_fleet(env, controller, count=1)
+        env.run(until=SPIKE_START + 600.0)
+        [migration] = [m for m in controller.ledger.migrations
+                       if m.cause == "revocation"]
+        # Lazy restore: ramp window + demand-paging window.
+        assert migration.degraded_s > 20.0

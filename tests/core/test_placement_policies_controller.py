@@ -1,0 +1,76 @@
+"""Controller-level tests for the greedy / stability placement paths."""
+
+import pytest
+
+from repro.cloud.instances import Market
+from repro.core.config import SpotCheckConfig
+from repro.virt.vm import VMState
+from repro.workloads import TpcwWorkload
+
+from tests.core.test_controller import build, launch_fleet, quiet_trace
+
+DAY = 24 * 3600.0
+
+
+def cheap_large_traces():
+    """m3.large priced below two m3.mediums per slot."""
+    return {
+        # medium at 0.03/slot...
+        "m3.medium": quiet_trace("m3.medium", 0.07, base_ratio=0.43),
+        # ...large at 0.014 -> 0.007/slot after slicing.
+        "m3.large": quiet_trace("m3.large", 0.14, base_ratio=0.10),
+    }
+
+
+class TestGreedyPlacement:
+    def test_greedy_picks_arbitrage_slices(self):
+        env, api, controller = build(
+            SpotCheckConfig(allocation_policy="greedy"),
+            traces=cheap_large_traces())
+        vms = launch_fleet(env, controller, count=2)
+        # Both VMs end up sliced onto one cheap m3.large host.
+        assert all(vm.host.itype.name == "m3.large" for vm in vms)
+        assert vms[0].host is vms[1].host
+        assert all(vm.state is VMState.RUNNING for vm in vms)
+
+    def test_greedy_pool_created_lazily(self):
+        env, api, controller = build(
+            SpotCheckConfig(allocation_policy="greedy"),
+            traces=cheap_large_traces())
+        launch_fleet(env, controller, count=1)
+        keys = set(controller.pools.spot_pools)
+        assert ("spot", "m3.large", "us-east-1a") in keys
+
+    def test_greedy_survives_revocation(self):
+        from tests.core.test_controller import spiky_trace, SPIKE_START
+        traces = {
+            "m3.medium": quiet_trace("m3.medium", 0.07, base_ratio=0.43),
+            "m3.large": spiky_trace("m3.large", 0.14, base_ratio=0.10),
+        }
+        env, api, controller = build(
+            SpotCheckConfig(allocation_policy="greedy",
+                            return_to_spot=False), traces=traces)
+        vms = launch_fleet(env, controller, count=2)
+        env.run(until=SPIKE_START + 600.0)
+        assert all(vm.state is VMState.RUNNING for vm in vms)
+        assert all(vm.host.instance.market is Market.ON_DEMAND
+                   for vm in vms)
+        assert controller.ledger.state_loss_events() == []
+
+
+class TestStabilityPlacement:
+    def test_stability_avoids_volatile_market(self):
+        from tests.conftest import step_trace
+        from repro.traces.archive import PriceTrace
+        # m3.medium flaps; m3.large is rock-steady (and sliceable).
+        volatile = step_trace(
+            [(i * 600.0, 0.01 + 0.02 * (i % 2)) for i in range(1000)],
+            type_name="m3.medium")
+        steady = PriceTrace([0.0, 10 * DAY], [0.02, 0.02], "m3.large",
+                            "us-east-1a", 0.14)
+        env, api, controller = build(
+            SpotCheckConfig(allocation_policy="stability"),
+            traces={"m3.medium": volatile, "m3.large": steady})
+        env.run(until=2 * DAY)  # accumulate price history first
+        vms = launch_fleet(env, controller, count=2)
+        assert all(vm.host.itype.name == "m3.large" for vm in vms)

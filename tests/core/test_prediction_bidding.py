@@ -1,0 +1,162 @@
+"""Tests for the revocation predictor and the knee bid policy."""
+
+import pytest
+
+from repro.cloud.instance_types import M3_CATALOG
+from repro.core.config import SpotCheckConfig
+from repro.core.policies.bidding import KneeBidPolicy, make_bid_policy
+from repro.core.policies.prediction import (
+    PredictionStats,
+    RevocationPredictor,
+)
+from repro.traces.archive import PriceTrace
+
+MEDIUM = M3_CATALOG.get("m3.medium")
+POOL = ("spot", "m3.medium", "z1")
+
+
+class TestRevocationPredictor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RevocationPredictor(level_fraction=0.0)
+        with pytest.raises(ValueError):
+            RevocationPredictor(jump_factor=1.0)
+        with pytest.raises(ValueError):
+            RevocationPredictor(ewma_alpha=0.0)
+
+    def test_quiet_market_never_fires(self):
+        predictor = RevocationPredictor()
+        fired = [predictor.observe(POOL, t * 300.0, 0.02, bid=0.07)
+                 for t in range(200)]
+        assert not any(fired)
+
+    def test_level_signal_fires_near_bid(self):
+        predictor = RevocationPredictor(level_fraction=0.75)
+        assert not predictor.observe(POOL, 0.0, 0.04, bid=0.07)
+        assert predictor.observe(POOL, 300.0, 0.055, bid=0.07)
+
+    def test_momentum_signal_fires_on_jump(self):
+        predictor = RevocationPredictor(jump_factor=2.0)
+        for t in range(10):
+            predictor.observe(POOL, t * 300.0, 0.02, bid=0.07)
+        assert predictor.observe(POOL, 3000.0, 0.045, bid=0.07)
+
+    def test_above_bid_is_not_a_prediction(self):
+        predictor = RevocationPredictor()
+        assert not predictor.observe(POOL, 0.0, 0.10, bid=0.07)
+
+    def test_holdoff_suppresses_repeat_signals(self):
+        predictor = RevocationPredictor(level_fraction=0.5, holdoff_s=3600.0)
+        assert predictor.observe(POOL, 0.0, 0.05, bid=0.07)
+        assert not predictor.observe(POOL, 600.0, 0.05, bid=0.07)
+        assert predictor.observe(POOL, 4000.0, 0.05, bid=0.07)
+
+    def test_pools_independent(self):
+        predictor = RevocationPredictor(level_fraction=0.5)
+        other = ("spot", "m3.large", "z1")
+        assert predictor.observe(POOL, 0.0, 0.05, bid=0.07)
+        assert predictor.observe(other, 0.0, 0.10, bid=0.14)
+
+    def test_stats_precision_recall(self):
+        stats = PredictionStats()
+        assert stats.precision == 0.0 and stats.recall == 0.0
+        predictor = RevocationPredictor()
+        predictor.record_outcome(True)
+        predictor.record_outcome(False)
+        predictor.record_outcome(True, had_signal=False)
+        assert predictor.stats.precision == pytest.approx(0.5)
+        assert predictor.stats.recall == pytest.approx(0.5)
+
+
+class TestKneeBidPolicy:
+    def _trace(self, steps):
+        times = [t for t, _ in steps]
+        prices = [p for _, p in steps]
+        return PriceTrace(times, prices, "m3.medium", "z1", 0.07)
+
+    def test_without_history_falls_back_to_on_demand(self):
+        policy = KneeBidPolicy()
+        assert policy.bid_for(MEDIUM) == pytest.approx(0.07)
+
+    def test_knee_sits_below_on_demand(self):
+        # Price spends 99.9% of time at 0.02 with brief spikes to 0.3:
+        # a bid just above 0.02 already buys the availability target.
+        steps = []
+        t = 0.0
+        for _ in range(100):
+            steps.append((t, 0.021))
+            t += 9990.0
+            steps.append((t, 0.30))
+            t += 10.0
+        policy = KneeBidPolicy(availability_target=0.99)
+        bid = policy.bid_for(MEDIUM, trace=self._trace(steps))
+        assert 0.02 < bid < 0.07  # "slightly lower than on-demand"
+
+    def test_volatile_market_pushes_knee_to_on_demand(self):
+        # Half the time above on-demand: no sub-od bid achieves 99.5%.
+        steps = [(i * 100.0, 0.02 if i % 2 else 0.10) for i in range(100)]
+        policy = KneeBidPolicy(availability_target=0.995)
+        assert policy.bid_for(MEDIUM, trace=self._trace(steps)) == \
+            pytest.approx(0.07)
+
+    def test_floor_fraction_respected(self):
+        steps = [(0.0, 0.001), (1000.0, 0.001)]
+        policy = KneeBidPolicy(availability_target=0.5, floor_fraction=0.3)
+        assert policy.bid_for(MEDIUM, trace=self._trace(steps)) >= \
+            0.3 * 0.07 - 1e-12
+
+    def test_factory(self):
+        assert isinstance(make_bid_policy("knee"), KneeBidPolicy)
+        assert not make_bid_policy("knee").allows_proactive
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KneeBidPolicy(availability_target=0.0)
+        with pytest.raises(ValueError):
+            KneeBidPolicy(floor_fraction=0.0)
+
+    def test_config_accepts_knee(self):
+        SpotCheckConfig(bid_policy="knee")
+
+
+class TestPredictiveController:
+    def test_predictive_drain_avoids_revocation(self):
+        from tests.core.test_controller import build, launch_fleet
+        from repro.traces.archive import PriceTrace
+        # Price ramps up through the predictor's level band before
+        # crossing the bid, leaving time for a predictive drain.
+        DAY = 24 * 3600.0
+        times = [0.0, 40000.0, 47000.0, 54000.0, 61000.0, 75000.0,
+                 10 * DAY]
+        prices = [0.014, 0.030, 0.055, 0.065, 0.30, 0.014, 0.014]
+        trace = PriceTrace(times, prices, "m3.medium", "us-east-1a", 0.07)
+        env, api, controller = build(
+            SpotCheckConfig(predictive_migration=True,
+                            return_to_spot=False),
+            traces={"m3.medium": trace})
+        [vm] = launch_fleet(env, controller, count=1)
+        env.run(until=70000.0)
+        causes = [m.cause for m in controller.ledger.migrations]
+        assert "predictive" in causes
+        # The drain happened before the crossing: no bounded migration.
+        assert "revocation" not in causes
+        assert vm.host.instance.market.value == "on-demand"
+
+    def test_false_positive_returns_to_spot(self):
+        from tests.core.test_controller import build, launch_fleet
+        from repro.traces.archive import PriceTrace
+        DAY = 24 * 3600.0
+        # Climbs into the band, then recedes without ever crossing.
+        times = [0.0, 40000.0, 47000.0, 54000.0, 10 * DAY]
+        prices = [0.014, 0.056, 0.014, 0.014, 0.014]
+        trace = PriceTrace(times, prices, "m3.medium", "us-east-1a", 0.07)
+        env, api, controller = build(
+            SpotCheckConfig(predictive_migration=True,
+                            return_holddown_s=600.0),
+            traces={"m3.medium": trace})
+        [vm] = launch_fleet(env, controller, count=1)
+        env.run(until=2 * DAY)
+        causes = [m.cause for m in controller.ledger.migrations]
+        assert "predictive" in causes            # the false positive
+        assert "return-to-spot" in causes        # ...and the recovery
+        assert vm.host.instance.market.value == "spot"

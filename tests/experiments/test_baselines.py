@@ -1,0 +1,91 @@
+"""Tests for the non-derivative baselines."""
+
+import pytest
+
+from repro.experiments.baselines import (
+    DEFAULT_RESTART_S,
+    checkpointed_spot,
+    compare,
+    naive_spot,
+    on_demand_only,
+)
+from repro.traces.archive import PriceTrace
+
+DAY = 24 * 3600.0
+
+
+def trace_with_spikes(spikes, duration=30 * DAY, base=0.014, peak=0.50):
+    """A medium-market trace with ``spikes`` one-hour excursions."""
+    times, prices = [0.0], [base]
+    for index in range(spikes):
+        start = (index + 1) * duration / (spikes + 2)
+        times += [start, start + 3600.0]
+        prices += [peak, base]
+    times.append(duration)
+    prices.append(base)
+    return PriceTrace(times, prices, "m3.medium", "z", 0.07)
+
+
+class TestNaiveSpot:
+    def test_no_spikes_full_availability(self):
+        result = naive_spot(trace_with_spikes(0))
+        assert result.availability == pytest.approx(1.0)
+        assert result.revocations == 0
+        assert result.cost_per_hour == pytest.approx(0.014)
+
+    def test_spikes_cost_downtime_and_work(self):
+        result = naive_spot(trace_with_spikes(10))
+        # 10 spike hours + 10 restarts over 30 days.
+        expected_down = (10 * 3600.0 + 10 * DEFAULT_RESTART_S) / (30 * DAY)
+        assert 1.0 - result.availability == pytest.approx(
+            expected_down, rel=0.01)
+        assert result.revocations == 10
+        assert result.lost_work_s == pytest.approx(10 * DEFAULT_RESTART_S)
+
+    def test_pays_only_sub_bid_prices(self):
+        result = naive_spot(trace_with_spikes(5))
+        assert result.cost_per_hour == pytest.approx(0.014, rel=1e-6)
+
+    def test_higher_bid_recovers_availability(self):
+        trace = trace_with_spikes(10, peak=0.10)
+        low = naive_spot(trace, bid=0.07)
+        high = naive_spot(trace, bid=0.20)
+        assert high.availability > low.availability
+
+
+class TestCheckpointedSpot:
+    def test_adds_recompute_loss(self):
+        trace = trace_with_spikes(10)
+        naive = naive_spot(trace)
+        checkpointed = checkpointed_spot(trace, checkpoint_interval_s=7200.0)
+        assert checkpointed.availability < naive.availability
+        assert checkpointed.lost_work_s == pytest.approx(
+            naive.lost_work_s + 10 * 3600.0)
+
+    def test_tighter_checkpoints_lose_less(self):
+        trace = trace_with_spikes(10)
+        coarse = checkpointed_spot(trace, checkpoint_interval_s=7200.0)
+        fine = checkpointed_spot(trace, checkpoint_interval_s=600.0)
+        assert fine.availability > coarse.availability
+
+
+class TestOnDemand:
+    def test_perfect_but_expensive(self):
+        result = on_demand_only(trace_with_spikes(10))
+        assert result.availability == 1.0
+        assert result.cost_per_hour == 0.07
+
+
+class TestCompare:
+    def test_improvement_factor(self):
+        trace = trace_with_spikes(20)
+        spotcheck_summary = {
+            "availability": 0.99999,
+            "cost_per_vm_hour": 0.015,
+        }
+        comparison = compare(trace, spotcheck_summary)
+        naive = comparison["baselines"][0]
+        expected = (1 - naive.availability) / (1 - 0.99999)
+        assert comparison["availability_improvement_vs_spot"] == \
+            pytest.approx(expected)
+        assert comparison["spotcheck"]["cost_per_hour"] == 0.015

@@ -1,0 +1,36 @@
+"""Tests for the experiment renderers and the report runner."""
+
+import pytest
+
+from repro.experiments.render import RENDERERS
+from repro.experiments.runner import HEADER
+
+
+class TestRendererRegistry:
+    def test_covers_every_evaluation_artifact(self):
+        assert set(RENDERERS) == {
+            "fig1", "table1", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "table3",
+        }
+
+    @pytest.mark.parametrize("name", ["fig7", "fig8", "fig9", "table1"])
+    def test_fast_renderers_produce_tables(self, name):
+        title, text, notes = RENDERERS[name]()
+        assert title
+        assert "---" in text  # table separator
+        assert notes
+
+    def test_fig1_table_includes_peak(self):
+        _title, text, notes = RENDERERS["fig1"]()
+        import re
+        prices = [float(match) for match in
+                  re.findall(r"(\d+\.\d+)\s*$", text, re.MULTILINE)]
+        peak = float(re.search(r"peak \$(\d+\.\d+)", notes).group(1))
+        assert max(prices) == pytest.approx(peak, abs=0.01)
+
+
+class TestRunnerHeader:
+    def test_header_formats(self):
+        text = HEADER.format(days=183.0, vms=40, seed=11)
+        assert "183 simulated days" in text
+        assert "seed 11" in text

@@ -1,0 +1,26 @@
+"""Multi-zone scenario support."""
+
+import pytest
+
+from repro.experiments.scenario import PolicySimulation, ScenarioConfig
+
+
+class TestMultiZoneScenario:
+    def test_archive_covers_every_zone(self):
+        archive = PolicySimulation.build_archive(5, 3 * 24 * 3600.0,
+                                                 zones=3)
+        zones = {zone for _type, zone in archive.keys()}
+        assert zones == {"us-east-1a", "us-east-1b", "us-east-1c"}
+        assert len(archive) == 12  # 4 types x 3 zones
+
+    def test_zone_spread_scenario_runs(self):
+        summary = PolicySimulation(ScenarioConfig(
+            policy="Z-M", days=4.0, vms=4, seed=9, zones=2)).run()
+        assert summary["state_loss_events"] == 0
+        assert summary["vm_hours"] == pytest.approx(4 * 4 * 24, rel=0.05)
+
+    def test_single_zone_unchanged(self):
+        a = PolicySimulation(ScenarioConfig(days=3.0, vms=2, seed=7)).run()
+        b = PolicySimulation(ScenarioConfig(days=3.0, vms=2, seed=7,
+                                            zones=1)).run()
+        assert a["cost_per_vm_hour"] == pytest.approx(b["cost_per_vm_hour"])

@@ -1,0 +1,114 @@
+"""Tests for event primitives."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+from repro.sim.events import AllOf, AnyOf, Timeout
+
+
+class TestEvent:
+    def test_pending_by_default(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_before_trigger_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.event().value
+
+    def test_succeed_carries_value(self, env):
+        event = env.event().succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_double_trigger_raises(self, env):
+        event = env.event().succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, env):
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_fail_carries_exception(self, env):
+        error = ValueError("x")
+        event = env.event().fail(error)
+        assert event.triggered
+        assert not event.ok
+        assert event.value is error
+
+    def test_callbacks_run_on_processing(self, env):
+        event = env.event()
+        seen = []
+        event.callbacks.append(seen.append)
+        event.succeed("payload")
+        env.run()
+        assert seen == [event]
+        assert event.processed
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            Timeout(env, -1.0)
+
+    def test_zero_delay_allowed(self, env):
+        fired = []
+        env.timeout(0.0).callbacks.append(fired.append)
+        env.run()
+        assert fired and env.now == 0.0
+
+    def test_timeout_value_passthrough(self, env):
+        def proc():
+            got = yield env.timeout(1.0, value="hello")
+            return got
+        assert env.run(until=env.process(proc())) == "hello"
+
+
+class TestAllOf:
+    def test_waits_for_all(self, env):
+        t1, t2 = env.timeout(1.0), env.timeout(5.0)
+        def proc():
+            yield env.all_of([t1, t2])
+            return env.now
+        assert env.run(until=env.process(proc())) == 5.0
+
+    def test_empty_succeeds_immediately(self, env):
+        condition = AllOf(env, [])
+        assert condition.triggered
+
+    def test_collects_values(self, env):
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(2.0, value="b")
+        def proc():
+            values = yield env.all_of([t1, t2])
+            return values
+        values = env.run(until=env.process(proc()))
+        assert values[t1] == "a" and values[t2] == "b"
+
+    def test_propagates_failure(self, env):
+        bad = env.event()
+        def failer():
+            yield env.timeout(1.0)
+            bad.fail(RuntimeError("inner"))
+        env.process(failer())
+        def proc():
+            yield env.all_of([bad, env.timeout(10.0)])
+        process = env.process(proc())
+        with pytest.raises(RuntimeError):
+            env.run(until=process)
+
+
+class TestAnyOf:
+    def test_fires_on_first(self, env):
+        def proc():
+            yield env.any_of([env.timeout(4.0), env.timeout(1.0)])
+            return env.now
+        assert env.run(until=env.process(proc())) == 1.0
+
+    def test_pre_processed_event_counts(self, env):
+        done = env.event().succeed("early")
+        env.run()  # process the event
+        condition = AnyOf(env, [done, env.event()])
+        assert condition.triggered

@@ -1,0 +1,151 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError
+
+
+class TestProcessBasics:
+    def test_requires_generator(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_return_value_becomes_event_value(self, env):
+        def proc():
+            yield env.timeout(1.0)
+            return 99
+        assert env.run(until=env.process(proc())) == 99
+
+    def test_sequential_timeouts_accumulate(self, env):
+        def proc():
+            yield env.timeout(2.0)
+            yield env.timeout(3.0)
+            return env.now
+        assert env.run(until=env.process(proc())) == 5.0
+
+    def test_process_is_alive_until_done(self, env):
+        def proc():
+            yield env.timeout(1.0)
+        process = env.process(proc())
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+    def test_processes_can_wait_on_each_other(self, env):
+        def worker():
+            yield env.timeout(3.0)
+            return "result"
+        def boss():
+            result = yield env.process(worker())
+            return (env.now, result)
+        assert env.run(until=env.process(boss())) == (3.0, "result")
+
+    def test_yield_non_event_raises(self, env):
+        def proc():
+            yield 42
+        env.process(proc())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_waiting_on_already_processed_event_resumes(self, env):
+        done = env.event().succeed("v")
+        env.run()
+        assert done.processed
+        def proc():
+            value = yield done
+            return value
+        assert env.run(until=env.process(proc())) == "v"
+
+    def test_exception_in_process_propagates(self, env):
+        def proc():
+            yield env.timeout(1.0)
+            raise KeyError("oops")
+        env.process(proc())
+        with pytest.raises(KeyError):
+            env.run()
+
+    def test_active_process_visible_during_execution(self, env):
+        seen = []
+        def proc():
+            seen.append(env.active_process)
+            yield env.timeout(1.0)
+        process = env.process(proc())
+        env.run()
+        assert seen == [process]
+        assert env.active_process is None
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        def sleeper():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, env.now)
+        process = env.process(sleeper())
+        def interrupter():
+            yield env.timeout(5.0)
+            process.interrupt(cause="wake up")
+        env.process(interrupter())
+        assert env.run(until=process) == ("interrupted", "wake up", 5.0)
+
+    def test_interrupt_finished_process_raises(self, env):
+        def quick():
+            yield env.timeout(1.0)
+        process = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_interrupted_process_can_continue(self, env):
+        def resilient():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt:
+                pass
+            yield env.timeout(10.0)
+            return env.now
+        process = env.process(resilient())
+        def interrupter():
+            yield env.timeout(2.0)
+            process.interrupt()
+        env.process(interrupter())
+        assert env.run(until=process) == 12.0
+
+    def test_original_event_detached_after_interrupt(self, env):
+        timeout_holder = []
+        def sleeper():
+            timeout = env.timeout(50.0)
+            timeout_holder.append(timeout)
+            try:
+                yield timeout
+            except Interrupt:
+                yield env.timeout(100.0)
+            return env.now
+        process = env.process(sleeper())
+        def interrupter():
+            yield env.timeout(1.0)
+            process.interrupt()
+        env.process(interrupter())
+        # The interrupted process must not be resumed again at t=50.
+        assert env.run(until=process) == 101.0
+
+
+class TestDeterministicOrdering:
+    def test_two_processes_interleave_deterministically(self):
+        def run_once():
+            env = Environment(seed=3)
+            log = []
+            def a():
+                for _ in range(3):
+                    yield env.timeout(2.0)
+                    log.append(("a", env.now))
+            def b():
+                for _ in range(3):
+                    yield env.timeout(3.0)
+                    log.append(("b", env.now))
+            env.process(a())
+            env.process(b())
+            env.run()
+            return log
+        assert run_once() == run_once()

@@ -1,0 +1,107 @@
+"""Tests for Resource and Container."""
+
+import pytest
+
+from repro.sim import Container, Environment, Resource
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_grants_up_to_capacity(self, env):
+        resource = Resource(env, capacity=2)
+        r1, r2, r3 = (resource.request() for _ in range(3))
+        assert r1.triggered and r2.triggered
+        assert not r3.triggered
+        assert resource.count == 2
+
+    def test_release_wakes_waiter(self, env):
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        assert not second.triggered
+        resource.release(first)
+        assert second.triggered
+
+    def test_fifo_ordering(self, env):
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+        queue = [resource.request() for _ in range(3)]
+        resource.release(first)
+        assert queue[0].triggered
+        assert not queue[1].triggered
+
+    def test_cancel_queued_request(self, env):
+        resource = Resource(env, capacity=1)
+        held = resource.request()
+        waiting = resource.request()
+        resource.release(waiting)  # withdraw from queue
+        assert resource.count == 1
+        resource.release(held)
+        assert resource.count == 0
+
+    def test_context_manager_releases(self, env):
+        resource = Resource(env, capacity=1)
+        def proc():
+            with resource.request() as req:
+                yield req
+                assert resource.count == 1
+            return resource.count
+        assert env.run(until=env.process(proc())) == 0
+
+    def test_mutual_exclusion_in_processes(self, env):
+        resource = Resource(env, capacity=1)
+        log = []
+        def worker(name):
+            request = resource.request()
+            yield request
+            log.append((name, "in", env.now))
+            yield env.timeout(5.0)
+            log.append((name, "out", env.now))
+            resource.release(request)
+        env.process(worker("a"))
+        env.process(worker("b"))
+        env.run()
+        assert log == [("a", "in", 0.0), ("a", "out", 5.0),
+                       ("b", "in", 5.0), ("b", "out", 10.0)]
+
+
+class TestContainer:
+    def test_initial_level(self, env):
+        assert Container(env, capacity=10, init=4).level == 4
+
+    def test_invalid_init_rejected(self, env):
+        with pytest.raises(ValueError):
+            Container(env, capacity=5, init=9)
+
+    def test_put_and_get(self, env):
+        container = Container(env, capacity=100)
+        container.put(30)
+        assert container.level == 30
+        got = container.get(20)
+        assert got.triggered
+        assert container.level == 10
+
+    def test_get_blocks_until_available(self, env):
+        container = Container(env, capacity=100)
+        pending = container.get(50)
+        assert not pending.triggered
+        container.put(50)
+        assert pending.triggered
+        assert container.level == 0
+
+    def test_put_blocks_at_capacity(self, env):
+        container = Container(env, capacity=10, init=8)
+        blocked = container.put(5)
+        assert not blocked.triggered
+        container.get(5)
+        assert blocked.triggered
+
+    def test_zero_amount_rejected(self, env):
+        container = Container(env)
+        with pytest.raises(ValueError):
+            container.put(0)
+        with pytest.raises(ValueError):
+            container.get(-1)

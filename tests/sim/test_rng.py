@@ -1,0 +1,59 @@
+"""Tests for the named seeded RNG registry."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import RngRegistry, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "alpha") == derive_seed(7, "alpha")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(7, "alpha") != derive_seed(7, "beta")
+
+    def test_master_sensitivity(self):
+        assert derive_seed(7, "alpha") != derive_seed(8, "alpha")
+
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.text(max_size=40))
+    def test_always_64_bit(self, master, name):
+        seed = derive_seed(master, name)
+        assert 0 <= seed < 2 ** 64
+
+
+class TestRegistry:
+    def test_stream_is_cached(self):
+        registry = RngRegistry(0)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_streams_are_independent(self):
+        registry = RngRegistry(0)
+        a_alone = RngRegistry(0).stream("a").random(10)
+        registry.stream("b").random(100)  # consuming b must not move a
+        a_after = registry.stream("a").random(10)
+        assert list(a_alone) == list(a_after)
+
+    def test_reset_single_stream(self):
+        registry = RngRegistry(0)
+        first = registry.stream("a").random(5)
+        registry.reset("a")
+        again = registry.stream("a").random(5)
+        assert list(first) == list(again)
+
+    def test_reset_all(self):
+        registry = RngRegistry(0)
+        first = registry.stream("a").random(3)
+        registry.stream("b")
+        registry.reset()
+        assert registry.names() == []
+        assert list(registry.stream("a").random(3)) == list(first)
+
+    def test_callable_shorthand(self):
+        registry = RngRegistry(0)
+        assert registry("x") is registry.stream("x")
+
+    def test_names_sorted(self):
+        registry = RngRegistry(0)
+        for name in ("zeta", "alpha", "mid"):
+            registry.stream(name)
+        assert registry.names() == ["alpha", "mid", "zeta"]

@@ -1,0 +1,147 @@
+"""Tests for trace generation and the paper-shape calibration."""
+
+import pytest
+
+from repro.cloud.instance_types import DEFAULT_CATALOG, M3_FAMILY
+from repro.cloud.zones import Region
+from repro.traces import stats
+from repro.traces.calibration import (
+    M1_SMALL_PARAMS,
+    M3_MARKET_PARAMS,
+    market_params_for,
+    paper_market_set,
+)
+from repro.traces.generator import SIX_MONTHS_S, TraceGenerator
+
+MONTH_S = 30 * 24 * 3600.0
+
+
+class TestGenerator:
+    def test_market_key_and_od_price(self):
+        generator = TraceGenerator(seed=2)
+        trace = generator.generate_market(
+            "m3.medium", "zx", M3_MARKET_PARAMS["m3.medium"],
+            duration_s=MONTH_S)
+        assert trace.key == ("m3.medium", "zx")
+        assert trace.on_demand_price == 0.070
+
+    def test_reproducible_per_market(self):
+        a = TraceGenerator(seed=4).generate_market(
+            "m3.large", "z", M3_MARKET_PARAMS["m3.large"],
+            duration_s=MONTH_S)
+        b = TraceGenerator(seed=4).generate_market(
+            "m3.large", "z", M3_MARKET_PARAMS["m3.large"],
+            duration_s=MONTH_S)
+        assert list(a.prices) == list(b.prices)
+
+    def test_markets_differ(self):
+        generator = TraceGenerator(seed=4)
+        a = generator.generate_market(
+            "m3.medium", "z1", M3_MARKET_PARAMS["m3.medium"],
+            duration_s=MONTH_S)
+        b = generator.generate_market(
+            "m3.medium", "z2", M3_MARKET_PARAMS["m3.medium"],
+            duration_s=MONTH_S)
+        assert list(a.prices) != list(b.prices)
+
+    def test_archive_covers_market_set(self):
+        region = Region.with_zones("r", 2)
+        params = paper_market_set(M3_FAMILY[:2], region.zones)
+        archive = TraceGenerator(seed=1).generate_archive(
+            params, duration_s=7 * 24 * 3600.0)
+        assert len(archive) == 4
+        assert ("m3.large", "rb") in archive
+
+    def test_quantization_applied(self):
+        generator = TraceGenerator(seed=2)
+        trace = generator.generate_market(
+            "m3.medium", "z", M3_MARKET_PARAMS["m3.medium"],
+            duration_s=MONTH_S)
+        raw = generator.generate_market(
+            "m3.medium", "z2", M3_MARKET_PARAMS["m3.medium"],
+            duration_s=MONTH_S, quantize_decimals=None)
+        assert len(trace) <= len(raw) + 1
+        assert all(round(p, 4) == p for p in trace.prices[:100])
+
+
+class TestPaperCalibration:
+    """The Figure 6 shapes the synthetic markets must reproduce."""
+
+    @pytest.fixture(scope="class")
+    def six_month_traces(self):
+        generator = TraceGenerator(seed=60)
+        return {
+            name: generator.generate_market(
+                name, "z", params, duration_s=SIX_MONTHS_S)
+            for name, params in M3_MARKET_PARAMS.items()
+        }
+
+    def test_medium_market_is_highly_stable(self, six_month_traces):
+        # Paper: "the m3.medium spot prices over our six month period
+        # are highly stable" — a handful of crossings, not hundreds.
+        assert stats.spike_count(six_month_traces["m3.medium"]) < 30
+
+    def test_larger_markets_are_volatile(self, six_month_traces):
+        for name in ("m3.large", "m3.xlarge", "m3.2xlarge"):
+            assert stats.spike_count(six_month_traces[name]) > 100
+
+    def test_availability_band(self, six_month_traces):
+        # Fig 6a: direct spot availability at bid = on-demand sits
+        # between ~90% and ~99.99% depending on the type.
+        for name, trace in six_month_traces.items():
+            availability = stats.availability_at_bid(
+                trace, trace.on_demand_price)
+            assert 0.90 <= availability <= 0.9999, (name, availability)
+
+    def test_mean_prices_far_below_on_demand(self, six_month_traces):
+        # Fig 6a: "spot prices are extremely low on average".
+        for name, trace in six_month_traces.items():
+            ratio = trace.time_weighted_mean() / trace.on_demand_price
+            assert ratio < 0.5, (name, ratio)
+
+    def test_medium_mean_supports_5x_savings(self, six_month_traces):
+        # SpotCheck's all-in m3.medium cost must land near $0.015/hr:
+        # spot mean + ~$0.007 backup share < ~0.02.
+        mean = six_month_traces["m3.medium"].time_weighted_mean()
+        assert mean + 0.007 < 0.02
+
+    def test_price_jumps_span_orders_of_magnitude(self, six_month_traces):
+        # Fig 6b: hourly jumps reach thousands of percent.
+        increases, _ = stats.price_jump_cdf(six_month_traces["m3.large"])
+        assert increases.max() > 1000.0
+
+    def test_spikes_rise_above_on_demand(self, six_month_traces):
+        # Fig 1 / Fig 6b: spikes go "well above" the on-demand price.
+        for name in ("m3.large", "m3.2xlarge"):
+            trace = six_month_traces[name]
+            assert trace.prices.max() > 2 * trace.on_demand_price
+
+
+class TestParamsFactories:
+    def test_m3_passthrough(self):
+        medium = DEFAULT_CATALOG.get("m3.medium")
+        assert market_params_for(medium) is M3_MARKET_PARAMS["m3.medium"]
+
+    def test_volatility_scaling(self):
+        medium = DEFAULT_CATALOG.get("m3.medium")
+        scaled = market_params_for(medium, volatility_scale=2.0)
+        assert scaled.spike_rate_per_hour == pytest.approx(
+            2 * M3_MARKET_PARAMS["m3.medium"].spike_rate_per_hour)
+
+    def test_non_m3_derivation(self):
+        c3 = DEFAULT_CATALOG.get("c3.large")
+        params = market_params_for(c3)
+        assert params.on_demand_price == c3.on_demand_price
+        assert params.spike_rate_per_hour > 0
+
+    def test_m1_small_fig1_shape(self):
+        # Figure 1's m1.small spikes to ~$5/hr vs $0.06 on-demand.
+        assert M1_SMALL_PARAMS.spike_multiple_max >= 80
+        assert M1_SMALL_PARAMS.on_demand_price == 0.06
+
+    def test_market_set_zone_jitter(self):
+        region = Region.with_zones("r", 3)
+        medium = DEFAULT_CATALOG.get("m3.medium")
+        params = paper_market_set([medium], region.zones, zone_jitter=0.25)
+        rates = {p.spike_rate_per_hour for p in params.values()}
+        assert len(rates) == 3

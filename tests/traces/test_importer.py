@@ -1,0 +1,132 @@
+"""Tests for the real price-history importer."""
+
+import json
+
+import pytest
+
+from repro.traces.importer import _parse_timestamp, load_aws_json, load_csv
+
+OD = {"m3.medium": 0.07, "m3.large": 0.14}
+
+
+class TestTimestampParsing:
+    def test_epoch_number(self):
+        assert _parse_timestamp(1700000000) == 1700000000.0
+
+    def test_epoch_string(self):
+        assert _parse_timestamp("1700000000.5") == 1700000000.5
+
+    def test_iso_with_z(self):
+        assert _parse_timestamp("2014-04-01T00:00:00Z") == \
+            _parse_timestamp("2014-04-01T00:00:00+00:00")
+
+    def test_naive_iso_is_utc(self):
+        assert _parse_timestamp("2014-04-01T00:00:10") - \
+            _parse_timestamp("2014-04-01T00:00:00Z") == pytest.approx(10.0)
+
+
+class TestAwsJson:
+    def _write(self, tmp_path, entries):
+        path = tmp_path / "history.json"
+        path.write_text(json.dumps({"SpotPriceHistory": entries}))
+        return str(path)
+
+    def test_basic_import(self, tmp_path):
+        path = self._write(tmp_path, [
+            {"Timestamp": "2014-04-01T00:00:00Z", "InstanceType":
+             "m3.medium", "AvailabilityZone": "us-east-1a",
+             "SpotPrice": "0.0081"},
+            {"Timestamp": "2014-04-01T01:00:00Z", "InstanceType":
+             "m3.medium", "AvailabilityZone": "us-east-1a",
+             "SpotPrice": "0.0085"},
+        ])
+        archive, skipped = load_aws_json(path, OD)
+        assert skipped == []
+        trace = archive.get("m3.medium", "us-east-1a")
+        assert list(trace.times) == [0.0, 3600.0]  # rebased
+        assert trace.prices[1] == pytest.approx(0.0085)
+        assert trace.on_demand_price == 0.07
+
+    def test_out_of_order_records_sorted(self, tmp_path):
+        path = self._write(tmp_path, [
+            {"Timestamp": "2014-04-01T02:00:00Z", "InstanceType":
+             "m3.medium", "AvailabilityZone": "a", "SpotPrice": "0.02"},
+            {"Timestamp": "2014-04-01T00:00:00Z", "InstanceType":
+             "m3.medium", "AvailabilityZone": "a", "SpotPrice": "0.01"},
+        ])
+        archive, _ = load_aws_json(path, OD)
+        trace = archive.get("m3.medium", "a")
+        assert list(trace.prices) == [0.01, 0.02]
+
+    def test_unknown_type_skipped(self, tmp_path):
+        path = self._write(tmp_path, [
+            {"Timestamp": "2014-04-01T00:00:00Z", "InstanceType":
+             "z9.mega", "AvailabilityZone": "a", "SpotPrice": "0.5"},
+            {"Timestamp": "2014-04-01T00:00:00Z", "InstanceType":
+             "m3.medium", "AvailabilityZone": "a", "SpotPrice": "0.01"},
+        ])
+        archive, skipped = load_aws_json(path, OD)
+        assert ("z9.mega", "a") in skipped
+        assert len(archive) == 1
+
+    def test_duplicate_timestamp_keeps_latest(self, tmp_path):
+        path = self._write(tmp_path, [
+            {"Timestamp": "2014-04-01T00:00:00Z", "InstanceType":
+             "m3.medium", "AvailabilityZone": "a", "SpotPrice": "0.01"},
+            {"Timestamp": "2014-04-01T00:00:00Z", "InstanceType":
+             "m3.medium", "AvailabilityZone": "a", "SpotPrice": "0.03"},
+        ])
+        archive, _ = load_aws_json(path, OD)
+        trace = archive.get("m3.medium", "a")
+        assert len(trace) == 1
+
+    def test_bad_document_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"SpotPriceHistory": "nope"}))
+        with pytest.raises(ValueError):
+            load_aws_json(str(path), OD)
+
+
+class TestCsv:
+    def test_basic_import(self, tmp_path):
+        path = tmp_path / "prices.csv"
+        path.write_text(
+            "Timestamp,Instance_Type,Availability_Zone,Spot_Price,extra\n"
+            "0,m3.medium,a,0.008,x\n"
+            "3600,m3.medium,a,0.009,y\n"
+            "0,m3.large,a,0.016,z\n")
+        archive, skipped = load_csv(str(path), OD)
+        assert len(archive) == 2
+        assert archive.get("m3.large", "a").prices[0] == pytest.approx(0.016)
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,price\n0,0.01\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            load_csv(str(path), OD)
+
+    def test_imported_archive_drives_a_market(self, tmp_path, env, zone):
+        # The acid test: an imported trace plugs straight into the
+        # cloud substrate.
+        from repro.cloud.api import CloudApi
+        from repro.cloud.instance_types import M3_CATALOG
+        from repro.cloud.instances import Market
+        from repro.cloud.zones import default_region
+        path = tmp_path / "prices.csv"
+        path.write_text(
+            "timestamp,instance_type,availability_zone,spot_price\n"
+            f"0,m3.medium,{zone.name},0.008\n"
+            f"50000,m3.medium,{zone.name},0.900\n"
+            f"58000,m3.medium,{zone.name},0.008\n"
+            f"864000,m3.medium,{zone.name},0.008\n")
+        archive, _ = load_csv(str(path), OD)
+        api = CloudApi(env, default_region(1), M3_CATALOG)
+        api.install_market(M3_CATALOG.get("m3.medium"), zone,
+                           archive.get("m3.medium", zone.name))
+        def flow():
+            instance = yield api.run_instance(
+                M3_CATALOG.get("m3.medium"), zone, Market.SPOT, bid=0.07)
+            yield instance.terminated
+            return instance
+        instance = env.run(until=env.process(flow()))
+        assert instance.terminated_at == pytest.approx(50000.0 + 120.0)

@@ -1,0 +1,101 @@
+"""Tests for the regime-switching price model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngRegistry
+from repro.traces.model import MarketParams, SpotPriceModel
+
+DAY = 24 * 3600.0
+
+
+def params(**overrides):
+    defaults = dict(on_demand_price=0.07)
+    defaults.update(overrides)
+    return MarketParams(**defaults)
+
+
+@pytest.fixture
+def rng():
+    return RngRegistry(5).stream("model-tests")
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            params(on_demand_price=-1)
+        with pytest.raises(ValueError):
+            params(base_ratio_mean=1.5)
+        with pytest.raises(ValueError):
+            params(mean_reversion=1.0)
+        with pytest.raises(ValueError):
+            params(spike_rate_per_hour=-0.1)
+        with pytest.raises(ValueError):
+            params(spike_multiple_median=0.9)
+        with pytest.raises(ValueError):
+            params(ratio_floor=0.5, base_ratio_mean=0.2)
+
+    def test_expected_spikes(self):
+        p = params(spike_rate_per_hour=0.5)
+        assert p.expected_spikes(7200.0) == pytest.approx(1.0)
+
+
+class TestGeneration:
+    def test_prices_positive_and_bounded(self, rng):
+        model = SpotPriceModel(params(spike_rate_per_hour=1.0))
+        _times, prices = model.generate(rng, 10 * DAY)
+        assert (prices > 0).all()
+        assert prices.max() <= 0.07 * 100.0 + 1e-9
+
+    def test_times_strictly_sorted(self, rng):
+        model = SpotPriceModel(params(spike_rate_per_hour=2.0))
+        times, _prices = model.generate(rng, 5 * DAY)
+        assert (np.diff(times) >= 0).all()
+
+    def test_no_spikes_stays_below_on_demand(self, rng):
+        model = SpotPriceModel(params(spike_rate_per_hour=0.0))
+        _times, prices = model.generate(rng, 10 * DAY)
+        assert prices.max() < 0.07
+
+    def test_spikes_exceed_on_demand(self, rng):
+        model = SpotPriceModel(params(spike_rate_per_hour=0.3))
+        _times, prices = model.generate(rng, 20 * DAY)
+        assert prices.max() > 0.07  # some spike fired over 20 days
+
+    def test_base_mean_ratio_calibrated(self, rng):
+        model = SpotPriceModel(params(
+            spike_rate_per_hour=0.0, base_ratio_mean=0.12,
+            base_log_volatility=0.03))
+        times, prices = model.generate(rng, 60 * DAY)
+        from repro.traces.archive import PriceTrace
+        trace = PriceTrace(times, prices, "t", "z", 0.07)
+        assert trace.time_weighted_mean() / 0.07 == \
+            pytest.approx(0.12, rel=0.25)
+
+    def test_start_time_offset(self, rng):
+        model = SpotPriceModel(params())
+        times, _prices = model.generate(rng, DAY, start_time=1000.0)
+        assert times[0] == 1000.0
+
+    def test_deterministic_given_stream(self):
+        model = SpotPriceModel(params(spike_rate_per_hour=1.0))
+        t1, p1 = model.generate(RngRegistry(3).stream("m"), 3 * DAY)
+        t2, p2 = model.generate(RngRegistry(3).stream("m"), 3 * DAY)
+        assert np.array_equal(t1, t2) and np.array_equal(p1, p2)
+
+    def test_spike_duration_and_recovery(self, rng):
+        # With long spikes and a high rate, the price must spend a
+        # nontrivial fraction of time above on-demand and recover below.
+        model = SpotPriceModel(params(
+            spike_rate_per_hour=0.2, spike_duration_mean_s=3600.0))
+        times, prices = model.generate(rng, 30 * DAY)
+        above = prices > 0.07
+        assert 0.005 < above.mean() < 0.6
+        assert not above[-1] or not above[0]
+
+    def test_ratio_floor_respected(self, rng):
+        model = SpotPriceModel(params(
+            ratio_floor=0.05, base_ratio_mean=0.06,
+            base_log_volatility=0.5, spike_rate_per_hour=0.0))
+        _times, prices = model.generate(rng, 5 * DAY)
+        assert prices.min() >= 0.05 * 0.07 - 1e-12

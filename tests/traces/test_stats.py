@@ -1,0 +1,116 @@
+"""Tests for the Figure 6 statistics."""
+
+import numpy as np
+import pytest
+
+from repro.traces import stats
+from repro.traces.archive import PriceTrace
+
+
+def make_trace(steps, od=0.07, type_name="m3.medium", zone="z1"):
+    times = [t for t, _ in steps]
+    prices = [p for _, p in steps]
+    return PriceTrace(times, prices, type_name, zone, od)
+
+
+class TestResample:
+    def test_hourly_grid(self):
+        trace = make_trace([(0, 0.02), (5400, 0.05)])
+        grid, prices = stats.resample_hourly(trace, horizon=4 * 3600)
+        assert list(grid) == [0.0, 3600.0, 7200.0, 10800.0]
+        assert list(prices) == [0.02, 0.02, 0.05, 0.05]
+
+    def test_bad_horizon(self):
+        trace = make_trace([(100, 0.02)])
+        with pytest.raises(ValueError):
+            stats.resample_hourly(trace, horizon=50)
+
+
+class TestAvailability:
+    def test_at_bid_simple(self):
+        trace = make_trace([(0, 0.02), (100, 0.10), (200, 0.02)])
+        # 100s above 0.07 out of 300s (horizon at 300).
+        assert stats.availability_at_bid(trace, 0.07, horizon=300) == \
+            pytest.approx(2 / 3)
+
+    def test_cdf_monotone(self):
+        trace = make_trace([(0, 0.02), (50, 0.05), (100, 0.12), (150, 0.02)])
+        ratios, availability = stats.availability_cdf(trace, horizon=200)
+        assert (np.diff(availability) >= -1e-12).all()
+        assert availability[0] == 0.0
+        assert availability[-1] <= 1.0
+
+    def test_cdf_at_one_equals_availability_at_od(self):
+        trace = make_trace([(0, 0.02), (100, 0.3), (150, 0.02)])
+        ratios, availability = stats.availability_cdf(
+            trace, ratios=[1.0], horizon=400)
+        assert availability[0] == pytest.approx(
+            stats.availability_at_bid(trace, 0.07, horizon=400))
+
+
+class TestJumps:
+    def test_increase_and_decrease_split(self):
+        trace = make_trace([(0, 0.02), (3600, 0.08), (7200, 0.02)])
+        increases, decreases = stats.price_jump_cdf(trace, horizon=3 * 3600)
+        assert increases[0] == pytest.approx(300.0)  # 0.02 -> 0.08
+        assert decreases[0] == pytest.approx(75.0)   # 0.08 -> 0.02
+
+    def test_flat_trace_no_jumps(self):
+        trace = make_trace([(0, 0.02)])
+        increases, decreases = stats.price_jump_cdf(trace, horizon=10 * 3600)
+        assert len(increases) == 0 and len(decreases) == 0
+
+
+class TestCorrelation:
+    def test_identical_traces_fully_correlated(self):
+        steps = [(i * 3600.0, 0.02 + 0.01 * (i % 5)) for i in range(50)]
+        a = make_trace(steps, type_name="a")
+        b = make_trace(steps, type_name="b")
+        keys, matrix = stats.correlation_matrix([a, b])
+        assert matrix[0, 1] == pytest.approx(1.0)
+
+    def test_anticorrelated(self):
+        up = [(i * 3600.0, 0.01 + 0.001 * i) for i in range(50)]
+        down = [(i * 3600.0, 0.06 - 0.001 * i) for i in range(50)]
+        keys, matrix = stats.correlation_matrix(
+            [make_trace(up, type_name="a"), make_trace(down, type_name="b")])
+        assert matrix[0, 1] == pytest.approx(-1.0)
+
+    def test_constant_trace_zero_correlation(self):
+        steps = [(i * 3600.0, 0.02 + 0.01 * (i % 3)) for i in range(30)]
+        flat = make_trace([(0, 0.02)], type_name="flat")
+        varying = make_trace(steps, type_name="vary")
+        keys, matrix = stats.correlation_matrix([flat, varying])
+        assert matrix[0, 1] == 0.0
+        assert matrix[0, 0] == 1.0
+
+    def test_needs_two_traces(self):
+        with pytest.raises(ValueError):
+            stats.correlation_matrix([make_trace([(0, 0.02)])])
+
+    def test_independent_streams_uncorrelated(self):
+        # The Fig 6c/6d property: independently seeded markets must be
+        # (near-)uncorrelated.
+        from repro.traces.calibration import M3_MARKET_PARAMS
+        from repro.traces.generator import TraceGenerator
+        generator = TraceGenerator(seed=13)
+        traces = [
+            generator.generate_market(name, "z1", params,
+                                      duration_s=40 * 24 * 3600.0)
+            for name, params in M3_MARKET_PARAMS.items()]
+        _keys, matrix = stats.correlation_matrix(traces)
+        off_diagonal = np.abs(matrix - np.eye(len(traces))).max()
+        assert off_diagonal < 0.25
+
+
+class TestSummaries:
+    def test_spike_count(self):
+        trace = make_trace([(0, 0.02), (10, 0.2), (20, 0.02), (30, 0.3)])
+        assert stats.spike_count(trace) == 2
+
+    def test_summarize_keys(self):
+        trace = make_trace([(0, 0.02)])
+        summary = stats.summarize(trace)
+        assert summary["market"] == ("m3.medium", "z1")
+        assert summary["mean_ratio"] == pytest.approx(0.02 / 0.07)
+        assert summary["availability_at_od"] == 1.0

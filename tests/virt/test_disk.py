@@ -1,0 +1,109 @@
+"""Tests for local-disk mirroring (the DRBD option)."""
+
+import pytest
+
+from repro.virt.disk import (
+    DiskModel,
+    LocalDiskMirror,
+    MirrorConfig,
+    migration_downtime_comparison,
+)
+
+GiB = 1024 ** 3
+
+
+def disk(write_mbps=2.0, **kwargs):
+    return DiskModel(total_bytes=32 * GiB,
+                     write_rate_bps=write_mbps * 1e6, **kwargs)
+
+
+class TestValidation:
+    def test_disk_model(self):
+        with pytest.raises(ValueError):
+            DiskModel(total_bytes=0, write_rate_bps=1.0)
+        with pytest.raises(ValueError):
+            DiskModel(total_bytes=1, write_rate_bps=-1.0)
+        with pytest.raises(ValueError):
+            DiskModel(total_bytes=1, write_rate_bps=1.0, burst_factor=0.5)
+
+    def test_mirror_config(self):
+        with pytest.raises(ValueError):
+            MirrorConfig(bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            MirrorConfig(buffer_delay_s=-1)
+
+
+class TestFeasibility:
+    def test_light_writer_feasible(self):
+        mirror = LocalDiskMirror(disk(write_mbps=2.0))
+        assert mirror.feasible
+        assert mirror.fits_warning(120.0)
+
+    def test_heavy_writer_infeasible(self):
+        mirror = LocalDiskMirror(disk(write_mbps=20.0))
+        assert not mirror.feasible
+        assert mirror.final_sync_s() == float("inf")
+        assert not mirror.fits_warning(120.0)
+
+    def test_idle_disk_instant_sync(self):
+        mirror = LocalDiskMirror(disk(write_mbps=0.0))
+        assert mirror.steady_backlog_bytes() == 0.0
+        assert mirror.final_sync_s() == 0.0
+
+
+class TestBacklogAndSync:
+    def test_backlog_grows_with_write_rate(self):
+        light = LocalDiskMirror(disk(write_mbps=1.0))
+        heavy = LocalDiskMirror(disk(write_mbps=5.0))
+        assert heavy.steady_backlog_bytes() > light.steady_backlog_bytes()
+
+    def test_sync_time_within_warning_for_typical_rates(self):
+        # "EC2's warning period permits asynchronous mirroring ...
+        # without significant performance degradation."
+        for write_mbps in (0.5, 1.0, 2.0, 5.0):
+            mirror = LocalDiskMirror(disk(write_mbps=write_mbps))
+            assert mirror.final_sync_s() < 120.0, write_mbps
+
+    def test_more_bandwidth_faster_sync(self):
+        slow = LocalDiskMirror(disk(5.0), MirrorConfig(bandwidth_bps=8e6))
+        fast = LocalDiskMirror(disk(5.0), MirrorConfig(bandwidth_bps=40e6))
+        assert fast.final_sync_s() < slow.final_sync_s()
+
+    def test_stream_consumption_capped(self):
+        mirror = LocalDiskMirror(disk(20.0), MirrorConfig(bandwidth_bps=8e6))
+        assert mirror.mirror_stream_bps() == 8e6
+
+
+class TestComparison:
+    def test_local_disk_skips_ebs_ops(self):
+        from repro.cloud.latency import OperationLatencyModel
+        from repro.sim.rng import RngRegistry
+        from repro.virt.migration.checkpoint import CheckpointStream
+        from repro.workloads import TpcwWorkload
+        stream = CheckpointStream(
+            TpcwWorkload().memory_model(int(1.7 * GiB)))
+        mirror = LocalDiskMirror(disk(write_mbps=1.0))
+        latency = OperationLatencyModel(RngRegistry(1).stream("x"))
+        result = migration_downtime_comparison(stream, mirror, latency)
+        # Same memory commit on both sides.
+        assert result["memory_commit_s"] < 2.0
+        # EBS pays ~22.65 s of control-plane ops...
+        assert result["ebs"]["ops_s"] == pytest.approx(22.65, abs=0.8)
+        # ...local disk pays only the ENI ops plus a short sync,
+        assert result["local"]["ops_s"] < 9.0
+        assert result["local"]["feasible"]
+        # which makes the locally-mirrored migration faster overall
+        # for a light disk writer.
+        assert result["local"]["total_s"] < result["ebs"]["total_s"]
+
+    def test_heavy_writer_prefers_ebs(self):
+        from repro.cloud.latency import OperationLatencyModel
+        from repro.sim.rng import RngRegistry
+        from repro.virt.migration.checkpoint import CheckpointStream
+        from repro.workloads import TpcwWorkload
+        stream = CheckpointStream(
+            TpcwWorkload().memory_model(int(1.7 * GiB)))
+        mirror = LocalDiskMirror(disk(write_mbps=11.9))
+        latency = OperationLatencyModel(RngRegistry(1).stream("x"))
+        result = migration_downtime_comparison(stream, mirror, latency)
+        assert result["local"]["total_s"] > result["ebs"]["total_s"]

@@ -1,0 +1,71 @@
+"""Property-based tests for the fair-share link."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.kernel import Environment
+from repro.virt.network import FairShareLink
+
+flow_sizes = st.lists(
+    st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=8)
+
+
+class TestConservation:
+    @given(flow_sizes)
+    @settings(max_examples=60, deadline=None)
+    def test_total_bytes_per_second_conserved(self, sizes):
+        """All simultaneous flows finish exactly when sum(bytes)/capacity
+        elapses for the *last* one — no bandwidth is lost or created."""
+        env = Environment()
+        link = FairShareLink(env, capacity_bps=100.0)
+        flows = [link.transfer(size) for size in sizes]
+        env.run()
+        assert max(f.value for f in flows) == \
+            pytest.approx(sum(sizes) / 100.0, rel=1e-6)
+
+    @given(flow_sizes)
+    @settings(max_examples=60, deadline=None)
+    def test_smaller_flows_never_finish_later(self, sizes):
+        env = Environment()
+        link = FairShareLink(env, capacity_bps=50.0)
+        flows = [(size, link.transfer(size)) for size in sizes]
+        env.run()
+        ordered = sorted(flows, key=lambda pair: pair[0])
+        times = [flow.value for _size, flow in ordered]
+        assert all(b >= a - 1e-9 for a, b in zip(times, times[1:]))
+
+    @given(flow_sizes, st.floats(min_value=1.0, max_value=20.0))
+    @settings(max_examples=40, deadline=None)
+    def test_caps_only_slow_down(self, sizes, cap):
+        env_free = Environment()
+        free_link = FairShareLink(env_free, capacity_bps=100.0)
+        free = [free_link.transfer(size) for size in sizes]
+        env_free.run()
+
+        env_capped = Environment()
+        capped_link = FairShareLink(env_capped, capacity_bps=100.0)
+        capped = [capped_link.transfer(size, rate_cap=cap)
+                  for size in sizes]
+        env_capped.run()
+
+        for f, c in zip(free, capped):
+            assert c.value >= f.value - 1e-9
+
+    @given(flow_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_staggered_arrivals_all_complete(self, sizes):
+        env = Environment()
+        link = FairShareLink(env, capacity_bps=100.0)
+        flows = []
+
+        def spawner():
+            for size in sizes:
+                flows.append(link.transfer(size))
+                yield env.timeout(size / 300.0)
+
+        env.process(spawner())
+        env.run()
+        assert len(flows) == len(sizes)
+        assert all(flow.triggered for flow in flows)
+        assert link.active_flows == 0

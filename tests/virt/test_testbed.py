@@ -1,0 +1,103 @@
+"""DES testbed vs analytic models: they must agree."""
+
+import pytest
+
+from repro.backup.scheduler import RestoreScheduler
+from repro.sim.kernel import Environment
+from repro.virt.testbed import MicroTestbed
+from repro.workloads import SpecJbbWorkload, TpcwWorkload
+
+
+def make_testbed(vm_count=1, workload=TpcwWorkload, **kwargs):
+    env = Environment(seed=3)
+    return env, MicroTestbed(env, vm_count=vm_count,
+                             workload_factory=workload, **kwargs)
+
+
+class TestSteadyState:
+    def test_single_stream_matches_analytic_rate(self):
+        env, testbed = make_testbed(vm_count=1)
+        measured = testbed.run_steady(4 * 3600.0)
+        analytic = testbed.streams[testbed.vms[0].id].stream_rate_bps()
+        vm_id = testbed.vms[0].id
+        assert measured["per_vm_bps"][vm_id] == \
+            pytest.approx(analytic, rel=0.10)
+
+    def test_ten_streams_share_cleanly(self):
+        env, testbed = make_testbed(vm_count=10)
+        measured = testbed.run_steady(2 * 3600.0)
+        # Well under the knee: every stream achieves its full rate.
+        analytic = testbed.streams[testbed.vms[0].id].stream_rate_bps()
+        for rate in measured["per_vm_bps"].values():
+            assert rate == pytest.approx(analytic, rel=0.15)
+        assert measured["utilization"] < 0.5
+
+    def test_specjbb_streams_hotter_than_tpcw(self):
+        env_a, tpcw = make_testbed(vm_count=1, workload=TpcwWorkload)
+        env_b, jbb = make_testbed(vm_count=1, workload=SpecJbbWorkload)
+        tpcw_rate = tpcw.run_steady(2 * 3600.0)["aggregate_bps"]
+        jbb_rate = jbb.run_steady(2 * 3600.0)["aggregate_bps"]
+        assert jbb_rate > tpcw_rate
+
+    def test_store_stays_consistent(self):
+        env, testbed = make_testbed(vm_count=3)
+        testbed.run_steady(3600.0)
+        for vm in testbed.vms:
+            record = testbed.server.store.image(vm.id)
+            assert record.commits > 10
+            assert record.is_complete
+
+
+class TestRevocationDrill:
+    def test_single_vm_downtime_near_analytic(self):
+        env, testbed = make_testbed(vm_count=1)
+        vm = testbed.vms[0]
+        stream = testbed.streams[vm.id]
+        scheduler = RestoreScheduler(testbed.server)
+        drill = testbed.revocation_drill()
+        downtime, degraded = drill["per_vm"][vm.id]
+        analytic_downtime = (
+            stream.final_commit_downtime_s(ramped=True)
+            + scheduler.lazy_restore_downtime_s(concurrent=1))
+        # The DES commit contends on the full ingest link rather than
+        # the conservative worst-case share, so it can only be faster.
+        assert downtime <= analytic_downtime * 1.10
+        assert downtime > 0.0
+        assert degraded > 10.0  # ramp window + lazy paging
+
+    def test_yank_drill_pauses_longer(self):
+        env_a, ramped = make_testbed(vm_count=1)
+        env_b, yank = make_testbed(vm_count=1)
+        vm_r = ramped.vms[0].id
+        vm_y = yank.vms[0].id
+        down_ramped = ramped.revocation_drill(ramped=True)["per_vm"][vm_r][0]
+        down_yank = yank.revocation_drill(ramped=False)["per_vm"][vm_y][0]
+        assert down_yank > 3 * down_ramped
+
+    def test_storm_of_ten_scales_like_fig8(self):
+        env, testbed = make_testbed(vm_count=10)
+        drill = testbed.revocation_drill(restore_kind="lazy", optimized=True)
+        scheduler = RestoreScheduler(testbed.server)
+        analytic_degraded = scheduler.lazy_restore_degraded_s(
+            testbed.vms[0].memory.total_bytes, 10, True)
+        for _downtime, degraded in drill["per_vm"].values():
+            # Ramp window (~28 s) + concurrent lazy paging (~260 s).
+            assert degraded == pytest.approx(analytic_degraded + 28.0,
+                                             rel=0.25)
+
+    def test_full_restore_drill_all_downtime(self):
+        env, testbed = make_testbed(vm_count=5)
+        drill = testbed.revocation_drill(restore_kind="full",
+                                         optimized=True)
+        scheduler = RestoreScheduler(testbed.server)
+        analytic = scheduler.full_restore_downtime_s(
+            testbed.vms[0].memory.total_bytes, 5, True)
+        for downtime, _degraded in drill["per_vm"].values():
+            assert downtime == pytest.approx(analytic, rel=0.30)
+
+    def test_no_state_left_uncommitted(self):
+        env, testbed = make_testbed(vm_count=4)
+        testbed.run_steady(1800.0)
+        testbed.revocation_drill()
+        for vm in testbed.vms:
+            assert testbed.server.store.image(vm.id).is_complete

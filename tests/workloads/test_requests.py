@@ -1,0 +1,105 @@
+"""Tests for the request-level SLA analyzer."""
+
+import pytest
+
+from repro.cloud.instance_types import M3_CATALOG
+from repro.virt.vm import NestedVM, VMState
+from repro.workloads import Conditions, TpcwWorkload
+from repro.workloads.requests import (
+    ConditionSegment,
+    RequestAnalyzer,
+    timeline_from_vm,
+)
+
+
+@pytest.fixture
+def analyzer():
+    return RequestAnalyzer(TpcwWorkload())
+
+
+def normal_segment(start, end):
+    return ConditionSegment(start, end, Conditions(checkpointing=True))
+
+
+def restore_segment(start, end):
+    return ConditionSegment(
+        start, end, Conditions(restoring=True, restore_concurrency=1))
+
+
+def down_segment(start, end):
+    return ConditionSegment(start, end, Conditions(), down=True)
+
+
+class TestAnalyze:
+    def test_steady_state_latency(self, analyzer):
+        stats = analyzer.analyze([normal_segment(0, 3600)], rate_rps=10.0)
+        assert stats.total_requests == pytest.approx(36000)
+        assert stats.error_rate == 0.0
+        # Mean at the checkpointing-on response (~33.3 ms); the median
+        # of the lognormal sits slightly below the mean.
+        assert stats.mean_ms == pytest.approx(33.3, abs=0.2)
+        assert stats.p50_ms < stats.mean_ms
+        assert stats.p50_ms < stats.p95_ms < stats.p99_ms
+
+    def test_downtime_becomes_errors(self, analyzer):
+        stats = analyzer.analyze(
+            [normal_segment(0, 990), down_segment(990, 1000)], rate_rps=5.0)
+        assert stats.error_rate == pytest.approx(0.01)
+        assert stats.failed_requests == pytest.approx(50.0)
+
+    def test_restore_window_fattens_tail(self, analyzer):
+        quiet = analyzer.analyze([normal_segment(0, 1000)], rate_rps=10.0)
+        disturbed = analyzer.analyze(
+            [normal_segment(0, 900), restore_segment(900, 1000)],
+            rate_rps=10.0)
+        assert disturbed.p99_ms > quiet.p99_ms
+        # 10% of requests at ~60 ms: the p95 moves, the p50 barely.
+        assert disturbed.p50_ms == pytest.approx(quiet.p50_ms, rel=0.10)
+
+    def test_sla_violations_counted(self, analyzer):
+        stats = analyzer.analyze(
+            [normal_segment(0, 1000)], rate_rps=1.0, sla_threshold_ms=29.0)
+        # Threshold below the mean: a large share violates.
+        assert stats.sla_violation_rate > 0.3
+        relaxed = analyzer.analyze(
+            [normal_segment(0, 1000)], rate_rps=1.0, sla_threshold_ms=500.0)
+        assert relaxed.sla_violation_rate < 0.01
+
+    def test_all_down_is_nan_latency(self, analyzer):
+        stats = analyzer.analyze([down_segment(0, 100)], rate_rps=1.0)
+        assert stats.error_rate == 1.0
+
+    def test_validation(self, analyzer):
+        with pytest.raises(ValueError):
+            analyzer.analyze([normal_segment(0, 10)], rate_rps=0.0)
+        with pytest.raises(ValueError):
+            RequestAnalyzer(TpcwWorkload(), latency_cov=0.0)
+
+
+class TestTimeline:
+    def test_vm_state_log_to_segments(self, env):
+        vm = NestedVM(env, M3_CATALOG.get("m3.medium"),
+                      workload=TpcwWorkload())
+        vm.set_state(VMState.RUNNING)
+        env._now = 100.0
+        vm.set_state(VMState.SUSPENDED)
+        env._now = 123.0
+        vm.set_state(VMState.RESTORING)
+        env._now = 180.0
+        vm.set_state(VMState.RUNNING)
+        segments = timeline_from_vm(vm, 0.0, 1000.0)
+        kinds = [(s.down, s.conditions.restoring, round(s.duration))
+                 for s in segments if s.duration > 0]
+        assert (True, False, 23) in kinds     # the suspend window
+        assert (False, True, 57) in kinds     # the restore window
+        assert sum(s.duration for s in segments) == pytest.approx(1000.0)
+
+    def test_analyze_vm_end_to_end(self, env):
+        vm = NestedVM(env, M3_CATALOG.get("m3.medium"),
+                      workload=TpcwWorkload())
+        vm.set_state(VMState.RUNNING)
+        env._now = 3600.0
+        analyzer = RequestAnalyzer(TpcwWorkload())
+        stats = analyzer.analyze_vm(vm, 0.0, 3600.0, rate_rps=20.0)
+        assert stats.total_requests == pytest.approx(72000)
+        assert stats.error_rate == 0.0

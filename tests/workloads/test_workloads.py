@@ -1,0 +1,138 @@
+"""Tests for the TPC-W and SPECjbb workload models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.virt.memory import MemoryModel
+from repro.workloads import (
+    Conditions,
+    MEMORY_PROFILES,
+    SpecJbbWorkload,
+    TpcwWorkload,
+    profile_for,
+)
+
+GiB = 1024 ** 3
+
+conditions_strategy = st.builds(
+    Conditions,
+    checkpointing=st.booleans(),
+    backup_overload=st.floats(min_value=0.0, max_value=1.0),
+    restoring=st.booleans(),
+    restore_concurrency=st.integers(min_value=0, max_value=50),
+)
+
+
+class TestConditions:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Conditions(backup_overload=1.5)
+        with pytest.raises(ValueError):
+            Conditions(restore_concurrency=-1)
+
+
+class TestTpcw:
+    def test_baseline_is_29ms(self):
+        # Figure 9's zero column.
+        assert TpcwWorkload().response_time_ms(Conditions()) == 29.0
+
+    def test_checkpointing_costs_15_percent(self):
+        # Figure 7: "TPC-W experiences a 15% increase in response time".
+        response = TpcwWorkload().response_time_ms(
+            Conditions(checkpointing=True))
+        assert response == pytest.approx(29.0 * 1.15)
+
+    def test_restore_doubles_response(self):
+        # Figure 9: 29 ms -> ~60 ms during a lazy restore.
+        response = TpcwWorkload().response_time_ms(
+            Conditions(restoring=True, restore_concurrency=1))
+        assert response == pytest.approx(60.0, abs=1.0)
+
+    def test_restore_flat_in_concurrency(self):
+        # Figure 9: "additional concurrent restorations do not
+        # significantly degrade performance".
+        workload = TpcwWorkload()
+        one = workload.response_time_ms(
+            Conditions(restoring=True, restore_concurrency=1))
+        ten = workload.response_time_ms(
+            Conditions(restoring=True, restore_concurrency=10))
+        assert ten < one * 1.10
+
+    def test_overload_pushes_past_30_percent(self):
+        # Figure 7 at 50 VMs: roughly +30%.
+        response = TpcwWorkload().response_time_ms(
+            Conditions(checkpointing=True, backup_overload=0.24))
+        assert response == pytest.approx(29.0 * 1.30, rel=0.05)
+
+    @given(conditions_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_never_faster_than_baseline(self, conditions):
+        workload = TpcwWorkload()
+        assert workload.response_time_ms(conditions) >= \
+            workload.baseline_response_ms - 1e-9
+
+    @given(conditions_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_degradation_consistent_with_response(self, conditions):
+        workload = TpcwWorkload()
+        degradation = workload.degradation_fraction(conditions)
+        assert degradation >= -1e-9
+        expected = workload.baseline_response_ms * (1 + degradation)
+        assert workload.response_time_ms(conditions) == \
+            pytest.approx(expected)
+
+
+class TestSpecJbb:
+    def test_baseline_throughput(self):
+        assert SpecJbbWorkload().throughput_bops(Conditions()) == 10500.0
+
+    def test_checkpointing_alone_free(self):
+        # Figure 7: "SpecJBB experiences no noticeable performance
+        # degradation during normal operation".
+        assert SpecJbbWorkload().throughput_bops(
+            Conditions(checkpointing=True)) == 10500.0
+
+    def test_overload_drops_throughput_30_percent(self):
+        throughput = SpecJbbWorkload().throughput_bops(
+            Conditions(checkpointing=True, backup_overload=0.37))
+        assert throughput == pytest.approx(10500 * 0.70, rel=0.05)
+
+    def test_restore_halves_throughput(self):
+        throughput = SpecJbbWorkload().throughput_bops(
+            Conditions(restoring=True, restore_concurrency=1))
+        assert throughput == pytest.approx(10500 * 0.55)
+
+    @given(conditions_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_throughput_never_negative_or_above_baseline(self, conditions):
+        workload = SpecJbbWorkload()
+        throughput = workload.throughput_bops(conditions)
+        assert 0.0 <= throughput <= workload.baseline_throughput_bops
+
+    def test_more_memory_intensive_than_tpcw(self):
+        # Paper: SPECjbb "is generally more memory-intensive than TPC-W".
+        assert SpecJbbWorkload.write_rate_pages > TpcwWorkload.write_rate_pages
+
+
+class TestMemoryProfiles:
+    def test_profiles_build_models(self):
+        for name in MEMORY_PROFILES:
+            model = profile_for(name, GiB)
+            assert isinstance(model, MemoryModel)
+            assert model.total_bytes == GiB
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            profile_for("cryptominer", GiB)
+
+    def test_profiles_span_convergence_spectrum(self):
+        # 'idle' must live-migrate trivially; 'write-storm' must not.
+        from repro.virt.migration.live import PreCopyMigration
+        planner = PreCopyMigration(bandwidth_bps=22e6)
+        assert planner.fits_within(profile_for("idle", GiB), 120.0)
+        assert not planner.fits_within(profile_for("write-storm", GiB), 120.0)
+
+    def test_workload_memory_models_match_profiles(self):
+        tpcw_model = TpcwWorkload().memory_model(GiB)
+        web_profile = profile_for("web", GiB)
+        assert tpcw_model.write_rate_pages == web_profile.write_rate_pages
