@@ -148,9 +148,36 @@ class BackupServer:
         if vm_id in self.streams:
             raise ValueError(f"{vm_id} already assigned to {self.id}")
         self.streams[vm_id] = float(rate_bps)
+        self._observe_write_path("backup.stream_assigned", vm_id)
 
     def release_stream(self, vm_id):
-        self.streams.pop(vm_id, None)
+        if self.streams.pop(vm_id, None) is not None:
+            self._observe_write_path("backup.stream_released", vm_id)
+
+    def _observe_write_path(self, event_name, vm_id):
+        """Publish the stream change and the resulting write pressure.
+
+        A ``backup.throttled`` event additionally marks the moment
+        aggregate checkpoint demand exceeds the write path (the
+        post-knee regime of Figure 7) — the per-VM streams are being
+        throttled below their requested rates from here on.
+        """
+        obs = getattr(self.env, "obs", None)
+        if obs is None:
+            return
+        utilization = self.write_utilization()
+        obs.emit(event_name, server=self.id, vm=vm_id,
+                 assigned=self.assigned_vms, utilization=utilization)
+        obs.metrics.gauge(
+            "backup_write_utilization", server=self.id).set(utilization)
+        obs.metrics.gauge(
+            "backup_assigned_vms", server=self.id).set(self.assigned_vms)
+        if utilization > 1.0 and event_name == "backup.stream_assigned":
+            obs.emit("backup.throttled", server=self.id,
+                     utilization=utilization,
+                     overload=self.overload_fraction())
+            obs.metrics.counter("backup_throttle_events_total",
+                                server=self.id).inc()
 
     def write_utilization(self):
         """Aggregate stream demand / write-path capacity."""

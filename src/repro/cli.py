@@ -8,6 +8,8 @@ Commands
     Generate a price-trace archive, or print market statistics.
 ``experiment``
     Regenerate one paper table/figure (or ``all``) as text.
+``obs``
+    Summarize an ``--obs-dir`` observability output directory.
 ``report``
     Run the full evaluation and write EXPERIMENTS.md.
 """
@@ -26,7 +28,15 @@ def _cmd_simulate(args):
         hot_spares=args.hot_spares, proactive=args.proactive,
         predictive=args.predictive, slicing=not args.no_slicing,
         zones=args.zones)
-    summary = PolicySimulation(config).run()
+    obs = None
+    if args.obs_dir:
+        from repro.obs import Observability
+        obs = Observability()
+    summary = PolicySimulation(config).run(obs=obs)
+    if obs is not None:
+        obs.write_dir(args.obs_dir)
+        print(f"wrote events.jsonl, metrics.prom, traces.txt to "
+              f"{args.obs_dir}/", file=sys.stderr)
     if args.json:
         print(json.dumps(summary, indent=2, default=float))
         return 0
@@ -118,6 +128,14 @@ def _cmd_experiment(args):
     return 0
 
 
+def _cmd_obs(args):
+    from repro.obs.export import summarize_obs_dir
+    if args.obs_command == "summarize":
+        print(summarize_obs_dir(args.dir), end="")
+        return 0
+    return 2
+
+
 def _cmd_report(args):
     from repro.experiments.runner import generate_report
     print(f"running the full evaluation "
@@ -129,9 +147,12 @@ def _cmd_report(args):
 
 
 def build_parser():
+    from repro import __version__
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SpotCheck (EuroSys'15) reproduction toolkit")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser("simulate", help="run one policy simulation")
@@ -152,6 +173,9 @@ def build_parser():
     sim.add_argument("--zones", type=int, default=1,
                      help="availability zones to operate across")
     sim.add_argument("--json", action="store_true")
+    sim.add_argument("--obs-dir", default=None, metavar="DIR",
+                     help="instrument the run and write events.jsonl, "
+                          "metrics.prom, and traces.txt to DIR")
     sim.set_defaults(func=_cmd_simulate)
 
     traces = sub.add_parser("traces",
@@ -175,6 +199,15 @@ def build_parser():
     experiment.add_argument("--days", type=float, default=183.0)
     experiment.add_argument("--vms", type=int, default=40)
     experiment.set_defaults(func=_cmd_experiment)
+
+    obs = sub.add_parser(
+        "obs", help="inspect an --obs-dir output directory")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize", help="digest events.jsonl / metrics.prom / traces.txt")
+    summarize.add_argument("--dir", default="out",
+                           help="observability output directory")
+    obs.set_defaults(func=_cmd_obs)
 
     report = sub.add_parser("report", help="write EXPERIMENTS.md")
     report.add_argument("--out", default="EXPERIMENTS.md")

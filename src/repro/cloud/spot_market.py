@@ -103,6 +103,10 @@ class SpotMarket:
                 yield self.env.timeout(when - self.env.now)
             price = float(self._prices[self._cursor])
             self._cursor += 1
+            obs = self.env.obs
+            if obs is not None:
+                obs.emit("spot.price", type=self.itype.name,
+                         zone=self.zone.name, price=price)
             for listener in list(self._price_listeners):
                 listener(self, price)
             for instance in list(self._instances):
@@ -113,6 +117,14 @@ class SpotMarket:
     def _warn(self, instance):
         instance._mark_warned()
         deadline = self.env.now + self.warning_period
+        obs = self.env.obs
+        if obs is not None:
+            obs.emit("spot.warning", type=self.itype.name,
+                     zone=self.zone.name, instance=instance.id,
+                     bid=instance.bid, deadline=deadline)
+            obs.metrics.counter("spot_warnings_total",
+                                type=self.itype.name,
+                                zone=self.zone.name).inc()
         if not instance.termination_notice.triggered:
             instance.termination_notice.succeed(deadline)
         self.env.process(self._terminate_after_warning(instance))
@@ -120,6 +132,10 @@ class SpotMarket:
     def _terminate_after_warning(self, instance):
         yield self.env.timeout(self.warning_period)
         if instance.state is InstanceState.MARKED_FOR_TERMINATION:
+            obs = self.env.obs
+            if obs is not None:
+                obs.emit("spot.termination", type=self.itype.name,
+                         zone=self.zone.name, instance=instance.id)
             if self._revoke_callback is not None:
                 self._revoke_callback(instance)
             else:

@@ -33,6 +33,9 @@ class MigrationRecord:
     dest_pool: tuple
     concurrent: int = 1
     state_safe: bool = True
+    #: Table 1 decomposition of the downtime: phase name -> seconds.
+    #: When present, the phase durations sum to ``downtime_s``.
+    phases: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -132,6 +135,14 @@ class AccountingLedger:
         if cause is None:
             return len(self.migrations)
         return sum(1 for m in self.migrations if m.cause == cause)
+
+    def phase_totals(self):
+        """Aggregate seconds of downtime by Table 1 phase name."""
+        totals = {}
+        for migration in self.migrations:
+            for phase, seconds in migration.phases.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        return totals
 
     # -- cost -----------------------------------------------------------
 

@@ -215,6 +215,11 @@ class SpotCheckController:
         vm.host = host
         customer.add_vm(vm)
         self.ledger.vm_created(vm)
+        obs = self.env.obs
+        if obs is not None:
+            obs.emit("vm.created", vm=vm.id, customer=customer.id,
+                     host=host.instance.id, spot=on_spot)
+            obs.metrics.counter("vms_created_total").inc()
 
         if not on_spot:
             self._parked[vm.id] = (vm, pool)
@@ -383,6 +388,11 @@ class SpotCheckController:
         """
         server.mark_failed()
         self.backup_failures += 1
+        obs = self.env.obs
+        if obs is not None:
+            obs.emit("backup.server_failed", server=server.id,
+                     protected_vms=len(server.streams))
+            obs.metrics.counter("backup_server_failures_total").inc()
         victims = [vm for vm in self.all_vms()
                    if vm.backup_assignment is server]
         for vm in victims:
@@ -422,6 +432,18 @@ class SpotCheckController:
             self.ledger.record_revocation(
                 pool_key=pool.key, hosts_lost=len(storm.hosts),
                 vms_displaced=len(storm.vms), backup_load=storm.backup_load)
+            obs = self.env.obs
+            if obs is not None:
+                obs.emit("storm.finalized",
+                         pool="/".join(map(str, pool.key)),
+                         hosts_lost=len(storm.hosts),
+                         vms_displaced=len(storm.vms),
+                         backup_servers=len(storm.backup_load))
+                obs.metrics.counter(
+                    "revocation_storms_total",
+                    pool="/".join(map(str, pool.key))).inc()
+                obs.metrics.histogram(
+                    "storm_vms_displaced").observe(len(storm.vms))
         for vm in vms:
             self.migrations.migrate_on_revocation(
                 vm, host, deadline, pool, storm=storm)
@@ -443,6 +465,11 @@ class SpotCheckController:
     def note_parked(self, vm, home_pool, dest_kind):
         """A VM landed on the on-demand side (or a staging slot)."""
         self._parked[vm.id] = (vm, home_pool)
+        obs = self.env.obs
+        if obs is not None:
+            obs.emit("vm.parked", vm=vm.id, dest_kind=dest_kind,
+                     home_pool="/".join(map(str, home_pool.key)))
+            obs.metrics.gauge("parked_vms").set(len(self._parked))
         if dest_kind == "staging":
             self.env.process(self._rebalance_from_staging(vm))
 
@@ -475,18 +502,34 @@ class SpotCheckController:
                 od_price < price <= pool.bid and \
                 pool.key not in self._draining_pools and pool.vm_count > 0:
             self._draining_pools.add(pool.key)
+            self._note_pool_move(pool, "pool.drain", cause="proactive",
+                                 price=price)
             self.env.process(self._proactive_drain(pool))
         if self.predictor is not None and pool.vm_count > 0 and \
                 pool.key not in self._draining_pools and \
                 self.predictor.observe(pool.key, self.env.now, price,
                                        pool.bid):
             self._draining_pools.add(pool.key)
+            self._note_pool_move(pool, "pool.drain", cause="predictive",
+                                 price=price)
             self.env.process(self._proactive_drain(pool, cause="predictive"))
         if self.config.return_to_spot and price <= od_price and \
                 pool.key not in self._returning_pools and \
                 self._parked_vms_of(pool):
             self._returning_pools.add(pool.key)
+            self._note_pool_move(pool, "pool.return_to_spot",
+                                 cause="price-recovery", price=price)
             self.env.process(self._return_to_spot(pool))
+
+    def _note_pool_move(self, pool, event_name, cause, price):
+        """Publish the start of a pool-wide drain or return."""
+        obs = self.env.obs
+        if obs is None:
+            return
+        obs.emit(event_name, pool="/".join(map(str, pool.key)),
+                 cause=cause, price=price, vms=pool.vm_count)
+        obs.metrics.counter("pool_moves_total", kind=event_name,
+                            cause=cause).inc()
 
     def _parked_vms_of(self, pool):
         return [vm for vm, home in self._parked.values() if home is pool]
@@ -604,6 +647,10 @@ class SpotCheckController:
         host = vm.host
         vm.set_state(VMState.TERMINATED)
         self.ledger.vm_terminated(vm)
+        obs = self.env.obs
+        if obs is not None:
+            obs.emit("vm.terminated", vm=vm.id)
+            obs.metrics.counter("vms_terminated_total").inc()
         if host is not None:
             host.hypervisor.evict(vm)
         if vm.eni is not None and vm.eni.is_attached:

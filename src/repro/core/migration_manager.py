@@ -18,6 +18,7 @@ Three flows, mirroring Section 3.5:
 
 from repro.cloud.errors import CapacityError
 from repro.cloud.instances import Market
+from repro.obs.trace import NULL_TRACER
 from repro.virt.hypervisor import HostVM
 from repro.virt.migration.checkpoint import CheckpointStream
 from repro.virt.migration.live import PreCopyMigration
@@ -35,6 +36,45 @@ WORST_DETACH_S = 11.3 + 12.0
 
 class MigrationError(Exception):
     """A migration could not be carried out."""
+
+
+def _pool_label(key):
+    return "/".join(str(part) for part in key)
+
+
+class _PhaseClock:
+    """Times the contiguous phases of one migration.
+
+    Each ``begin`` closes the previous phase, so the recorded phase
+    durations partition the elapsed time exactly: summing the phases
+    between suspend and resume reproduces the migration's downtime.
+    Every phase is mirrored as a child span of the migration's trace
+    (a no-op under :data:`~repro.obs.trace.NULL_TRACER`).
+    """
+
+    def __init__(self, env, tracer, trace):
+        self.env = env
+        self.tracer = tracer
+        self.trace = trace
+        self.phases = {}
+        self._name = None
+        self._start = None
+        self._span = None
+
+    def begin(self, name):
+        self.end()
+        self._name = name
+        self._start = self.env.now
+        self._span = self.tracer.start_span(self.trace, name)
+
+    def end(self):
+        if self._name is None:
+            return
+        elapsed = self.env.now - self._start
+        self.phases[self._name] = self.phases.get(self._name, 0.0) + elapsed
+        self.tracer.end(self._span)
+        self._name = None
+        self._span = None
 
 
 class MigrationManager:
@@ -150,8 +190,16 @@ class MigrationManager:
             return dest_host
 
         warning = deadline - self.env.now
+        mechanism = f"bounded-{mech.restore_kind}"
+        obs = self.env.obs
+        tracer = obs.tracer if obs is not None else NULL_TRACER
+        trace = tracer.start_trace(
+            "migration", vm=vm.id, cause="revocation", mechanism=mechanism,
+            source=_pool_label(source_pool.key), warning_s=warning)
+        clock = _PhaseClock(self.env, tracer, trace)
 
         # 1. Start destination acquisition immediately.
+        acquire_span = tracer.start_span(trace, "dest-acquire")
         dest_proc = self.acquire_destination(vm, exclude_pool=source_pool)
 
         # 2. Plan the suspend point: as late as safety allows.
@@ -165,16 +213,24 @@ class MigrationManager:
             warning, ramped=mech.warning_ramp)
         run_until_ramp = max(suspend_at - ramp_s - self.env.now, 0.0)
         if run_until_ramp > 0:
+            clock.begin("warning-run")
             yield self.env.timeout(run_until_ramp)
         degraded_s = 0.0
         if ramp_s > 0:
+            clock.begin("checkpoint-ramp")
             vm.set_state(VMState.MIGRATING)
             yield self.env.timeout(max(suspend_at - self.env.now, 0.0))
             degraded_s += ramp_s
+        clock.end()
 
-        # 4. Suspend and commit the residual dirty state.
+        # 4. Suspend and commit the residual dirty state.  From here to
+        #    the end of the restore, every phase is downtime; the phase
+        #    clock partitions that window, so the per-phase durations
+        #    sum exactly to the recorded downtime (Table 1 per
+        #    migration).
         vm.set_state(VMState.SUSPENDED)
         suspend_started = self.env.now
+        clock.begin("final-commit")
         yield self.env.timeout(commit_s)
 
         # 5. Detach the volume and interface from the doomed host.
@@ -182,17 +238,23 @@ class MigrationManager:
         #    and its network interface after the VM is paused" and run
         #    sequentially — together with the reattach below they are
         #    the paper's ~22.65 s control-plane downtime.
+        clock.begin("ebs-detach")
         yield self.api.detach_volume(vm.volume)
         if vm.eni is not None:
+            clock.begin("vpc-detach")
             yield self.api.detach_interface(vm.eni)
         source_host.hypervisor.evict(vm)
 
         # 6. Join destination acquisition (usually already complete).
+        clock.begin("dest-wait")
         dest_host, dest_kind = yield dest_proc
+        tracer.end(acquire_span)
 
         # 7. Reattach at the destination and move the private IP.
+        clock.begin("ebs-attach")
         yield self.api.attach_volume(vm.volume, dest_host.instance)
         if vm.eni is not None:
+            clock.begin("vpc-attach")
             yield self.api.attach_interface(vm.eni, dest_host.instance)
 
         # 8. Restore from the backup server.
@@ -204,31 +266,71 @@ class MigrationManager:
         restore = planner.plan(
             vm.memory.total_bytes, kind=mech.restore_kind,
             optimized=mech.restore_optimized, concurrent=concurrent)
+        clock.begin("restore")
         yield self.env.timeout(restore.downtime_s)
+        clock.end()
         downtime_s = self.env.now - suspend_started
         dest_host.hypervisor.attach(vm)
         vm.host = dest_host
         if restore.degraded_s > 0:
+            clock.begin("demand-page-tail")
             vm.set_state(VMState.RESTORING)
             yield self.env.timeout(restore.degraded_s)
             degraded_s += restore.degraded_s
+            clock.end()
         vm.set_state(VMState.RUNNING)
 
         # 9. The VM now sits on a non-revocable server: no backup needed.
         self.controller.release_backup(vm)
         self.controller.note_parked(vm, source_pool, dest_kind)
 
+        #: Only the phases inside the suspend window decompose the
+        #: downtime; the pre-suspend and post-restore phases are
+        #: degradation, reported separately.
+        downtime_phases = {
+            name: seconds for name, seconds in clock.phases.items()
+            if name not in ("warning-run", "checkpoint-ramp",
+                            "demand-page-tail")}
         self.ledger.record_migration(
-            vm_id=vm.id, cause="revocation",
-            mechanism=f"bounded-{mech.restore_kind}",
+            vm_id=vm.id, cause="revocation", mechanism=mechanism,
             downtime_s=downtime_s, degraded_s=degraded_s,
             source_pool=source_pool.key,
             dest_pool=("on-demand", vm.itype.name, dest_host.zone.name),
-            concurrent=concurrent, state_safe=True)
+            concurrent=concurrent, state_safe=True,
+            phases=downtime_phases)
+        tracer.end(trace)
+        if obs is not None:
+            self._publish_migration(
+                obs, vm, cause="revocation", mechanism=mechanism,
+                downtime_s=downtime_s, degraded_s=degraded_s,
+                phases=downtime_phases, concurrent=concurrent,
+                state_safe=True)
         # A staging destination is itself revocable and may have been
         # warned while we restored.
         self.chase_if_doomed(vm, dest_host)
         return dest_host
+
+    def _publish_migration(self, obs, vm, cause, mechanism, downtime_s,
+                           degraded_s, phases, concurrent, state_safe):
+        """Emit the completion event and the migration metrics."""
+        obs.emit("migration.completed", vm=vm.id, cause=cause,
+                 mechanism=mechanism, downtime_s=downtime_s,
+                 degraded_s=degraded_s, concurrent=concurrent,
+                 state_safe=state_safe)
+        obs.metrics.counter(
+            "migrations_total", cause=cause, mechanism=mechanism).inc()
+        obs.metrics.histogram(
+            "migration_downtime_seconds", mechanism=mechanism).observe(
+                downtime_s)
+        obs.metrics.histogram(
+            "migration_degraded_seconds", mechanism=mechanism).observe(
+                degraded_s)
+        for phase, seconds in phases.items():
+            obs.metrics.histogram(
+                "migration_phase_seconds", phase=phase).observe(seconds)
+        if not state_safe:
+            obs.metrics.counter("migration_state_risk_total",
+                                mechanism=mechanism).inc()
 
     # -- live path -------------------------------------------------------
 
@@ -287,19 +389,29 @@ class MigrationManager:
         cfg = self.config
         planner = PreCopyMigration(bandwidth_bps=cfg.live_migration_bps)
         plan = planner.plan(vm.memory)
+        obs = self.env.obs
+        tracer = obs.tracer if obs is not None else NULL_TRACER
+        trace = tracer.start_trace(
+            "migration", vm=vm.id, cause=cause, mechanism="live",
+            rounds=plan.rounds, converged=plan.converged)
 
         if dest_host is None:
+            acquire_span = tracer.start_span(trace, "dest-acquire")
             dest_host, _kind = yield self.acquire_destination(
                 vm, exclude_pool=exclude_pool)
+            tracer.end(acquire_span)
 
         # Pre-copy rounds: the VM runs, mildly degraded.
+        precopy_span = tracer.start_span(trace, "pre-copy")
         vm.set_state(VMState.MIGRATING)
         yield self.env.timeout(plan.total_time_s - plan.downtime_s)
+        tracer.end(precopy_span)
 
         # Stop-and-copy: the only downtime of a planned live migration.
         # (For planned moves the volume/interface handoff is overlapped
         # with the pre-copy rounds; revocation-path migrations pay it
         # in full — see _revocation_flow.)
+        stop_span = tracer.start_span(trace, "stop-and-copy")
         vm.set_state(VMState.SUSPENDED)
         yield self.env.timeout(plan.downtime_s)
         if not dest_host.instance.is_running:
@@ -309,6 +421,7 @@ class MigrationManager:
             dest_host, _kind = yield self.acquire_destination(
                 vm, exclude_pool=exclude_pool)
             yield self.env.timeout(plan.downtime_s)
+        tracer.end(stop_span)
         source_host.hypervisor.evict(vm)
         dest_host.hypervisor.attach(vm)
         self._relocate_attachments(vm, dest_host.instance)
@@ -317,13 +430,21 @@ class MigrationManager:
 
         source_pool = self.controller.pools.pool_of_host(source_host)
         dest_pool = self.controller.pools.pool_of_host(dest_host)
+        phases = {"stop-and-copy": plan.downtime_s}
         self.ledger.record_migration(
             vm_id=vm.id, cause=cause, mechanism="live",
             downtime_s=plan.downtime_s,
             degraded_s=plan.total_time_s - plan.downtime_s,
             source_pool=source_pool.key if source_pool else ("?",),
             dest_pool=dest_pool.key if dest_pool else ("?",),
-            concurrent=1, state_safe=state_safe)
+            concurrent=1, state_safe=state_safe, phases=phases)
+        tracer.end(trace)
+        if obs is not None:
+            self._publish_migration(
+                obs, vm, cause=cause, mechanism="live",
+                downtime_s=plan.downtime_s,
+                degraded_s=plan.total_time_s - plan.downtime_s,
+                phases=phases, concurrent=1, state_safe=state_safe)
         return dest_host
 
     def _relocate_attachments(self, vm, dest_instance):

@@ -107,15 +107,18 @@ class PolicySimulation:
                     type_name, zone.name, market, duration_s=duration_s))
         return archive
 
-    def run(self, return_controller=False):
+    def run(self, return_controller=False, obs=None):
         """Execute the scenario; returns the accounting summary dict.
 
         With ``return_controller=True``, returns
         ``(summary, controller)`` so callers can inspect per-VM state
         (e.g. request-level SLA analysis over the VM state logs).
+        With ``obs`` (a :class:`repro.obs.Observability`), the run is
+        instrumented: events, metrics, and migration traces accumulate
+        on the facade for the caller to export.
         """
         cfg = self.config
-        env = Environment(seed=cfg.seed)
+        env = Environment(seed=cfg.seed, obs=obs)
         region = default_region(cfg.zones)
         api = CloudApi(env, region, M3_CATALOG)
         archive = self._archive

@@ -1,0 +1,100 @@
+"""``repro.obs`` — the simulation-time observability subsystem.
+
+Four parts:
+
+``repro.obs.bus``
+    An event bus components publish structured, sim-timestamped events
+    to (spot price crossings, revocation warnings, checkpoint rounds,
+    pool rebids, backup stream throttling), with typed subscriptions
+    and near-zero cost when nothing is listening.
+
+``repro.obs.metrics``
+    A metrics registry with counters, gauges, and streaming histograms
+    (p50/p95/p99 via the P² algorithm, no sample storage) keyed by
+    labeled names, e.g. ``migration_downtime_seconds{mechanism=...}``.
+
+``repro.obs.trace``
+    Span tracing: every migration becomes a trace of nested spans —
+    warning → checkpoint ramp → VPC reassign → EBS detach/attach →
+    restore → demand-page tail — reproducing Table 1's decomposition
+    per migration.
+
+``repro.obs.export``
+    Exporters for JSONL event logs, Prometheus-style text metrics, and
+    a human-readable trace tree, plus the ``--obs-dir`` writer.
+
+Instrumentation is opt-in: the environment carries ``env.obs`` (default
+``None``) and every instrumented component guards with a single
+``is not None`` test, so an unobserved simulation pays nothing.
+See ``docs/observability.md`` for the event taxonomy, metric names,
+and span schema.
+"""
+
+from repro.obs.bus import EventBus, ObsEvent, Subscription
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    P2Quantile,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Observability",
+    "ObsEvent",
+    "P2Quantile",
+    "Span",
+    "SpanTracer",
+    "Subscription",
+]
+
+
+class Observability:
+    """One simulation's bus + metrics + tracer, bound to its clock.
+
+    Attach to an environment either at construction time
+    (``Environment(obs=Observability())`` binds the clock) or later via
+    :meth:`attach`.  With ``record_events=True`` (the default) every
+    published event is also kept in :attr:`events` for the directory
+    exporter; pass ``False`` and add a streaming
+    :class:`~repro.obs.export.JsonlEventWriter` for unbounded runs.
+    """
+
+    def __init__(self, record_events=True):
+        self.bus = EventBus()
+        self.metrics = MetricsRegistry()
+        self.tracer = SpanTracer()
+        self.env = None
+        self.events = [] if record_events else None
+        if record_events:
+            self.bus.subscribe("*", self.events.append)
+
+    def attach(self, env):
+        """Bind to ``env``: sets ``env.obs`` and the tracer clock."""
+        self.env = env
+        self.tracer.clock = lambda: env.now
+        env.obs = self
+        return self
+
+    def now(self):
+        if self.env is None:
+            raise ValueError("observability is not attached to an "
+                             "environment")
+        return self.env.now
+
+    def emit(self, name, /, **fields):
+        """Publish an event stamped with the simulated time."""
+        return self.bus.publish(name, self.now(), **fields)
+
+    def write_dir(self, path):
+        """Write events.jsonl / metrics.prom / traces.txt to ``path``."""
+        from repro.obs.export import write_obs_dir
+        return write_obs_dir(self, path)

@@ -1,0 +1,148 @@
+"""The observability event bus.
+
+Components publish structured, sim-timestamped events — spot price
+crossings, revocation warnings, checkpoint rounds, pool rebids, backup
+stream throttling — and consumers subscribe by event name, by
+hierarchical prefix (``"spot."`` matches ``"spot.warning"``), or to
+everything (``"*"``).
+
+The bus is built for the simulator's hot paths: publishing with no
+matching subscriber is a single dict lookup plus a boolean test, and a
+bus is only consulted at all when one is attached to the environment
+(``env.obs is not None``), so an uninstrumented simulation pays nothing.
+"""
+
+from itertools import count
+
+
+class ObsEvent:
+    """One published event: a name, a sim timestamp, and fields.
+
+    ``seq`` is a bus-wide monotonic sequence number that makes the
+    total order of same-timestamp events explicit (and the exported
+    JSONL log reproducible).
+    """
+
+    __slots__ = ("name", "time", "seq", "fields")
+
+    def __init__(self, name, time, seq, fields):
+        self.name = name
+        self.time = time
+        self.seq = seq
+        self.fields = fields
+
+    def to_dict(self):
+        """A JSON-serializable flat dict (field keys must not collide
+        with ``name``/``t``/``seq``)."""
+        record = {"name": self.name, "t": self.time, "seq": self.seq}
+        for key, value in self.fields.items():
+            if key in record:
+                raise ValueError(f"event field {key!r} shadows a "
+                                 f"reserved key")
+            record[key] = value
+        return record
+
+    def __repr__(self):
+        return (f"<ObsEvent #{self.seq} {self.name} t={self.time:.3f} "
+                f"{self.fields}>")
+
+
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`; cancellable."""
+
+    __slots__ = ("bus", "pattern", "callback", "active")
+
+    def __init__(self, bus, pattern, callback):
+        self.bus = bus
+        self.pattern = pattern
+        self.callback = callback
+        self.active = True
+
+    def cancel(self):
+        if self.active:
+            self.active = False
+            self.bus._remove(self)
+
+
+class EventBus:
+    """Publish/subscribe hub for :class:`ObsEvent`.
+
+    Subscription patterns
+    ---------------------
+    * an exact event name (``"spot.warning"``),
+    * a dotted prefix ending in ``"*"`` (``"spot.*"`` matches every
+      event whose name starts with ``"spot."``), or
+    * ``"*"`` alone, matching every event.
+    """
+
+    def __init__(self):
+        self._exact = {}
+        self._prefix = []
+        self._all = []
+        self._seq = count()
+        #: Count of delivered events, for cheap introspection.
+        self.published = 0
+
+    # -- subscription --------------------------------------------------
+
+    def subscribe(self, pattern, callback):
+        """Deliver matching events to ``callback(event)``."""
+        sub = Subscription(self, pattern, callback)
+        if pattern == "*":
+            self._all.append(sub)
+        elif pattern.endswith("*"):
+            self._prefix.append((pattern[:-1], sub))
+        else:
+            self._exact.setdefault(pattern, []).append(sub)
+        return sub
+
+    def _remove(self, sub):
+        if sub.pattern == "*":
+            self._all.remove(sub)
+        elif sub.pattern.endswith("*"):
+            self._prefix.remove((sub.pattern[:-1], sub))
+        else:
+            subs = self._exact.get(sub.pattern, [])
+            if sub in subs:
+                subs.remove(sub)
+            if not subs:
+                self._exact.pop(sub.pattern, None)
+
+    def has_subscribers(self, name=None):
+        """Whether any subscription would see an event named ``name``
+        (or, with no name, whether any subscription exists at all)."""
+        if self._all:
+            return True
+        if name is None:
+            return bool(self._exact or self._prefix)
+        if name in self._exact:
+            return True
+        return any(name.startswith(prefix) for prefix, _ in self._prefix)
+
+    # -- publishing ----------------------------------------------------
+
+    def publish(self, name, time, /, **fields):
+        """Publish one event; returns it, or ``None`` if nobody cares.
+
+        The event object is only constructed when at least one
+        subscription matches, so publishing into a quiet bus stays
+        cheap.
+        """
+        targets = None
+        exact = self._exact.get(name)
+        if exact:
+            targets = list(exact)
+        for prefix, sub in self._prefix:
+            if name.startswith(prefix):
+                targets = (targets or [])
+                targets.append(sub)
+        if self._all:
+            targets = (targets or []) + list(self._all)
+        if not targets:
+            return None
+        event = ObsEvent(name, time, next(self._seq), fields)
+        self.published += 1
+        for sub in targets:
+            if sub.active:
+                sub.callback(event)
+        return event

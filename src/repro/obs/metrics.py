@@ -1,0 +1,205 @@
+"""The metrics registry: counters, gauges, streaming histograms.
+
+Metrics are keyed by a name plus a set of labels, Prometheus-style:
+``registry.histogram("migration_downtime_seconds",
+mechanism="spotcheck-lazy")`` returns one series per distinct label
+set.  Histograms estimate p50/p95/p99 with the P² algorithm [Jain &
+Chlamtac, CACM'85] — five markers per tracked quantile, no sample
+storage — so a million-observation series costs the same memory as a
+ten-observation one.
+"""
+
+
+def _label_key(labels):
+    return tuple(sorted(labels.items()))
+
+
+class P2Quantile:
+    """Streaming estimate of one quantile (the P² algorithm).
+
+    Maintains five markers whose heights converge on the quantile; the
+    first five observations are exact.
+    """
+
+    def __init__(self, p):
+        if not 0.0 < p < 1.0:
+            raise ValueError("quantile must lie in (0, 1)")
+        self.p = p
+        self._heights = []
+        self._positions = [1, 2, 3, 4, 5]
+        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p,
+                         3.0 + 2.0 * p, 5.0]
+        self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+        self.count = 0
+
+    def observe(self, value):
+        value = float(value)
+        self.count += 1
+        heights = self._heights
+        if len(heights) < 5:
+            heights.append(value)
+            heights.sort()
+            return
+        # Find the cell k such that q[k] <= value < q[k+1].
+        if value < heights[0]:
+            heights[0] = value
+            k = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            k = 3
+        else:
+            k = 0
+            while value >= heights[k + 1]:
+                k += 1
+        positions = self._positions
+        for i in range(k + 1, 5):
+            positions[i] += 1
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # Adjust the three middle markers toward their desired positions.
+        for i in (1, 2, 3):
+            delta = self._desired[i] - positions[i]
+            if (delta >= 1 and positions[i + 1] - positions[i] > 1) or \
+                    (delta <= -1 and positions[i - 1] - positions[i] < -1):
+                step = 1 if delta > 0 else -1
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def _parabolic(self, i, step):
+        q, n = self._heights, self._positions
+        return q[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (q[i + 1] - q[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (q[i] - q[i - 1])
+            / (n[i] - n[i - 1]))
+
+    def _linear(self, i, step):
+        q, n = self._heights, self._positions
+        return q[i] + step * (q[i + step] - q[i]) / (n[i + step] - n[i])
+
+    @property
+    def value(self):
+        """The current quantile estimate (``None`` before any sample)."""
+        heights = self._heights
+        if not heights:
+            return None
+        if self.count <= len(heights):
+            # Exact while all samples are stored.
+            rank = max(int(round(self.p * self.count)) - 1, 0)
+            return sorted(heights)[min(rank, self.count - 1)]
+        return heights[2]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name, labels):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount=1.0):
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name, labels):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value):
+        self.value = float(value)
+
+    def inc(self, amount=1.0):
+        self.value += amount
+
+    def dec(self, amount=1.0):
+        self.value -= amount
+
+
+class Histogram:
+    """Streaming distribution summary: count, sum, min/max, quantiles."""
+
+    DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+    def __init__(self, name, labels, quantiles=DEFAULT_QUANTILES):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+        self._estimators = {q: P2Quantile(q) for q in quantiles}
+
+    def observe(self, value):
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for estimator in self._estimators.values():
+            estimator.observe(value)
+
+    def quantile(self, q):
+        """The estimate for a tracked quantile ``q``."""
+        return self._estimators[q].value
+
+    @property
+    def quantiles(self):
+        return {q: est.value for q, est in sorted(self._estimators.items())}
+
+    @property
+    def mean(self):
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """All metric series of one simulation, keyed by (name, labels)."""
+
+    def __init__(self):
+        self._series = {}
+
+    def _get(self, cls, name, labels, **kwargs):
+        key = (name, _label_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = cls(name, dict(labels), **kwargs)
+            self._series[key] = series
+        elif not isinstance(series, cls):
+            raise TypeError(
+                f"{name} already registered as "
+                f"{type(series).__name__}, not {cls.__name__}")
+        return series
+
+    def counter(self, name, **labels):
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name, **labels):
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name, **labels):
+        return self._get(Histogram, name, labels)
+
+    def series(self):
+        """All series, sorted by (name, labels) for stable export."""
+        return [self._series[key] for key in sorted(self._series)]
+
+    def find(self, name):
+        """Every series registered under ``name`` (any label set)."""
+        return [s for s in self.series() if s.name == name]
+
+    def __len__(self):
+        return len(self._series)

@@ -28,14 +28,24 @@ class Environment:
         Starting value of the simulated clock, in seconds.
     seed:
         Master seed for the RNG registry.
+    obs:
+        Optional :class:`~repro.obs.Observability` facade.  When set,
+        instrumented components publish events, metrics, and spans to
+        it; when ``None`` (the default) every instrumentation site
+        short-circuits on a single ``is not None`` test, so an
+        unobserved simulation pays nothing.
     """
 
-    def __init__(self, initial_time=0.0, seed=0):
+    def __init__(self, initial_time=0.0, seed=0, obs=None):
         self._now = float(initial_time)
         self._heap = []
         self._eid = count()
         self.rng = RngRegistry(seed)
         self._active_process = None
+        #: Observability facade, or ``None`` for uninstrumented runs.
+        self.obs = None
+        if obs is not None:
+            obs.attach(self)
 
     @property
     def now(self):

@@ -187,12 +187,20 @@ class CheckpointStream:
         has fired and all in-flight flushes have drained.
         """
         cfg = self.config
-        state = {"flushed": 0.0, "in_flight": []}
+        state = {"flushed": 0.0, "in_flight": [], "rounds": 0}
 
         def _flush(dirty):
             yield backup_link.transfer(
                 dirty, rate_cap=cfg.stream_bandwidth_bps)
             state["flushed"] += dirty
+            state["rounds"] += 1
+            obs = getattr(env, "obs", None)
+            if obs is not None:
+                obs.emit("checkpoint.flush", bytes=dirty,
+                         round=state["rounds"],
+                         total_bytes=state["flushed"])
+                obs.metrics.counter("checkpoint_flushes_total").inc()
+                obs.metrics.counter("checkpoint_bytes_total").inc(dirty)
             if on_flush is not None:
                 on_flush(dirty)
 

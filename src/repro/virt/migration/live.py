@@ -126,11 +126,15 @@ class PreCopyMigration:
         from repro.virt.vm import VMState
 
         def _migrate():
+            obs = getattr(env, "obs", None)
             plan = self.plan(vm.memory)
             vm.set_state(VMState.MIGRATING)
             if link is not None:
-                for size in plan.round_bytes:
+                for index, size in enumerate(plan.round_bytes, 1):
                     yield link.transfer(size)
+                    if obs is not None:
+                        obs.emit("live.precopy_round", vm=vm.id,
+                                 round=index, bytes=size)
                 vm.set_state(VMState.SUSPENDED)
                 final = plan.downtime_s * self.bandwidth
                 if final > 0:
@@ -139,6 +143,10 @@ class PreCopyMigration:
                 yield env.timeout(plan.total_time_s - plan.downtime_s)
                 vm.set_state(VMState.SUSPENDED)
                 yield env.timeout(plan.downtime_s)
+            if obs is not None:
+                obs.emit("live.stop_and_copy", vm=vm.id,
+                         downtime_s=plan.downtime_s,
+                         rounds=plan.rounds, converged=plan.converged)
             vm.set_state(VMState.RUNNING)
             return plan
 

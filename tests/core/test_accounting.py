@@ -71,6 +71,50 @@ class TestAvailabilityMetrics:
         ledger.record_migration(**migration_kwargs())
         assert len(ledger.state_loss_events()) == 1
 
+    def test_per_phase_sums_match_total_downtime(self, env):
+        ledger = AccountingLedger(env)
+        phases_a = {"final-commit": 0.6, "ebs-detach": 10.7,
+                    "vpc-detach": 1.2, "dest-wait": 0.0,
+                    "ebs-attach": 4.8, "vpc-attach": 1.0, "restore": 0.9}
+        phases_b = {"stop-and-copy": 0.08}
+        ledger.record_migration(**migration_kwargs(
+            downtime_s=sum(phases_a.values()), phases=phases_a))
+        ledger.record_migration(**migration_kwargs(
+            vm_id="nvm-2", mechanism="live",
+            downtime_s=sum(phases_b.values()), phases=phases_b))
+        for record in ledger.migrations:
+            assert sum(record.phases.values()) == \
+                pytest.approx(record.downtime_s)
+        totals = ledger.phase_totals()
+        assert totals["ebs-detach"] == pytest.approx(10.7)
+        assert totals["stop-and-copy"] == pytest.approx(0.08)
+        assert sum(totals.values()) == \
+            pytest.approx(ledger.total_downtime_s())
+
+    def test_downtime_and_degraded_totals_aggregate(self, env):
+        ledger = AccountingLedger(env)
+        ledger.record_migration(**migration_kwargs(
+            downtime_s=20.0, degraded_s=5.0))
+        ledger.record_migration(**migration_kwargs(
+            vm_id="nvm-2", downtime_s=26.0, degraded_s=7.0))
+        assert ledger.total_downtime_s() == pytest.approx(46.0)
+        assert ledger.total_degraded_s() == pytest.approx(12.0)
+
+    def test_revocation_aggregation(self, env):
+        ledger = AccountingLedger(env)
+        ledger.record_revocation(
+            pool_key=("spot", "m3.medium", "z"), hosts_lost=2,
+            vms_displaced=7, backup_load={"bak-1": 4, "bak-2": 3})
+        ledger.record_revocation(
+            pool_key=("spot", "m3.large", "z"), hosts_lost=1,
+            vms_displaced=2)
+        assert len(ledger.revocations) == 2
+        first = ledger.revocations[0]
+        # The per-server concurrency spread sums to the displaced VMs.
+        assert sum(first.backup_load.values()) == first.vms_displaced
+        assert ledger.max_concurrent_revocation() == 7
+        assert sum(e.vms_displaced for e in ledger.revocations) == 9
+
     def test_migration_count_by_cause(self, env):
         ledger = AccountingLedger(env)
         ledger.record_migration(**migration_kwargs(cause="revocation"))

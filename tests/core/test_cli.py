@@ -22,6 +22,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--bid-policy", "magic"])
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
 
 class TestSimulateCommand:
     def test_plain_output(self, capsys):
@@ -43,6 +50,20 @@ class TestSimulateCommand:
         code = main(["simulate", "--days", "3", "--vms", "2",
                      "--bid-policy", "knee"])
         assert code == 0
+
+    def test_obs_dir_writes_and_summarizes(self, tmp_path, capsys):
+        out = str(tmp_path / "obs")
+        code = main(["simulate", "--days", "3", "--vms", "2",
+                     "--seed", "4", "--obs-dir", out])
+        assert code == 0
+        for name in ("events.jsonl", "metrics.prom", "traces.txt"):
+            assert (tmp_path / "obs" / name).exists()
+        capsys.readouterr()
+        code = main(["obs", "summarize", "--dir", out])
+        assert code == 0
+        digest = capsys.readouterr().out
+        assert "events:" in digest
+        assert "spot.price" in digest
 
 
 class TestTracesCommand:

@@ -48,8 +48,42 @@ class TestSnapshot:
         loaded = json.loads(path.read_text())
         assert loaded["time_s"] == env.now
 
+    def test_json_round_trip_preserves_key_invariants(self):
+        env, api, controller = build()
+        vms = launch_fleet(env, controller, count=3)
+        snapshot = json.loads(json.dumps(state_snapshot(controller)))
+        # Every launched VM appears exactly once across customers.
+        snapshot_vms = [vm for customer in snapshot["customers"]
+                        for vm in customer["vms"]]
+        assert sorted(vm["id"] for vm in snapshot_vms) == \
+            sorted(vm.id for vm in vms)
+        # Each running VM's host is a host some pool knows about, and
+        # that host lists the VM.
+        hosts = {host["instance"]: host for pool in snapshot["pools"]
+                 for host in pool["hosts"]}
+        for vm in snapshot_vms:
+            if vm["state"] == "running":
+                assert vm["host"] in hosts
+                assert vm["id"] in hosts[vm["host"]]["vms"]
+        # Backup references resolve to real backup servers that agree.
+        servers = {server["id"]: server
+                   for server in snapshot["backup_servers"]}
+        for vm in snapshot_vms:
+            if vm["backup"] is not None:
+                assert vm["id"] in servers[vm["backup"]]["assigned_vms"]
+        # Slot accounting survives the round trip.
+        for pool in snapshot["pools"]:
+            for host in pool["hosts"]:
+                assert len(host["vms"]) <= host["slots"]
+
 
 class TestInvariants:
+    def test_fresh_controller_has_no_violations(self):
+        # A controller with pools installed but no VMs yet is already
+        # consistent — the checker must not demand activity.
+        env, api, controller = build()
+        assert check_invariants(controller) == []
+
     def test_clean_controller_has_no_violations(self):
         env, api, controller = build()
         launch_fleet(env, controller, count=3)

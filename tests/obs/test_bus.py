@@ -1,0 +1,92 @@
+"""Tests for the observability event bus."""
+
+import pytest
+
+from repro.obs.bus import EventBus
+
+
+class TestSubscriptions:
+    def test_exact_subscription_receives_matching_events(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("spot.warning", seen.append)
+        bus.publish("spot.warning", 1.0, instance="i-1")
+        bus.publish("spot.price", 2.0, price=0.07)
+        assert [e.name for e in seen] == ["spot.warning"]
+        assert seen[0].fields == {"instance": "i-1"}
+        assert seen[0].time == 1.0
+
+    def test_prefix_subscription_matches_hierarchy(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("spot.*", seen.append)
+        bus.publish("spot.warning", 1.0)
+        bus.publish("spot.price", 2.0)
+        bus.publish("backup.throttled", 3.0)
+        assert [e.name for e in seen] == ["spot.warning", "spot.price"]
+
+    def test_star_subscription_sees_everything(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("*", seen.append)
+        bus.publish("a", 0.0)
+        bus.publish("b.c", 1.0)
+        assert [e.name for e in seen] == ["a", "b.c"]
+
+    def test_cancel_stops_delivery(self):
+        bus = EventBus()
+        seen = []
+        sub = bus.subscribe("x", seen.append)
+        bus.publish("x", 0.0)
+        sub.cancel()
+        bus.publish("x", 1.0)
+        assert len(seen) == 1
+        assert not bus.has_subscribers("x")
+
+    def test_multiple_subscribers_all_receive(self):
+        bus = EventBus()
+        a, b = [], []
+        bus.subscribe("x", a.append)
+        bus.subscribe("x*", b.append)
+        bus.publish("x", 0.0)
+        assert len(a) == 1 and len(b) == 1
+
+
+class TestPublishing:
+    def test_publish_without_subscribers_returns_none(self):
+        bus = EventBus()
+        assert bus.publish("spot.price", 0.0, price=1.0) is None
+        assert bus.published == 0
+
+    def test_sequence_numbers_are_monotonic(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("*", seen.append)
+        bus.publish("a", 0.0)
+        bus.publish("b", 0.0)
+        bus.publish("c", 0.0)
+        assert [e.seq for e in seen] == [0, 1, 2]
+
+    def test_has_subscribers_reflects_patterns(self):
+        bus = EventBus()
+        assert not bus.has_subscribers()
+        bus.subscribe("spot.*", lambda e: None)
+        assert bus.has_subscribers("spot.warning")
+        assert not bus.has_subscribers("backup.throttled")
+
+    def test_reserved_field_names_rejected_at_export(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("*", seen.append)
+        bus.publish("x", 0.0, name="collision")
+        with pytest.raises(ValueError):
+            seen[0].to_dict()
+
+    def test_event_to_dict_is_flat(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("*", seen.append)
+        bus.publish("spot.warning", 12.5, instance="i-1", bid=0.07)
+        record = seen[0].to_dict()
+        assert record == {"name": "spot.warning", "t": 12.5, "seq": 0,
+                          "instance": "i-1", "bid": 0.07}

@@ -1,0 +1,65 @@
+"""The reproducibility contract: same seed + same config produces
+byte-identical observability output.
+
+Object ids (``nvm-*``, ``i-*``, ``vol-*``) come from process-global
+counters, so the guarantee — and therefore this test — is across fresh
+interpreter processes, which is exactly how two operators comparing
+runs would invoke the CLI.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))), "src")
+
+
+def run_simulate(out_dir, seed=1):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    subprocess.run(
+        [sys.executable, "-m", "repro", "simulate", "--days", "4",
+         "--vms", "4", "--seed", str(seed), "--obs-dir", out_dir],
+        check=True, env=env, capture_output=True, timeout=300)
+
+
+@pytest.fixture(scope="module")
+def twin_runs(tmp_path_factory):
+    base = tmp_path_factory.mktemp("determinism")
+    first, second = str(base / "a"), str(base / "b")
+    run_simulate(first)
+    run_simulate(second)
+    return first, second
+
+
+class TestDeterminism:
+    def test_event_logs_are_byte_identical(self, twin_runs):
+        first, second = twin_runs
+        a = open(os.path.join(first, "events.jsonl"), "rb").read()
+        b = open(os.path.join(second, "events.jsonl"), "rb").read()
+        assert a, "expected a non-empty event log"
+        assert a == b
+
+    def test_metrics_are_byte_identical(self, twin_runs):
+        first, second = twin_runs
+        a = open(os.path.join(first, "metrics.prom"), "rb").read()
+        b = open(os.path.join(second, "metrics.prom"), "rb").read()
+        assert a == b
+
+    def test_traces_are_byte_identical(self, twin_runs):
+        first, second = twin_runs
+        a = open(os.path.join(first, "traces.txt"), "rb").read()
+        b = open(os.path.join(second, "traces.txt"), "rb").read()
+        assert a == b
+
+    def test_different_seed_changes_the_log(self, twin_runs, tmp_path):
+        first, _second = twin_runs
+        other = str(tmp_path / "other")
+        run_simulate(other, seed=2)
+        a = open(os.path.join(first, "events.jsonl"), "rb").read()
+        b = open(os.path.join(other, "events.jsonl"), "rb").read()
+        assert a != b

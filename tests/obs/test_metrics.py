@@ -1,0 +1,121 @@
+"""Tests for the metrics registry and the P² streaming quantiles."""
+
+import random
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, P2Quantile
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("migrations_total", cause="revocation")
+        counter.inc()
+        counter.inc(2.0)
+        assert counter.value == 3.0
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("parked_vms")
+        gauge.set(5)
+        gauge.dec(2)
+        gauge.inc()
+        assert gauge.value == 4.0
+
+    def test_label_sets_are_distinct_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("m", mechanism="live")
+        b = registry.counter("m", mechanism="bounded-lazy")
+        a.inc()
+        assert b.value == 0.0
+        assert len(registry) == 2
+
+    def test_same_labels_return_same_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("m", zone="a", type="b")
+        b = registry.counter("m", type="b", zone="a")
+        assert a is b
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(TypeError):
+            registry.gauge("m")
+
+    def test_find_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("m", x="1")
+        registry.counter("m", x="2")
+        registry.counter("other")
+        assert len(registry.find("m")) == 2
+
+
+class TestP2Quantile:
+    def test_exact_for_small_samples(self):
+        est = P2Quantile(0.5)
+        for value in (5.0, 1.0, 3.0):
+            est.observe(value)
+        assert est.value == 3.0
+
+    def test_empty_estimator_has_no_value(self):
+        assert P2Quantile(0.5).value is None
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            P2Quantile(1.5)
+
+    @pytest.mark.parametrize("p", [0.5, 0.95, 0.99])
+    def test_tracks_uniform_distribution(self, p):
+        rng = random.Random(42)
+        est = P2Quantile(p)
+        samples = [rng.uniform(0.0, 100.0) for _ in range(20000)]
+        for value in samples:
+            est.observe(value)
+        exact = sorted(samples)[int(p * len(samples))]
+        assert est.value == pytest.approx(exact, abs=2.0)
+
+    def test_tracks_skewed_distribution(self):
+        # Migration downtimes are long-tailed; check a lognormal-ish mix.
+        rng = random.Random(7)
+        est = P2Quantile(0.95)
+        samples = [rng.expovariate(1.0 / 23.0) for _ in range(20000)]
+        for value in samples:
+            est.observe(value)
+        exact = sorted(samples)[int(0.95 * len(samples))]
+        assert est.value == pytest.approx(exact, rel=0.1)
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("migration_downtime_seconds",
+                                  mechanism="spotcheck-lazy")
+        for value in (10.0, 20.0, 30.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == 60.0
+        assert hist.mean == 20.0
+        assert hist.min == 10.0
+        assert hist.max == 30.0
+
+    def test_quantiles_on_known_stream(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        rng = random.Random(3)
+        values = [rng.uniform(0, 1) for _ in range(5000)]
+        for value in values:
+            hist.observe(value)
+        ordered = sorted(values)
+        assert hist.quantile(0.5) == pytest.approx(
+            ordered[2500], abs=0.05)
+        assert hist.quantile(0.99) == pytest.approx(
+            ordered[4950], abs=0.05)
+        quantiles = hist.quantiles
+        assert list(quantiles) == [0.5, 0.95, 0.99]
+        assert quantiles[0.5] <= quantiles[0.95] <= quantiles[0.99]

@@ -1,0 +1,89 @@
+"""Tests for span tracing."""
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, SpanTracer
+
+
+def make_tracer():
+    clock = {"now": 0.0}
+    tracer = SpanTracer(clock=lambda: clock["now"])
+    return tracer, clock
+
+
+class TestSpans:
+    def test_nested_spans_form_a_tree(self):
+        tracer, clock = make_tracer()
+        root = tracer.start_trace("migration", vm="nvm-1")
+        clock["now"] = 1.0
+        commit = tracer.start_span(root, "final-commit")
+        clock["now"] = 2.0
+        tracer.end(commit)
+        detach = tracer.start_span(root, "ebs-detach")
+        clock["now"] = 5.0
+        tracer.end(detach)
+        tracer.end(root)
+        assert [c.name for c in root.children] == \
+            ["final-commit", "ebs-detach"]
+        assert root.duration_s == 5.0
+        assert root.child("final-commit").duration_s == 1.0
+        assert root.child("ebs-detach").duration_s == 3.0
+        assert root.child("missing") is None
+
+    def test_walk_is_depth_first(self):
+        tracer, clock = make_tracer()
+        root = tracer.start_trace("a")
+        b = tracer.start_span(root, "b")
+        tracer.start_span(b, "c")
+        tracer.start_span(root, "d")
+        assert [s.name for s in root.walk()] == ["a", "b", "c", "d"]
+
+    def test_root_span_filed_on_end(self):
+        tracer, clock = make_tracer()
+        root = tracer.start_trace("migration")
+        assert tracer.finished() == []
+        tracer.end(root)
+        assert tracer.finished("migration") == [root]
+        assert tracer.finished("other") == []
+
+    def test_child_spans_share_trace_id(self):
+        tracer, clock = make_tracer()
+        a = tracer.start_trace("t1")
+        b = tracer.start_trace("t2")
+        child = tracer.start_span(a, "phase")
+        assert child.trace_id == a.trace_id
+        assert a.trace_id != b.trace_id
+
+    def test_double_end_rejected(self):
+        tracer, clock = make_tracer()
+        root = tracer.start_trace("t")
+        tracer.end(root)
+        with pytest.raises(ValueError):
+            tracer.end(root)
+
+    def test_backwards_span_rejected(self):
+        tracer, clock = make_tracer()
+        clock["now"] = 5.0
+        root = tracer.start_trace("t")
+        clock["now"] = 1.0
+        with pytest.raises(ValueError):
+            tracer.end(root)
+
+    def test_explicit_times_without_clock(self):
+        tracer = SpanTracer()
+        root = tracer.start_trace("t", time=10.0)
+        tracer.end(root, time=15.0)
+        assert root.duration_s == 5.0
+        with pytest.raises(ValueError):
+            tracer.start_trace("no-clock")
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        root = NULL_TRACER.start_trace("migration", vm="x")
+        child = NULL_TRACER.start_span(root, "phase")
+        NULL_TRACER.end(child)
+        NULL_TRACER.end(root)
+        assert NULL_TRACER.finished() == []
+        assert root.child("phase") is None
+        assert list(root.walk()) == []
