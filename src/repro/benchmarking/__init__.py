@@ -1,0 +1,39 @@
+"""``repro.benchmarking`` — the performance harness behind ``repro bench``.
+
+Three benchmarks, one JSON artifact:
+
+``repro.benchmarking.kernel``
+    Raw discrete-event kernel throughput (events/sec) on an
+    uninstrumented :class:`~repro.sim.kernel.Environment` — the number
+    the ``__slots__``/Timeout-fast-path work is measured by.
+
+``repro.benchmarking.grid``
+    One policy-grid cell, then the full grid serial vs parallel vs
+    cache-warm, with cache hit/miss counters pulled from the
+    :class:`~repro.obs.MetricsRegistry` the grid runner reports into.
+
+``repro.benchmarking.harness``
+    Composes both into a schema-stable ``BENCH_<label>.json``
+    (``repro-bench/1``) and validates written artifacts, so CI can
+    track the performance trajectory across commits.
+
+See ``docs/performance.md`` for how to read the artifact.
+"""
+
+from repro.benchmarking.harness import (
+    BENCH_SCHEMA,
+    bench_filename,
+    run_bench,
+    validate_bench,
+    validate_bench_file,
+    write_bench,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "bench_filename",
+    "run_bench",
+    "validate_bench",
+    "validate_bench_file",
+    "write_bench",
+]

@@ -1,0 +1,111 @@
+"""Policy-grid benchmarks: one cell, then serial vs parallel vs warm.
+
+Every timing starts from cleared in-memory caches so serial and
+parallel runs do comparable work; the warm run keeps the on-disk cell
+cache to measure the repeated-``repro report`` path (all disk hits).
+Cache and worker counters come from the same
+:class:`~repro.obs.MetricsRegistry` wiring the grid runner uses in
+production, so the benchmark observes exactly what an instrumented run
+would.
+"""
+
+import tempfile
+import time
+
+from repro.experiments import policy_grid
+from repro.experiments.scenario import MECHANISMS, POLICIES
+from repro.obs import MetricsRegistry
+
+
+def _counter_total(metrics, name, **labels):
+    total = 0.0
+    for series in metrics.find(name):
+        if all(series.labels.get(k) == v for k, v in labels.items()):
+            total += series.value
+    return total
+
+
+def measure_cell(policy="1P-M", mechanism="spotcheck-lazy", seed=11,
+                 days=7.0, vms=10):
+    """Wall-clock of one cold grid cell (archive generation included)."""
+    policy_grid.clear_caches()
+    started = time.perf_counter()
+    policy_grid.run_cell(policy, mechanism, seed=seed, days=days, vms=vms)
+    return {
+        "policy": policy,
+        "mechanism": mechanism,
+        "seed": seed,
+        "days": days,
+        "vms": vms,
+        "wall_s": time.perf_counter() - started,
+    }
+
+
+def measure_grid(policies=POLICIES, mechanisms=MECHANISMS, seed=11,
+                 days=7.0, vms=10, workers=4):
+    """Serial vs parallel vs cache-warm timings for one full grid.
+
+    Returns a dict with ``serial_wall_s``, ``parallel_wall_s``,
+    ``warm_wall_s``, the derived ``speedup`` / ``warm_speedup`` (serial
+    over parallel / warm), and the cache hit/miss/executed counters of
+    the parallel and warm runs.  Parallel results are asserted equal to
+    serial ones — a benchmark that silently measured a wrong answer
+    would be worse than no benchmark.
+    """
+    policies = tuple(policies)
+    mechanisms = tuple(mechanisms)
+
+    policy_grid.clear_caches()
+    started = time.perf_counter()
+    serial = policy_grid.run_grid(policies=policies, mechanisms=mechanisms,
+                                  seed=seed, days=days, vms=vms, workers=1)
+    serial_wall = time.perf_counter() - started
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache:
+        policy_grid.clear_caches()
+        cold_metrics = MetricsRegistry()
+        started = time.perf_counter()
+        parallel = policy_grid.run_grid(
+            policies=policies, mechanisms=mechanisms, seed=seed, days=days,
+            vms=vms, workers=workers, cache_dir=cache, metrics=cold_metrics)
+        parallel_wall = time.perf_counter() - started
+        if parallel != serial:
+            raise AssertionError(
+                "parallel grid summaries diverged from the serial path")
+
+        policy_grid.clear_caches()
+        warm_metrics = MetricsRegistry()
+        started = time.perf_counter()
+        policy_grid.run_grid(
+            policies=policies, mechanisms=mechanisms, seed=seed, days=days,
+            vms=vms, workers=workers, cache_dir=cache, metrics=warm_metrics)
+        warm_wall = time.perf_counter() - started
+
+    return {
+        "cells": len(policies) * len(mechanisms),
+        "policies": list(policies),
+        "mechanisms": list(mechanisms),
+        "seed": seed,
+        "days": days,
+        "vms": vms,
+        "workers": workers,
+        "serial_wall_s": serial_wall,
+        "parallel_wall_s": parallel_wall,
+        "warm_wall_s": warm_wall,
+        "speedup": serial_wall / parallel_wall,
+        "warm_speedup": serial_wall / warm_wall,
+        "cache": {
+            "memory_hits": _counter_total(
+                cold_metrics, "grid_cache_hits_total", tier="memory"),
+            "disk_hits": _counter_total(
+                cold_metrics, "grid_cache_hits_total", tier="disk"),
+            "misses": _counter_total(
+                cold_metrics, "grid_cache_misses_total"),
+            "executed": _counter_total(
+                cold_metrics, "grid_cells_executed_total"),
+            "warm_disk_hits": _counter_total(
+                warm_metrics, "grid_cache_hits_total", tier="disk"),
+            "warm_misses": _counter_total(
+                warm_metrics, "grid_cache_misses_total"),
+        },
+    }

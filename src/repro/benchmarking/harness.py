@@ -1,0 +1,167 @@
+"""The ``repro bench`` harness: run, serialize, and validate benchmarks.
+
+One :func:`run_bench` call produces a ``repro-bench/1`` payload;
+:func:`write_bench` lands it as ``BENCH_<label>.json``.  The schema is
+deliberately flat and stable so that successive artifacts (one per
+commit, uploaded by CI) can be diffed and plotted as a performance
+trajectory: kernel events/sec must not regress, grid speedup must hold.
+"""
+
+import json
+import os
+import sys
+import time
+
+from repro.benchmarking.grid import measure_cell, measure_grid
+from repro.benchmarking.kernel import measure_kernel
+from repro.experiments.scenario import MECHANISMS, POLICIES
+
+#: Current artifact schema identifier.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Preset for the seconds-scale CI smoke benchmark.
+SMOKE_PRESET = {
+    "kernel_events": 150_000,
+    "policies": ("1P-M", "4P-ED"),
+    "mechanisms": ("spotcheck-lazy", "xen-live"),
+    "days": 2.0,
+    "vms": 4,
+    "workers": 2,
+    "cell_days": 2.0,
+    "cell_vms": 4,
+}
+
+#: Preset for a full local benchmark run.
+FULL_PRESET = {
+    "kernel_events": 1_000_000,
+    "policies": POLICIES,
+    "mechanisms": MECHANISMS,
+    "days": 14.0,
+    "vms": 10,
+    "workers": 4,
+    "cell_days": 14.0,
+    "cell_vms": 10,
+}
+
+
+def run_bench(label="local", smoke=False, seed=11, workers=None, days=None,
+              vms=None, kernel_events=None, echo=None):
+    """Run the kernel, cell, and grid benchmarks; returns the payload."""
+    preset = dict(SMOKE_PRESET if smoke else FULL_PRESET)
+    if workers is not None:
+        preset["workers"] = workers
+    if days is not None:
+        preset["days"] = preset["cell_days"] = days
+    if vms is not None:
+        preset["vms"] = preset["cell_vms"] = vms
+    if kernel_events is not None:
+        preset["kernel_events"] = kernel_events
+
+    def say(message):
+        if echo is not None:
+            echo(message)
+
+    say(f"kernel: {preset['kernel_events']} events x3 ...")
+    kernel = measure_kernel(events=preset["kernel_events"])
+    say(f"  {kernel['events_per_sec']:.0f} events/sec")
+
+    say(f"cell: 1P-M/spotcheck-lazy, {preset['cell_days']:.0f} days, "
+        f"{preset['cell_vms']} VMs ...")
+    cell = measure_cell(seed=seed, days=preset["cell_days"],
+                        vms=preset["cell_vms"])
+    say(f"  {cell['wall_s']:.2f}s")
+
+    grid_shape = (f"{len(preset['policies'])}x{len(preset['mechanisms'])} "
+                  f"grid, {preset['days']:.0f} days, {preset['vms']} VMs, "
+                  f"{preset['workers']} workers")
+    say(f"grid: serial vs parallel vs warm ({grid_shape}) ...")
+    grid = measure_grid(policies=preset["policies"],
+                        mechanisms=preset["mechanisms"], seed=seed,
+                        days=preset["days"], vms=preset["vms"],
+                        workers=preset["workers"])
+    say(f"  serial {grid['serial_wall_s']:.2f}s  parallel "
+        f"{grid['parallel_wall_s']:.2f}s (x{grid['speedup']:.2f})  warm "
+        f"{grid['warm_wall_s']:.2f}s (x{grid['warm_speedup']:.2f})")
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "label": label,
+        "smoke": bool(smoke),
+        "created_unix": time.time(),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "kernel": kernel,
+        "cell": cell,
+        "grid": grid,
+    }
+
+
+def bench_filename(label):
+    safe = "".join(c if c.isalnum() or c in "-_." else "-" for c in label)
+    return f"BENCH_{safe}.json"
+
+
+def write_bench(payload, out_dir="."):
+    """Validate and write ``BENCH_<label>.json``; returns the path."""
+    validate_bench(payload)
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, bench_filename(payload["label"]))
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def _require(payload, dotted, kinds):
+    node = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise ValueError(f"bench payload missing {dotted!r}")
+        node = node[part]
+    if not isinstance(node, kinds) or isinstance(node, bool):
+        raise ValueError(
+            f"bench payload field {dotted!r} has type "
+            f"{type(node).__name__}, expected {kinds}")
+    return node
+
+
+def validate_bench(payload):
+    """Check a payload against the ``repro-bench/1`` schema.
+
+    Raises ``ValueError`` on any missing field, wrong type, or
+    non-positive timing; returns the payload for chaining.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("bench payload must be a dict")
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"unknown bench schema {payload.get('schema')!r}, "
+            f"expected {BENCH_SCHEMA!r}")
+    _require(payload, "label", str)
+    if not isinstance(payload.get("smoke"), bool):
+        raise ValueError("bench payload field 'smoke' must be a bool")
+    _require(payload, "created_unix", (int, float))
+    _require(payload, "host.cpu_count", int)
+    for field in ("kernel.events", "kernel.wall_s", "kernel.events_per_sec",
+                  "cell.wall_s", "grid.cells", "grid.serial_wall_s",
+                  "grid.parallel_wall_s", "grid.warm_wall_s", "grid.speedup",
+                  "grid.warm_speedup", "grid.workers", "grid.cache.misses",
+                  "grid.cache.memory_hits", "grid.cache.disk_hits",
+                  "grid.cache.executed", "grid.cache.warm_disk_hits",
+                  "grid.cache.warm_misses"):
+        value = _require(payload, field, (int, float))
+        if value < 0:
+            raise ValueError(f"bench payload field {field!r} is negative")
+    for field in ("kernel.events_per_sec", "grid.speedup",
+                  "grid.warm_speedup"):
+        if _require(payload, field, (int, float)) <= 0:
+            raise ValueError(f"bench payload field {field!r} must be > 0")
+    return payload
+
+
+def validate_bench_file(path):
+    """Load and validate one ``BENCH_*.json``; returns the payload."""
+    with open(path) as handle:
+        return validate_bench(json.load(handle))

@@ -12,6 +12,9 @@ Commands
     Summarize an ``--obs-dir`` observability output directory.
 ``report``
     Run the full evaluation and write EXPERIMENTS.md.
+``bench``
+    Time the kernel and the policy grid (serial vs parallel vs
+    cache-warm) and write a schema-stable ``BENCH_<label>.json``.
 """
 
 import argparse
@@ -139,10 +142,32 @@ def _cmd_obs(args):
 def _cmd_report(args):
     from repro.experiments.runner import generate_report
     print(f"running the full evaluation "
-          f"({args.days:.0f} days, {args.vms} VMs)...")
+          f"({args.days:.0f} days, {args.vms} VMs, "
+          f"{args.workers} worker{'s' if args.workers != 1 else ''})...")
     generate_report(path=args.out, seed=args.seed, days=args.days,
-                    vms=args.vms)
+                    vms=args.vms, workers=args.workers,
+                    cache_dir=args.cache_dir)
     print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_bench(args):
+    from repro.benchmarking import run_bench, write_bench
+    payload = run_bench(label=args.label, smoke=args.smoke, seed=args.seed,
+                        workers=args.workers, days=args.days, vms=args.vms,
+                        kernel_events=args.kernel_events, echo=print)
+    path = write_bench(payload, out_dir=args.out_dir)
+    kernel = payload["kernel"]
+    grid = payload["grid"]
+    print(f"kernel ........... {kernel['events_per_sec']:.0f} events/sec")
+    print(f"grid serial ...... {grid['serial_wall_s']:.2f}s "
+          f"({grid['cells']} cells)")
+    print(f"grid parallel .... {grid['parallel_wall_s']:.2f}s "
+          f"(x{grid['speedup']:.2f} at {grid['workers']} workers)")
+    print(f"grid warm cache .. {grid['warm_wall_s']:.2f}s "
+          f"(x{grid['warm_speedup']:.2f}, "
+          f"{grid['cache']['warm_disk_hits']:.0f} disk hits)")
+    print(f"wrote {path}")
     return 0
 
 
@@ -214,7 +239,32 @@ def build_parser():
     report.add_argument("--seed", type=int, default=11)
     report.add_argument("--days", type=float, default=183.0)
     report.add_argument("--vms", type=int, default=40)
+    report.add_argument("--workers", type=int, default=1,
+                        help="processes for the policy grid (Figs 10-12)")
+    report.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist completed grid cells under DIR so "
+                             "repeated reports skip them")
     report.set_defaults(func=_cmd_report)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark the kernel and grid; write BENCH_*.json")
+    bench.add_argument("--label", default="local",
+                       help="artifact name: BENCH_<label>.json")
+    bench.add_argument("--smoke", action="store_true",
+                       help="seconds-scale preset for CI")
+    bench.add_argument("--seed", type=int, default=11)
+    bench.add_argument("--workers", type=int, default=None,
+                       help="parallel grid workers (preset default: 4, "
+                            "smoke: 2)")
+    bench.add_argument("--days", type=float, default=None,
+                       help="override the preset's simulated span")
+    bench.add_argument("--vms", type=int, default=None,
+                       help="override the preset's fleet size")
+    bench.add_argument("--kernel-events", type=int, default=None,
+                       help="override the kernel benchmark's event count")
+    bench.add_argument("--out-dir", default=".",
+                       help="directory for BENCH_<label>.json")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -1,0 +1,154 @@
+"""Process-based fan-out and on-disk caching for the policy grid.
+
+The paper's headline evaluation is a 5-policy x 4-mechanism grid over
+six months of prices; every cell is an independent simulation, so the
+grid is embarrassingly parallel.  This module supplies the three pieces
+``repro.experiments.policy_grid.run_grid(workers=N)`` composes:
+
+``config_hash``
+    A stable content hash of a :class:`ScenarioConfig` — the key for
+    the persistent cell cache.  Hashes are computed from a canonical
+    JSON form, so they survive process boundaries and interpreter
+    restarts (unlike ``hash()``/``id()``-based keys).
+
+``CellDiskCache``
+    A directory of pickled cell summaries keyed by ``config_hash``.
+    Repeated ``repro report`` runs skip every completed cell.  Pickle
+    (not JSON) because summaries carry float-keyed histograms and enum
+    cost breakdowns that JSON would silently mangle.
+
+``run_cells_parallel``
+    Dispatches cells to a ``ProcessPoolExecutor``.  Each worker rebuilds
+    its environment from the pickled :class:`ScenarioConfig` and loads
+    the shared price-trace archive once per process from an ``.npz``
+    file (see :meth:`repro.traces.archive.TraceArchive.save_npz`), so
+    six months of prices are generated exactly once, in the parent.
+
+Determinism: a cell's RNG streams are seeded only by its config, and
+the npz archive round-trip is bit-exact, so parallel summaries are
+identical to serial ones — ``run_grid(workers=4)`` must and does equal
+``run_grid(workers=1)``.
+"""
+
+import hashlib
+import json
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict
+
+from repro.experiments.scenario import PolicySimulation, ScenarioConfig
+from repro.traces.archive import TraceArchive
+from repro.traces.model import MarketParams
+
+#: Bump when the summary contents change shape, so stale cache entries
+#: from an older code version are never returned.
+CACHE_VERSION = 1
+
+
+def config_canonical(config):
+    """The canonical JSON text a config is hashed from."""
+    payload = asdict(config)
+    payload["__cache_version__"] = CACHE_VERSION
+    return json.dumps(payload, sort_keys=True, default=repr)
+
+
+def config_hash(config):
+    """Stable hex digest identifying one cell's full configuration."""
+    return hashlib.sha256(
+        config_canonical(config).encode("utf-8")).hexdigest()
+
+
+def archive_hash(seed, days, zones, market_params):
+    """Stable digest identifying one shared trace archive."""
+    payload = json.dumps(
+        {"seed": seed, "days": days, "zones": zones,
+         "market_params": {name: asdict(params) for name, params
+                           in sorted(market_params.items())}},
+        sort_keys=True, default=repr)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class CellDiskCache:
+    """Persistent cell-summary cache: one pickle per config hash."""
+
+    def __init__(self, directory):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, config):
+        return os.path.join(self.directory, f"{config_hash(config)}.pkl")
+
+    def get(self, config):
+        """The cached summary for ``config``, or ``None``."""
+        path = self._path(config)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (pickle.UnpicklingError, EOFError):
+            # A truncated entry (e.g. a killed run) is a miss, not an
+            # error; the cell just re-runs and overwrites it.
+            return None
+
+    def put(self, config, summary):
+        """Store ``summary`` atomically under ``config``'s hash."""
+        path = self._path(config)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            pickle.dump(summary, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def __len__(self):
+        return sum(1 for name in os.listdir(self.directory)
+                   if name.endswith(".pkl"))
+
+
+# Per-worker-process memo: archive npz path -> loaded TraceArchive.
+# Loading six months of prices once per process instead of once per
+# cell is what makes small per-cell runtimes worth parallelizing.
+_WORKER_ARCHIVES = {}
+
+
+def _run_cell_worker(config, archive_path):
+    """Worker entry point: rebuild the scenario and run one cell."""
+    archive = None
+    if archive_path is not None:
+        archive = _WORKER_ARCHIVES.get(archive_path)
+        if archive is None:
+            archive = TraceArchive.load_npz(archive_path)
+            _WORKER_ARCHIVES[archive_path] = archive
+    return PolicySimulation(config, archive=archive).run()
+
+
+def run_cells_parallel(configs, workers, archive_path=None):
+    """Run ``configs`` across ``workers`` processes.
+
+    Returns summaries in the order of ``configs``.  ``archive_path``
+    is an ``.npz`` written by :meth:`TraceArchive.save_npz`; when
+    ``None`` each worker regenerates traces from its config (correct,
+    but slower).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    configs = list(configs)
+    if not configs:
+        return []
+    workers = min(workers, len(configs))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_run_cell_worker, config, archive_path)
+                   for config in configs]
+        return [future.result() for future in futures]
+
+
+__all__ = [
+    "CACHE_VERSION",
+    "CellDiskCache",
+    "MarketParams",
+    "ScenarioConfig",
+    "archive_hash",
+    "config_canonical",
+    "config_hash",
+    "run_cells_parallel",
+]

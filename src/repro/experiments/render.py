@@ -117,8 +117,9 @@ def _render_grid(metric_rows, results, unit):
     return format_table(["policy"] + list(mechanisms), table_rows)
 
 
-def render_fig10(seed=11, days=183.0, vms=40):
-    results = run_grid(seed=seed, days=days, vms=vms)
+def render_fig10(seed=11, days=183.0, vms=40, workers=1, cache_dir=None):
+    results = run_grid(seed=seed, days=days, vms=vms, workers=workers,
+                       cache_dir=cache_dir)
     text = _render_grid(figure10_rows, results, "${:.4f}")
     one_pool = results[("1P-M", "spotcheck-lazy")]["cost_per_vm_hour"]
     notes = (f"1P-M SpotCheck: ${one_pool:.4f}/VM-hr vs $0.07 on-demand "
@@ -126,8 +127,9 @@ def render_fig10(seed=11, days=183.0, vms=40):
     return "Figure 10 — average cost per VM-hour", text, notes
 
 
-def render_fig11(seed=11, days=183.0, vms=40):
-    results = run_grid(seed=seed, days=days, vms=vms)
+def render_fig11(seed=11, days=183.0, vms=40, workers=1, cache_dir=None):
+    results = run_grid(seed=seed, days=days, vms=vms, workers=workers,
+                       cache_dir=cache_dir)
     text = _render_grid(figure11_rows, results, "{:.4f}%")
     availability = results[("1P-M", "spotcheck-lazy")]["availability"]
     notes = (f"1P-M SpotCheck availability {100 * availability:.4f}% "
@@ -136,8 +138,9 @@ def render_fig11(seed=11, days=183.0, vms=40):
     return "Figure 11 — unavailability (%)", text, notes
 
 
-def render_fig12(seed=11, days=183.0, vms=40):
-    results = run_grid(seed=seed, days=days, vms=vms)
+def render_fig12(seed=11, days=183.0, vms=40, workers=1, cache_dir=None):
+    results = run_grid(seed=seed, days=days, vms=vms, workers=workers,
+                       cache_dir=cache_dir)
     text = _render_grid(figure12_rows, results, "{:.4f}%")
     worst = max(results[(p, "spotcheck-lazy")]["degradation_pct"]
                 for p in ("1P-M", "2P-ML", "4P-ED", "4P-COST", "4P-ST"))

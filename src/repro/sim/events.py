@@ -5,11 +5,24 @@ Events move through three states: *pending* (created, not scheduled),
 *processed* (callbacks have run).  Processes wait on events by yielding
 them; the kernel resumes the process with the event's value, or throws
 the event's exception into it if the event failed.
+
+Every event class declares ``__slots__``: grid simulations allocate
+millions of short-lived :class:`Timeout` and resumption events, and
+dropping the per-instance ``__dict__`` measurably raises kernel
+events/sec (see ``repro.benchmarking``).
 """
 
 from repro.sim.errors import SimulationError
 
 PENDING = object()
+
+#: Priority for ordinary events.  (Re-exported by ``repro.sim.kernel``;
+#: defined here so :class:`Timeout` can self-schedule without importing
+#: the kernel module.)
+NORMAL = 1
+#: Priority for process-resumption events (run before ordinary events at
+#: the same timestamp so interrupts observe a consistent state).
+URGENT = 0
 
 
 class Event:
@@ -21,14 +34,16 @@ class Event:
         The owning :class:`~repro.sim.kernel.Environment`.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env):
         self.env = env
         self.callbacks = []
         self._value = PENDING
         self._ok = None
-        #: Set once some waiter has consumed this event's failure; an
-        #: unconsumed failure crashes the run loop (errors must never
-        #: pass silently).
+        # _defused: set once some waiter has consumed this event's
+        # failure; an unconsumed failure crashes the run loop (errors
+        # must never pass silently).
         self._defused = False
 
     @property
@@ -82,16 +97,29 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` time units after creation."""
+    """An event that triggers ``delay`` time units after creation.
+
+    Timeouts are the kernel's hottest allocation (every simulated wait
+    is one), so construction takes a fast path: the event is born
+    triggered and pushed straight onto the environment's heap, skipping
+    the generic ``Event.__init__`` / ``Environment.schedule`` machinery.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, env, delay, value=None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
+        # Inlined Event.__init__ + env.schedule(self, delay=delay): born
+        # triggered-successful, one heap push, no intermediate calls.
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = value
-        env.schedule(self, delay=delay)
+        self._defused = False
+        self.delay = delay
+        env._push_heap(
+            env._heap, (env._now + delay, NORMAL, next(env._eid), self))
 
     def __repr__(self):
         return f"<Timeout delay={self.delay}>"
@@ -103,6 +131,8 @@ class ConditionValue(dict):
 
 class _Condition(Event):
     """Base for AllOf/AnyOf: waits on a set of events."""
+
+    __slots__ = ("events", "_done")
 
     def __init__(self, env, events):
         super().__init__(env)
@@ -138,12 +168,16 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Triggers once every event in ``events`` has succeeded."""
 
+    __slots__ = ()
+
     def _satisfied(self):
         return self._done == len(self.events)
 
 
 class AnyOf(_Condition):
     """Triggers as soon as any event in ``events`` succeeds."""
+
+    __slots__ = ()
 
     def _satisfied(self):
         return self._done >= 1

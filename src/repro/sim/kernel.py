@@ -4,15 +4,14 @@ import heapq
 from itertools import count
 
 from repro.sim.errors import SimulationError
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import NORMAL, URGENT, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
 
-#: Priority for ordinary events.
-NORMAL = 1
-#: Priority for process-resumption events (run before ordinary events at
-#: the same timestamp so interrupts observe a consistent state).
-URGENT = 0
+__all__ = ["Environment", "NORMAL", "URGENT"]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class Environment:
@@ -21,6 +20,11 @@ class Environment:
     The environment owns the simulated clock (:attr:`now`), the event
     heap, and a registry of named seeded RNG streams so that independent
     stochastic components do not perturb each other's randomness.
+
+    The scheduling hot path keeps module-local bindings of the ``heapq``
+    functions (attribute lookups dominate once a run is pushing millions
+    of events), and :class:`Timeout` self-schedules through
+    :attr:`_push_heap` without the generic :meth:`schedule` indirection.
 
     Parameters
     ----------
@@ -35,6 +39,9 @@ class Environment:
         short-circuits on a single ``is not None`` test, so an
         unobserved simulation pays nothing.
     """
+
+    #: Heap-push binding used by the :class:`Timeout` fast path.
+    _push_heap = staticmethod(_heappush)
 
     def __init__(self, initial_time=0.0, seed=0, obs=None):
         self._now = float(initial_time)
@@ -83,7 +90,7 @@ class Environment:
 
     def schedule(self, event, delay=0.0, priority=NORMAL):
         """Place a triggered event on the heap ``delay`` seconds ahead."""
-        heapq.heappush(
+        _heappush(
             self._heap, (self._now + delay, priority, next(self._eid), event))
 
     def peek(self):
@@ -98,7 +105,7 @@ class Environment:
         """
         if not self._heap:
             raise SimulationError("no scheduled events")
-        when, _priority, _eid, event = heapq.heappop(self._heap)
+        when, _priority, _eid, event = _heappop(self._heap)
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -117,9 +124,11 @@ class Environment:
             event has been processed and returns its value (re-raising
             its exception if it failed).
         """
+        heap = self._heap
         if until is None:
-            while self._heap:
-                self.step()
+            step = self.step
+            while heap:
+                step()
             return None
         if isinstance(until, Event):
             return self._run_until_event(until)
@@ -127,8 +136,9 @@ class Environment:
         if deadline < self._now:
             raise ValueError(
                 f"until={deadline} is in the past (now={self._now})")
-        while self._heap and self._heap[0][0] <= deadline:
-            self.step()
+        step = self.step
+        while heap and heap[0][0] <= deadline:
+            step()
         self._now = deadline
         return None
 
@@ -138,11 +148,13 @@ class Environment:
             done.append(until)
         else:
             until.callbacks.append(done.append)
+        heap = self._heap
+        step = self.step
         while not done:
-            if not self._heap:
+            if not heap:
                 raise SimulationError(
                     "event heap drained before the awaited event triggered")
-            self.step()
+            step()
         if until._ok is False:
             raise until._value
         return until._value

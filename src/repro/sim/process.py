@@ -14,6 +14,8 @@ class Process(Event):
     generator's return value — so processes can wait on each other.
     """
 
+    __slots__ = ("_generator", "_waiting_on")
+
     def __init__(self, env, generator):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")

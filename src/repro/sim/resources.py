@@ -8,6 +8,8 @@ from repro.sim.events import Event
 class _Request(Event):
     """Pending acquisition of one resource slot."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource):
         super().__init__(resource.env)
         self.resource = resource

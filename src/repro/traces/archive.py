@@ -180,6 +180,45 @@ class TraceArchive:
         with open(os.path.join(directory, "index.json"), "w") as f:
             json.dump(index, f, indent=2)
 
+    def save_npz(self, path):
+        """Write the archive to one ``.npz`` file, losslessly.
+
+        Unlike the CSV directory format (:meth:`save`), which rounds
+        times and prices for readability, the npz form stores the raw
+        float64 arrays — a :meth:`load_npz` round-trip is bit-exact.
+        The parallel grid runner relies on this: workers that load a
+        shared archive from disk must see byte-identical prices to a
+        serial run that kept the archive in memory.
+        """
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        meta = []
+        arrays = {}
+        for i, trace in enumerate(self):
+            meta.append({
+                "type": trace.type_name,
+                "zone": trace.zone_name,
+                "on_demand_price": trace.on_demand_price,
+            })
+            arrays[f"times_{i}"] = trace.times
+            arrays[f"prices_{i}"] = trace.prices
+        arrays["meta"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+
+    @classmethod
+    def load_npz(cls, path):
+        """Load an archive previously written by :meth:`save_npz`."""
+        archive = cls()
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+            for i, entry in enumerate(meta):
+                archive.add(PriceTrace(
+                    data[f"times_{i}"], data[f"prices_{i}"], entry["type"],
+                    entry["zone"], entry["on_demand_price"]))
+        return archive
+
     @classmethod
     def load(cls, directory):
         """Load an archive previously written by :meth:`save`."""

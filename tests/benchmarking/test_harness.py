@@ -1,0 +1,104 @@
+"""The bench harness: schema validation and a micro end-to-end run."""
+
+import json
+
+import pytest
+
+from repro.benchmarking import (
+    bench_filename,
+    run_bench,
+    validate_bench,
+    validate_bench_file,
+    write_bench,
+)
+from repro.benchmarking.kernel import measure_kernel
+
+
+def _minimal_payload():
+    return {
+        "schema": "repro-bench/1",
+        "label": "unit",
+        "smoke": True,
+        "created_unix": 1.0,
+        "host": {"cpu_count": 1, "python": "3"},
+        "kernel": {"events": 10, "wall_s": 0.1, "events_per_sec": 100.0,
+                   "repeats": 3},
+        "cell": {"policy": "1P-M", "mechanism": "spotcheck-lazy",
+                 "seed": 11, "days": 1.0, "vms": 2, "wall_s": 0.5},
+        "grid": {
+            "cells": 4, "workers": 2,
+            "serial_wall_s": 2.0, "parallel_wall_s": 1.0,
+            "warm_wall_s": 0.01, "speedup": 2.0, "warm_speedup": 200.0,
+            "cache": {"memory_hits": 0.0, "disk_hits": 0.0, "misses": 4.0,
+                      "executed": 4.0, "warm_disk_hits": 4.0,
+                      "warm_misses": 0.0},
+        },
+    }
+
+
+class TestValidation:
+    def test_minimal_payload_passes(self):
+        assert validate_bench(_minimal_payload()) is not None
+
+    def test_unknown_schema_rejected(self):
+        payload = _minimal_payload()
+        payload["schema"] = "repro-bench/999"
+        with pytest.raises(ValueError, match="schema"):
+            validate_bench(payload)
+
+    @pytest.mark.parametrize("dotted", [
+        "kernel.events_per_sec", "grid.speedup", "grid.serial_wall_s",
+        "grid.cache.misses", "host.cpu_count",
+    ])
+    def test_missing_field_rejected(self, dotted):
+        payload = _minimal_payload()
+        node = payload
+        *parents, leaf = dotted.split(".")
+        for part in parents:
+            node = node[part]
+        del node[leaf]
+        with pytest.raises(ValueError, match=dotted.split(".")[-1]):
+            validate_bench(payload)
+
+    def test_non_numeric_timing_rejected(self):
+        payload = _minimal_payload()
+        payload["kernel"]["wall_s"] = "fast"
+        with pytest.raises(ValueError, match="wall_s"):
+            validate_bench(payload)
+
+    def test_zero_speedup_rejected(self):
+        payload = _minimal_payload()
+        payload["grid"]["speedup"] = 0.0
+        with pytest.raises(ValueError, match="speedup"):
+            validate_bench(payload)
+
+
+class TestArtifact:
+    def test_write_and_validate_file(self, tmp_path):
+        path = write_bench(_minimal_payload(), out_dir=str(tmp_path))
+        assert path.endswith("BENCH_unit.json")
+        payload = validate_bench_file(path)
+        assert payload["label"] == "unit"
+        # Stable, diffable serialization.
+        assert json.loads((tmp_path / "BENCH_unit.json").read_text())
+
+    def test_filename_sanitized(self):
+        assert bench_filename("a/b c!") == "BENCH_a-b-c-.json"
+
+
+class TestMeasurements:
+    def test_kernel_bench_counts(self):
+        result = measure_kernel(events=2000, repeats=1)
+        assert result["events"] == 2000
+        assert result["events_per_sec"] > 0
+        assert result["wall_s"] > 0
+
+    def test_run_bench_micro(self, tmp_path):
+        """A miniature full pipeline: run, write, re-validate."""
+        payload = run_bench(label="micro", smoke=True, days=0.5, vms=2,
+                            workers=2, kernel_events=2000)
+        path = write_bench(payload, out_dir=str(tmp_path))
+        loaded = validate_bench_file(path)
+        assert loaded["grid"]["cells"] == 4
+        assert loaded["grid"]["cache"]["misses"] == 4.0
+        assert loaded["grid"]["cache"]["warm_disk_hits"] == 4.0

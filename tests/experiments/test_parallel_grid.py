@@ -1,0 +1,144 @@
+"""Parallel-vs-serial determinism and the grid's cache tiers.
+
+The paper's grid must produce the same numbers no matter how it is
+executed: ``run_grid(workers=2)`` has to equal ``run_grid(workers=1)``
+cell for cell, and a summary served from the on-disk cache has to equal
+the freshly simulated one (including float-keyed storm histograms,
+which JSON-based caches would mangle — hence pickle).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import policy_grid
+from repro.experiments.parallel import (
+    CellDiskCache,
+    config_canonical,
+    config_hash,
+)
+from repro.experiments.policy_grid import (
+    cell_key,
+    clear_caches,
+    run_cell,
+    run_grid,
+)
+from repro.experiments.scenario import ScenarioConfig
+from repro.obs import MetricsRegistry
+
+POLICIES = ("1P-M", "4P-ED")
+MECHANISMS = ("spotcheck-lazy", "xen-live")
+GRID_KW = dict(policies=POLICIES, mechanisms=MECHANISMS, seed=7, days=5.0,
+               vms=4)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestParallelDeterminism:
+    def test_workers2_equals_serial(self, tmp_path):
+        serial = run_grid(workers=1, **GRID_KW)
+        clear_caches()
+        parallel = run_grid(workers=2, cache_dir=str(tmp_path), **GRID_KW)
+        assert parallel == serial
+
+    def test_parallel_populates_disk_cache(self, tmp_path):
+        metrics = MetricsRegistry()
+        run_grid(workers=2, cache_dir=str(tmp_path), metrics=metrics,
+                 **GRID_KW)
+        assert metrics.counter("grid_cache_misses_total").value == 4
+        clear_caches()
+        warm = MetricsRegistry()
+        run_grid(workers=2, cache_dir=str(tmp_path), metrics=warm, **GRID_KW)
+        assert warm.counter("grid_cache_hits_total", tier="disk").value == 4
+        assert warm.counter("grid_cache_misses_total").value == 0
+
+
+class TestDiskCache:
+    def test_round_trip_preserves_float_keys(self, tmp_path):
+        config = ScenarioConfig(policy="1P-M", seed=3, days=2.0, vms=3)
+        summary = {"cost_per_vm_hour": 0.0123,
+                   "storm_histogram": {0.25: 0.0, 0.5: 1e-6}}
+        cache = CellDiskCache(str(tmp_path))
+        cache.put(config, summary)
+        assert cache.get(config) == summary
+        assert list(cache.get(config)["storm_histogram"]) == [0.25, 0.5]
+
+    def test_miss_and_corruption(self, tmp_path):
+        config = ScenarioConfig(seed=4)
+        cache = CellDiskCache(str(tmp_path))
+        assert cache.get(config) is None
+        # A truncated entry (killed run) must read as a miss.
+        path = tmp_path / f"{config_hash(config)}.pkl"
+        path.write_bytes(b"\x80")
+        assert cache.get(config) is None
+
+    def test_run_cell_uses_disk_cache(self, tmp_path):
+        kw = dict(seed=9, days=2.0, vms=3, cache_dir=str(tmp_path))
+        first = run_cell("1P-M", "spotcheck-lazy", **kw)
+        clear_caches()
+        metrics = MetricsRegistry()
+        second = run_cell("1P-M", "spotcheck-lazy", metrics=metrics, **kw)
+        assert second == first
+        assert metrics.counter(
+            "grid_cache_hits_total", tier="disk").value == 1
+
+
+class TestConfigHash:
+    def test_stable_for_equal_configs(self):
+        a = ScenarioConfig(policy="2P-ML", seed=5, days=3.0)
+        b = ScenarioConfig(policy="2P-ML", seed=5, days=3.0)
+        assert a is not b
+        assert config_hash(a) == config_hash(b)
+
+    def test_differs_when_any_field_differs(self):
+        base = ScenarioConfig(seed=5)
+        for changed in (dataclasses.replace(base, seed=6),
+                        dataclasses.replace(base, policy="4P-ST"),
+                        dataclasses.replace(base, vms=41),
+                        dataclasses.replace(base, slicing=False)):
+            assert config_hash(changed) != config_hash(base)
+
+    def test_canonical_form_is_json_and_sorted(self):
+        text = config_canonical(ScenarioConfig())
+        import json
+        payload = json.loads(text)
+        assert list(payload) == sorted(payload)
+
+
+class TestCellKeyRobustness:
+    def test_unhashable_override_values(self):
+        # dict/list override values used to crash the cache key
+        # (unhashable tuple members); now they freeze.
+        key = cell_key("1P-M", "spotcheck-lazy", 11, 7.0, 40,
+                       {"market_params": {"m3.medium": [1, {"a": 2}]},
+                        "hot_spares": None})
+        assert hash(key) == hash(key)
+
+    def test_equal_overrides_equal_keys(self):
+        one = cell_key("1P-M", "x", 1, 1.0, 1, {"a": {"b": 1, "c": 2}})
+        two = cell_key("1P-M", "x", 1, 1.0, 1, {"a": {"c": 2, "b": 1}})
+        assert one == two
+
+
+class TestCacheBounds:
+    def test_clear_caches_empties(self):
+        run_cell("1P-M", "spotcheck-lazy", seed=2, days=1.0, vms=2)
+        assert policy_grid._CACHE and policy_grid._ARCHIVES
+        clear_caches()
+        assert not policy_grid._CACHE and not policy_grid._ARCHIVES
+
+    def test_cell_cache_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(policy_grid, "MAX_CACHED_CELLS", 3)
+        for seed in range(5):
+            policy_grid._remember(
+                policy_grid._CACHE, ("k", seed), {"seed": seed},
+                policy_grid.MAX_CACHED_CELLS)
+        assert len(policy_grid._CACHE) == 3
+        # LRU: the oldest entries were evicted.
+        assert ("k", 0) not in policy_grid._CACHE
+        assert ("k", 4) in policy_grid._CACHE

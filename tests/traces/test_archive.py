@@ -175,3 +175,38 @@ class TestArchive:
         assert trace.on_demand_price == 0.07
         assert list(trace.times) == [0.0, 50.5]
         assert trace.prices[1] == pytest.approx(0.033)
+
+
+class TestNpzRoundTrip:
+    def test_bit_exact(self, tmp_path):
+        """npz persistence is lossless — the parallel grid's invariant."""
+        archive = TraceArchive([
+            make_trace([(0, 0.07 / 3), (1e7 / 3, 0.0123456789)]),
+            PriceTrace([0.0, 99.9], [0.5, 0.25], "m3.large", "z2", 0.14),
+        ])
+        path = str(tmp_path / "archive.npz")
+        archive.save_npz(path)
+        loaded = TraceArchive.load_npz(path)
+        assert loaded.keys() == archive.keys()
+        for original in archive:
+            trace = loaded.get(*original.key)
+            assert trace.times.tobytes() == original.times.tobytes()
+            assert trace.prices.tobytes() == original.prices.tobytes()
+            assert trace.on_demand_price == original.on_demand_price
+
+    def test_generated_archive_round_trips(self, tmp_path):
+        from repro.traces.calibration import M3_MARKET_PARAMS
+        from repro.traces.generator import TraceGenerator
+        generator = TraceGenerator(seed=3)
+        params = M3_MARKET_PARAMS["m3.medium"]
+        archive = TraceArchive([
+            generator.generate_market("m3.medium", "z1", params,
+                                      duration_s=5 * 24 * 3600.0),
+        ])
+        path = str(tmp_path / "gen.npz")
+        archive.save_npz(path)
+        loaded = TraceArchive.load_npz(path)
+        original = archive.get("m3.medium", "z1")
+        trace = loaded.get("m3.medium", "z1")
+        assert np.array_equal(trace.times, original.times)
+        assert np.array_equal(trace.prices, original.prices)
