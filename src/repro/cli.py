@@ -15,6 +15,9 @@ Commands
 ``bench``
     Time the kernel and the policy grid (serial vs parallel vs
     cache-warm) and write a schema-stable ``BENCH_<label>.json``.
+``chaos``
+    Run the fault-injection scenario (see docs/robustness.md) and
+    check/record its golden fault and retry metrics.
 """
 
 import argparse
@@ -24,13 +27,17 @@ import sys
 
 def _cmd_simulate(args):
     from repro.experiments.scenario import PolicySimulation, ScenarioConfig
+    faults = None
+    if args.faults:
+        from repro.faults import FaultPlan
+        faults = FaultPlan.from_json(args.faults)
     config = ScenarioConfig(
         policy=args.policy, mechanism=args.mechanism, seed=args.seed,
         days=args.days, vms=args.vms, workload=args.workload,
         bid_policy=args.bid_policy, bid_multiple=args.bid_multiple,
         hot_spares=args.hot_spares, proactive=args.proactive,
         predictive=args.predictive, slicing=not args.no_slicing,
-        zones=args.zones)
+        zones=args.zones, faults=faults)
     obs = None
     if args.obs_dir:
         from repro.obs import Observability
@@ -52,6 +59,40 @@ def _cmd_simulate(args):
     print(f"  migrations ....... {summary['migrations']} "
           f"({summary['revocation_events']} revocation events)")
     print(f"  state lost ....... {summary['state_loss_events']}")
+    if "faults_injected" in summary:
+        print(f"  faults injected .. {summary['faults_injected']}")
+    return 0
+
+
+def _cmd_chaos(args):
+    from repro.experiments.chaos import check_digest, run_chaos
+    from repro.faults import FaultPlan
+    plan = FaultPlan.from_json(args.faults) if args.faults else None
+    summary, digest = run_chaos(seed=args.seed, days=args.days,
+                                vms=args.vms, policy=args.policy, plan=plan)
+    if args.write_golden:
+        with open(args.write_golden, "w", encoding="utf-8") as handle:
+            json.dump(digest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote golden digest to {args.write_golden}")
+        return 0
+    if args.json:
+        print(json.dumps({"summary": summary, "digest": digest},
+                         indent=2, default=float))
+    else:
+        print(f"chaos run survived: {digest['faults_injected_total']} "
+              f"faults injected, {digest['retries_total']} retries, "
+              f"{digest['fault_degradations_total']} degradations, "
+              f"{digest['state_loss_events']} state-loss events")
+    if args.check_golden:
+        with open(args.check_golden, encoding="utf-8") as handle:
+            golden = json.load(handle)
+        problems = check_digest(digest, golden)
+        if problems:
+            for problem in problems:
+                print(f"GOLDEN MISMATCH {problem}", file=sys.stderr)
+            return 1
+        print("golden fault/retry metrics match")
     return 0
 
 
@@ -197,6 +238,9 @@ def build_parser():
     sim.add_argument("--no-slicing", action="store_true")
     sim.add_argument("--zones", type=int, default=1,
                      help="availability zones to operate across")
+    sim.add_argument("--faults", default=None, metavar="FILE",
+                     help="inject control-plane faults from a FaultPlan "
+                          "JSON config (see docs/robustness.md)")
     sim.add_argument("--json", action="store_true")
     sim.add_argument("--obs-dir", default=None, metavar="DIR",
                      help="instrument the run and write events.jsonl, "
@@ -265,6 +309,23 @@ def build_parser():
     bench.add_argument("--out-dir", default=".",
                        help="directory for BENCH_<label>.json")
     bench.set_defaults(func=_cmd_bench)
+
+    chaos = sub.add_parser(
+        "chaos", help="run the fault-injection scenario "
+                      "(docs/robustness.md)")
+    chaos.add_argument("--seed", type=int, default=11)
+    chaos.add_argument("--days", type=float, default=42.0)
+    chaos.add_argument("--vms", type=int, default=20)
+    chaos.add_argument("--policy", default="4P-COST",
+                       help="allocation policy for the chaos fleet")
+    chaos.add_argument("--faults", default=None, metavar="FILE",
+                       help="FaultPlan JSON overriding the default plan")
+    chaos.add_argument("--json", action="store_true")
+    chaos.add_argument("--write-golden", default=None, metavar="FILE",
+                       help="record this run's digest as the golden file")
+    chaos.add_argument("--check-golden", default=None, metavar="FILE",
+                       help="fail (exit 1) unless the digest matches FILE")
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -43,11 +43,19 @@ class CloudApi:
         policies guard against.  ``None`` means unlimited.
     hourly_rounding:
         Whether billing rounds runtimes up to whole hours.
+    faults:
+        Optional :class:`~repro.faults.injector.FaultInjector`.  When
+        set, every mutating call first consults the injector (which may
+        raise a typed control-plane error) and has its latency run
+        through the injector's tail model.  When ``None`` (the
+        default) each call pays a single ``is not None`` test and is
+        bit-identical to an uninjected platform.
     """
 
     def __init__(self, env, region, catalog, latency_model=None,
                  warning_period=DEFAULT_WARNING_PERIOD,
-                 on_demand_capacity=None, hourly_rounding=False):
+                 on_demand_capacity=None, hourly_rounding=False,
+                 faults=None):
         self.env = env
         self.region = region
         self.catalog = catalog
@@ -57,8 +65,16 @@ class CloudApi:
         self.billing = BillingLedger(env, hourly_rounding=hourly_rounding)
         self.vpc = Vpc(env, region)
         self.on_demand_capacity = on_demand_capacity
+        self.faults = faults
         self.instances = {}
         self._running_on_demand = 0
+
+    def _op_latency(self, operation):
+        """Sample one operation latency, fault-tail adjusted."""
+        latency = float(self.latency.sample(operation))
+        if self.faults is not None:
+            latency = float(self.faults.adjusted_latency(operation, latency))
+        return latency
 
     # -- market installation -------------------------------------------
 
@@ -80,12 +96,20 @@ class CloudApi:
 
     def _run_instance(self, itype, zone, market, bid):
         if market is Market.ON_DEMAND:
+            if self.faults is not None:
+                self.faults.check(
+                    "start_on_demand_instance", type_name=itype.name,
+                    zone_name=zone.name, market_kind="on-demand")
             if (self.on_demand_capacity is not None
                     and self._running_on_demand >= self.on_demand_capacity):
                 raise CapacityError(
                     f"no on-demand capacity for {itype.name} in {zone}")
             operation = "start_on_demand_instance"
         else:
+            if self.faults is not None:
+                self.faults.check(
+                    "start_spot_instance", type_name=itype.name,
+                    zone_name=zone.name, market_kind="spot")
             spot_market = self.marketplace.market(itype, zone)
             if bid is None or bid <= 0:
                 raise ValueError("spot requests require a positive bid")
@@ -96,12 +120,22 @@ class CloudApi:
             operation = "start_spot_instance"
 
         instance = Instance(self.env, itype, zone, market, bid=bid)
-        self.instances[instance.id] = instance
+        # The capacity slot is reserved across the start latency (two
+        # concurrent launches must not both squeeze under the cap), but
+        # the instance is only registered once it actually starts: any
+        # failure or interruption inside the latency window releases
+        # the reservation and leaves no phantom PENDING instance
+        # behind.
         if market is Market.ON_DEMAND:
             self._running_on_demand += 1
+        try:
+            yield self.env.timeout(self._op_latency(operation))
+        except BaseException:
+            if market is Market.ON_DEMAND:
+                self._running_on_demand -= 1
+            raise
 
-        yield self.env.timeout(float(self.latency.sample(operation)))
-
+        self.instances[instance.id] = instance
         instance._mark_running()
         self.billing.open(instance)
         if market is Market.SPOT:
@@ -119,12 +153,22 @@ class CloudApi:
 
     def _terminate_instance(self, instance):
         if instance.state is InstanceState.TERMINATED:
+            if instance.revoked:
+                # A graceful relinquish raced the platform's forced
+                # termination and lost; EC2's terminate is idempotent
+                # in this case, so the call succeeds as a no-op.
+                return instance
             raise InvalidOperation(f"{instance.id} already terminated")
+        if self.faults is not None:
+            self.faults.check("terminate_instance",
+                              type_name=instance.itype.name,
+                              zone_name=instance.zone.name,
+                              market_kind=instance.market.value)
         self._close_billing(instance)
         if instance.is_spot:
             self.marketplace.market(instance.itype, instance.zone) \
                 .deregister(instance)
-        yield self.env.timeout(float(self.latency.sample("terminate_instance")))
+        yield self.env.timeout(self._op_latency("terminate_instance"))
         if instance.state is not InstanceState.TERMINATED:
             self._release_attachments(instance)
             instance._mark_terminated()
@@ -132,6 +176,7 @@ class CloudApi:
 
     def _force_terminate(self, instance):
         """Platform hook: warning period elapsed on a revoked instance."""
+        instance.revoked = True
         self._close_billing(instance)
         self._release_attachments(instance)
         instance._mark_terminated()
@@ -168,8 +213,10 @@ class CloudApi:
         return self.env.process(self._attach_volume(volume, instance))
 
     def _attach_volume(self, volume, instance):
+        if self.faults is not None:
+            self.faults.check("attach_volume")
         volume._begin_attach(instance)
-        yield self.env.timeout(float(self.latency.sample("attach_volume")))
+        yield self.env.timeout(self._op_latency("attach_volume"))
         volume._finish_attach()
         return volume
 
@@ -186,8 +233,10 @@ class CloudApi:
         from repro.cloud.ebs import VolumeState
         if volume.state is VolumeState.AVAILABLE:
             return volume
+        if self.faults is not None:
+            self.faults.check("detach_volume")
         volume._begin_detach()
-        yield self.env.timeout(float(self.latency.sample("detach_volume")))
+        yield self.env.timeout(self._op_latency("detach_volume"))
         if volume.state is VolumeState.DETACHING:
             volume._finish_detach()
         return volume
@@ -203,8 +252,9 @@ class CloudApi:
         return self.env.process(self._attach_interface(eni, instance))
 
     def _attach_interface(self, eni, instance):
-        yield self.env.timeout(
-            float(self.latency.sample("attach_network_interface")))
+        if self.faults is not None:
+            self.faults.check("attach_network_interface")
+        yield self.env.timeout(self._op_latency("attach_network_interface"))
         eni._attach(instance)
         return eni
 
@@ -219,8 +269,9 @@ class CloudApi:
     def _detach_interface(self, eni):
         if not eni.is_attached:
             return eni
-        yield self.env.timeout(
-            float(self.latency.sample("detach_network_interface")))
+        if self.faults is not None:
+            self.faults.check("detach_network_interface")
+        yield self.env.timeout(self._op_latency("detach_network_interface"))
         if eni.is_attached:
             eni._detach()
         return eni

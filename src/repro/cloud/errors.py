@@ -23,5 +23,42 @@ class CapacityError(CloudError):
     """
 
 
+class InsufficientInstanceCapacity(CapacityError):
+    """EC2-style typed capacity failure during a capacity episode.
+
+    Raised by fault injection when a per-(type, zone) capacity episode
+    is active; subclasses :class:`CapacityError` so every existing
+    degradation path (hot spares, staging slots, on-demand fallback)
+    absorbs it unchanged.
+    """
+
+
 class BidTooLow(CloudError):
     """A spot request's bid is below the current market price."""
+
+
+class ApiError(CloudError):
+    """A control-plane call failed at the platform (``InternalError``).
+
+    ``retryable`` distinguishes transient faults (worth a backoff and a
+    retry) from terminal ones (the caller must degrade).
+    """
+
+    def __init__(self, message, operation=None, retryable=True):
+        super().__init__(message)
+        self.operation = operation
+        self.retryable = retryable
+
+
+class ThrottlingError(ApiError):
+    """``RequestLimitExceeded``: the caller is sending requests too
+    fast.  Always transient — the canonical exponential-backoff case.
+    """
+
+    def __init__(self, message, operation=None):
+        super().__init__(message, operation=operation, retryable=True)
+
+
+def is_transient(exc):
+    """Whether ``exc`` is a control-plane error worth retrying."""
+    return isinstance(exc, ApiError) and exc.retryable

@@ -50,6 +50,10 @@ class Instance:
         self.launched_at = None
         self.terminated_at = None
         self.warned_at = None
+        #: True once the platform force-terminated the instance after a
+        #: revocation warning; a graceful terminate that raced the
+        #: forced kill then succeeds idempotently instead of raising.
+        self.revoked = False
         #: Event that fires with the forced-termination deadline when the
         #: platform issues a revocation warning (spot only).
         self.termination_notice = env.event()

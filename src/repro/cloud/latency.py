@@ -250,18 +250,31 @@ class OperationLatencyModel:
         Global multiplier on all latencies (1.0 reproduces Table 1;
         useful for what-if studies — the paper notes EC2 "could likely
         significantly reduce the latency of these operations").
+    op_scales:
+        Optional per-operation multipliers layered on top of ``scale``
+        (e.g. ``{"detach_volume": 3.0}`` models a platform whose
+        detach path is persistently slow, the stall family the fault
+        injector's latency tails inject transiently).
     """
 
-    def __init__(self, rng, specs=None, scale=1.0):
+    def __init__(self, rng, specs=None, scale=1.0, op_scales=None):
         if scale <= 0:
             raise ValueError(f"scale must be positive, got {scale}")
         self.rng = rng
         self.scale = scale
+        self.op_scales = dict(op_scales or {})
+        for name, factor in self.op_scales.items():
+            if factor <= 0:
+                raise ValueError(
+                    f"op_scales[{name!r}] must be positive, got {factor}")
         self.specs = dict(specs if specs is not None else TABLE1_SPECS)
         self._samplers = {
             name: fit_latency_sampler(spec)
             for name, spec in self.specs.items()
         }
+
+    def _scale_for(self, operation):
+        return self.scale * self.op_scales.get(operation, 1.0)
 
     def operations(self):
         """Names of all modelled operations."""
@@ -273,11 +286,11 @@ class OperationLatencyModel:
             sampler = self._samplers[operation]
         except KeyError:
             raise KeyError(f"unknown operation {operation!r}") from None
-        return sampler.sample(self.rng, size=size) * self.scale
+        return sampler.sample(self.rng, size=size) * self._scale_for(operation)
 
     def mean(self, operation):
         """Calibrated mean latency of ``operation``, seconds."""
-        return self._samplers[operation].mean() * self.scale
+        return self._samplers[operation].mean() * self._scale_for(operation)
 
     def migration_downtime_mean(self):
         """Mean EC2-operation downtime per migration (paper: ~22.65 s)."""

@@ -3,6 +3,7 @@
 from dataclasses import dataclass, field
 
 from repro.backup.server import BackupServerSpec
+from repro.faults.retry import RetryPolicy
 from repro.virt.migration.bounded import BoundedMigrationConfig
 
 
@@ -68,6 +69,10 @@ class SpotCheckConfig:
         exception, Section 3.5).
     live_migration_bps:
         Conservative bandwidth assumed for live migration planning.
+    retry:
+        :class:`~repro.faults.retry.RetryPolicy` governing every
+        control-plane retry: placement attempts, transient API errors,
+        and the deadline-aware revocation-path detaches.
     """
 
     allocation_policy: str = "1P-M"
@@ -89,6 +94,7 @@ class SpotCheckConfig:
     return_holddown_s: float = 600.0
     live_safety_factor: float = 0.5
     live_migration_bps: float = 22e6
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self):
         if self.bid_policy not in ("on-demand", "multiple", "knee"):

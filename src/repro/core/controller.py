@@ -9,8 +9,14 @@ warnings trigger bounded-time migrations to the on-demand side, price
 recoveries trigger live migrations back to spot.
 """
 
-from repro.cloud.errors import BidTooLow, CapacityError
+from repro.cloud.errors import (
+    ApiError,
+    BidTooLow,
+    CapacityError,
+    InvalidOperation,
+)
 from repro.cloud.instances import InstanceState, Market
+from repro.faults.retry import retry_call
 from repro.core.accounting import AccountingLedger
 from repro.core.config import SpotCheckConfig
 from repro.core.customer import Customer
@@ -193,23 +199,7 @@ class SpotCheckController:
         vm.checkpoint_stream = CheckpointStream(
             vm.memory, self.config.mechanism.checkpoint)
 
-        # Plumbing (interface, IP, volume) is attached *before* the VM
-        # boots, so a half-built VM is never visible to revocation
-        # storms.  If the chosen host is revoked under us while the
-        # control-plane operations run, retry on a fresh host.
-        for _attempt in range(8):
-            pool = self._choose_pool(customer)
-            host, on_spot = yield from self._host_with_slot(pool)
-            yield from self._wire_networking(vm, customer, host)
-            yield from self._attach_storage(vm, host)
-            if host.instance.is_running:
-                break
-            yield from self._unwire(vm)
-            host.hypervisor.cancel_reservation()
-        else:
-            raise RuntimeError(
-                f"could not place {vm.id}: every candidate host was "
-                f"revoked during setup")
+        host, on_spot, pool = yield from self._place_vm(vm, customer)
 
         host.hypervisor.boot(vm)
         vm.host = host
@@ -232,6 +222,90 @@ class SpotCheckController:
         else:
             self._assign_backup(vm)
         return vm
+
+    def _place_vm(self, vm, customer):
+        """Process body: attach ``vm``'s plumbing to a host with a slot.
+
+        Plumbing (interface, IP, volume) is attached *before* the VM
+        boots, so a half-built VM is never visible to revocation
+        storms.  Setup races (the chosen host revoked under us while
+        the control-plane operations ran) retry immediately on a fresh
+        host; transient control-plane errors retry with jittered
+        backoff inside :meth:`_api_retry`.  When the policy's attempt
+        budget runs out the flow degrades to a direct on-demand
+        placement — the VM is born parked and the price dynamics bring
+        it to spot later — instead of failing the request.
+        """
+        policy = self.config.retry
+        pool = None
+        for _attempt in range(policy.max_attempts):
+            pool = self._choose_pool(customer)
+            host = None
+            try:
+                host, on_spot = yield from self._host_with_slot(pool)
+                yield from self._wire_networking(vm, customer, host)
+                yield from self._attach_storage(vm, host)
+            except (ApiError, CapacityError) as exc:
+                self._unwire(vm)
+                if host is not None:
+                    host.hypervisor.cancel_reservation()
+                self._note_degraded("request.placement", exc)
+                continue
+            if host.instance.is_running:
+                return host, on_spot, pool
+            self._unwire(vm)
+            host.hypervisor.cancel_reservation()
+        host = yield from self._fallback_on_demand(vm, customer, pool)
+        return host, False, pool
+
+    def _fallback_on_demand(self, vm, customer, pool):
+        """Process body: last-resort placement on the on-demand side.
+
+        Loops — free slot, fresh on-demand host, then a hold-down and
+        another round — until the platform yields a host.  This is the
+        graceful-degradation tail of the request flow: under capacity
+        episodes or error storms the request is deferred, never
+        failed.
+        """
+        zone = pool.zone if pool is not None else self.zone
+        od_pool = self.pools.on_demand_pool(self.slot_itype.name, zone.name)
+        while True:
+            host = od_pool.host_with_free_slot()
+            if host is None:
+                try:
+                    instance = yield from self._api_retry(
+                        lambda: self.api.run_instance(
+                            self.slot_itype, zone, Market.ON_DEMAND),
+                        "start_on_demand_instance")
+                except (ApiError, CapacityError) as exc:
+                    self._note_degraded("request.deferred", exc)
+                    yield self.env.timeout(self.config.retry.max_delay_s)
+                    continue
+                host = HostVM(self.env, instance, self.slot_itype, slots=1)
+                od_pool.add_host(host)
+            host.hypervisor.reserve_slot()
+            try:
+                yield from self._wire_networking(vm, customer, host)
+                yield from self._attach_storage(vm, host)
+            except (ApiError, CapacityError) as exc:
+                self._unwire(vm)
+                host.hypervisor.cancel_reservation()
+                self._note_degraded("request.deferred", exc)
+                yield self.env.timeout(self.config.retry.base_delay_s)
+                continue
+            return host
+
+    def _api_retry(self, factory, operation, deadline=None):
+        """Retry generator for one control-plane call (``yield from``)."""
+        return retry_call(self.env, factory, self.config.retry, operation,
+                          deadline=deadline)
+
+    def _note_degraded(self, path, exc):
+        """Publish one graceful-degradation decision."""
+        obs = self.env.obs
+        if obs is not None:
+            obs.emit("fault.degraded", path=path, error=type(exc).__name__)
+            obs.metrics.counter("fault_degradations_total", path=path).inc()
 
     def _unwire(self, vm):
         """Detach a never-booted VM's plumbing after a setup race."""
@@ -293,15 +367,19 @@ class SpotCheckController:
             host.hypervisor.reserve_slot()
             return host, True
         try:
-            instance = yield self.api.run_instance(
-                pool.itype, pool.zone, Market.SPOT, bid=pool.bid)
+            instance = yield from self._api_retry(
+                lambda: self.api.run_instance(
+                    pool.itype, pool.zone, Market.SPOT, bid=pool.bid),
+                "start_spot_instance")
         except (BidTooLow, CapacityError):
             od_pool = self.pools.on_demand_pool(
                 self.slot_itype.name, pool.zone.name)
             host = od_pool.host_with_free_slot()
             if host is None:
-                instance = yield self.api.run_instance(
-                    self.slot_itype, pool.zone, Market.ON_DEMAND)
+                instance = yield from self._api_retry(
+                    lambda: self.api.run_instance(
+                        self.slot_itype, pool.zone, Market.ON_DEMAND),
+                    "start_on_demand_instance")
                 host = HostVM(self.env, instance, self.slot_itype, slots=1)
                 od_pool.add_host(host)
             host.hypervisor.reserve_slot()
@@ -319,15 +397,21 @@ class SpotCheckController:
             subnet = self.api.vpc.create_subnet(host.zone)
             customer.subnets[host.zone.name] = subnet
         eni = self.api.create_interface(subnet)
-        yield self.api.attach_interface(eni, host.instance)
+        # Recorded on the VM before the attach so a mid-flight failure
+        # leaves something for _unwire to release.
         vm.eni = eni
+        yield from self._api_retry(
+            lambda: self.api.attach_interface(eni, host.instance),
+            "attach_network_interface")
         vm.private_ip = self.api.vpc.assign_private_ip(eni)
 
     def _attach_storage(self, vm, host):
         volume = self.api.create_volume(
             size_gib=max(int(vm.itype.memory_gib * 2), 8), zone=host.zone)
-        yield self.api.attach_volume(volume, host.instance)
         vm.volume = volume
+        yield from self._api_retry(
+            lambda: self.api.attach_volume(volume, host.instance),
+            "attach_volume")
 
     # -- backup management ---------------------------------------------------
 
@@ -478,9 +562,13 @@ class SpotCheckController:
         doubles the number of migrations")."""
         zone = vm.volume.zone if vm.volume is not None else self.zone
         try:
-            instance = yield self.api.run_instance(
-                vm.itype, zone, Market.ON_DEMAND)
-        except CapacityError:
+            instance = yield from self._api_retry(
+                lambda: self.api.run_instance(
+                    vm.itype, zone, Market.ON_DEMAND),
+                "start_on_demand_instance")
+        except (CapacityError, ApiError) as exc:
+            if isinstance(exc, ApiError):
+                self._note_degraded("rebalance.start", exc)
             return  # Stay staged; the return-to-spot path will move it.
         od_pool = self.pools.on_demand_pool(
             self.slot_itype.name, zone.name)
@@ -563,7 +651,7 @@ class SpotCheckController:
                     continue
                 pool.remove_host(host)
                 if host.instance.is_running:
-                    yield self.api.terminate_instance(host.instance)
+                    self._terminate_host(host.instance, "drain.terminate")
         finally:
             self._draining_pools.discard(pool.key)
 
@@ -580,9 +668,12 @@ class SpotCheckController:
                 host = pool.host_with_free_slot()
                 if host is None:
                     try:
-                        instance = yield self.api.run_instance(
-                            pool.itype, pool.zone, Market.SPOT, bid=pool.bid)
-                    except (BidTooLow, CapacityError):
+                        instance = yield from self._api_retry(
+                            lambda: self.api.run_instance(
+                                pool.itype, pool.zone, Market.SPOT,
+                                bid=pool.bid),
+                            "start_spot_instance")
+                    except (BidTooLow, CapacityError, ApiError):
                         return
                     host = HostVM(self.env, instance, self.slot_itype,
                                   slots=self._slots_per_host(pool.itype))
@@ -617,7 +708,24 @@ class SpotCheckController:
             return
         pool.remove_host(host)
         if host.instance.is_running:
-            self.api.terminate_instance(host.instance)
+            self._terminate_host(host.instance, "host.gc")
+
+    def _terminate_host(self, instance, path):
+        """Supervised fire-and-forget terminate.
+
+        An unwaited process that fails crashes the simulation kernel,
+        so every background terminate runs under this wrapper: retries
+        per policy, then gives the host up (the platform's revocation
+        machinery or billing finalization reaps it) rather than die.
+        """
+        def _body():
+            try:
+                yield from self._api_retry(
+                    lambda: self.api.terminate_instance(instance),
+                    "terminate_instance")
+            except (ApiError, InvalidOperation) as exc:
+                self._note_degraded(path, exc)
+        return self.env.process(_body())
 
     # -- hot spares -------------------------------------------------------
 
@@ -628,9 +736,11 @@ class SpotCheckController:
         while not self._finalized:
             while self.spares.deficit > 0:
                 try:
-                    instance = yield self.api.run_instance(
-                        self.slot_itype, self.zone, Market.ON_DEMAND)
-                except CapacityError:
+                    instance = yield from self._api_retry(
+                        lambda: self.api.run_instance(
+                            self.slot_itype, self.zone, Market.ON_DEMAND),
+                        "start_on_demand_instance")
+                except (CapacityError, ApiError):
                     break
                 host = HostVM(self.env, instance, self.slot_itype, slots=1)
                 od_pool.add_host(host)
@@ -654,17 +764,35 @@ class SpotCheckController:
         if host is not None:
             host.hypervisor.evict(vm)
         if vm.eni is not None and vm.eni.is_attached:
-            yield self.api.detach_interface(vm.eni)
+            try:
+                yield from self._api_retry(
+                    lambda: self.api.detach_interface(vm.eni),
+                    "detach_network_interface")
+            except ApiError as exc:
+                # The ENI is orphaned, not leaked: a later forced host
+                # termination releases it.
+                self._note_degraded("relinquish.detach_interface", exc)
         if vm.volume is not None and vm.volume.attached_to is not None:
-            yield self.api.detach_volume(vm.volume)
-            vm.volume.delete()
+            try:
+                yield from self._api_retry(
+                    lambda: self.api.detach_volume(vm.volume),
+                    "detach_volume")
+            except ApiError as exc:
+                self._note_degraded("relinquish.detach_volume", exc)
+            if vm.volume.attached_to is None:
+                vm.volume.delete()
         if host is not None and not host.vms and \
                 host not in self.spares.spares:
             pool = self.pools.pool_of_host(host)
             if pool is not None:
                 pool.remove_host(host)
             if host.instance.is_running:
-                yield self.api.terminate_instance(host.instance)
+                try:
+                    yield from self._api_retry(
+                        lambda: self.api.terminate_instance(host.instance),
+                        "terminate_instance")
+                except (ApiError, InvalidOperation) as exc:
+                    self._note_degraded("relinquish.terminate", exc)
         return vm
 
     # -- reporting -------------------------------------------------------

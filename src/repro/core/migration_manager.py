@@ -16,8 +16,9 @@ Three flows, mirroring Section 3.5:
   on-demand pool, staging slot, or a fresh on-demand instance.
 """
 
-from repro.cloud.errors import CapacityError
+from repro.cloud.errors import ApiError, CapacityError
 from repro.cloud.instances import Market
+from repro.faults.retry import retry_call
 from repro.obs.trace import NULL_TRACER
 from repro.virt.hypervisor import HostVM
 from repro.virt.migration.checkpoint import CheckpointStream
@@ -95,49 +96,76 @@ class MigrationManager:
         Preference order: hot spare, free slot in the on-demand pool,
         staging slot in another healthy pool, fresh on-demand instance.
         Returns ``(host, kind)`` where kind is one of ``"spare"``,
-        ``"pool"``, ``"staging"``, ``"fresh"``.
+        ``"pool"``, ``"staging"``, ``"fresh"``.  Raises
+        :class:`MigrationError` when nothing is available.
         """
+        return self.env.process(self._acquire_steps(vm, exclude_pool))
+
+    def _acquire_steps(self, vm, exclude_pool):
         ctl = self.controller
-
-        def _acquire():
-            vm_zone = vm.volume.zone if vm.volume is not None else None
-            spare = ctl.spares.take_spare(zone=vm_zone)
-            if spare is not None:
-                spare.hypervisor.reserve_slot()
-                return spare, "spare"
-            od_pool = ctl.on_demand_pool_for(vm)
-            host = od_pool.host_with_free_slot()
-            if host is not None:
-                host.hypervisor.reserve_slot()
-                return host, "pool"
-            staging = ctl.spares.find_staging_slot(
-                ctl.pools.all_spot_pools(), exclude_pool=exclude_pool,
-                zone=vm_zone)
-            if staging is not None:
-                staging.hypervisor.reserve_slot()
-                return staging, "staging"
-            try:
-                instance = yield self.api.run_instance(
-                    vm.itype, od_pool.zone, Market.ON_DEMAND)
-            except CapacityError:
-                # The platform is out of on-demand capacity; fall back
-                # to any staging slot even if staging is disabled by
-                # policy — state is already safe on the backup server,
-                # this only bounds the downtime.
-                staging = ctl.spares.find_staging_slot(
-                    ctl.pools.all_spot_pools(), exclude_pool=None,
-                    zone=vm_zone)
-                if staging is None:
-                    raise MigrationError(
-                        f"no destination available for {vm.id}")
-                staging.hypervisor.reserve_slot()
-                return staging, "staging"
-            host = HostVM(self.env, instance, vm.itype, slots=1)
+        vm_zone = vm.volume.zone if vm.volume is not None else None
+        spare = ctl.spares.take_spare(zone=vm_zone)
+        if spare is not None:
+            spare.hypervisor.reserve_slot()
+            return spare, "spare"
+        od_pool = ctl.on_demand_pool_for(vm)
+        host = od_pool.host_with_free_slot()
+        if host is not None:
             host.hypervisor.reserve_slot()
-            od_pool.add_host(host)
-            return host, "fresh"
+            return host, "pool"
+        staging = ctl.spares.find_staging_slot(
+            ctl.pools.all_spot_pools(), exclude_pool=exclude_pool,
+            zone=vm_zone)
+        if staging is not None:
+            staging.hypervisor.reserve_slot()
+            return staging, "staging"
+        try:
+            instance = yield from retry_call(
+                self.env,
+                lambda: self.api.run_instance(
+                    vm.itype, od_pool.zone, Market.ON_DEMAND),
+                self.config.retry, "start_on_demand_instance")
+        except (CapacityError, ApiError):
+            # The platform is out of on-demand capacity (or its control
+            # plane is failing hard); fall back to any staging slot even
+            # if staging is disabled by policy — state is already safe
+            # on the backup server, this only bounds the downtime.
+            staging = ctl.spares.find_staging_slot(
+                ctl.pools.all_spot_pools(), exclude_pool=None,
+                zone=vm_zone)
+            if staging is None:
+                raise MigrationError(
+                    f"no destination available for {vm.id}")
+            staging.hypervisor.reserve_slot()
+            return staging, "staging"
+        host = HostVM(self.env, instance, vm.itype, slots=1)
+        host.hypervisor.reserve_slot()
+        od_pool.add_host(host)
+        return host, "fresh"
 
-        return self.env.process(_acquire())
+    def acquire_patiently(self, vm, exclude_pool=None):
+        """Process: like :meth:`acquire_destination`, but never fails.
+
+        Started fire-and-forget at warning time (step 1 of the
+        bounded-time path), long before anything joins it — an early
+        failure would crash the kernel, and the bounded path has no
+        better answer than waiting anyway (the VM's state is safe on
+        its backup server; a missing destination only stretches the
+        downtime).  Exhausted rounds back off with the policy's
+        capped exponential schedule and try again.
+        """
+        return self.env.process(self._acquire_patiently(vm, exclude_pool))
+
+    def _acquire_patiently(self, vm, exclude_pool):
+        round_ = 0
+        while True:
+            try:
+                return (yield from self._acquire_steps(vm, exclude_pool))
+            except (MigrationError, CapacityError, ApiError) as exc:
+                round_ += 1
+                self.controller._note_degraded("migration.acquire", exc)
+                yield self.env.timeout(
+                    self.config.retry.backoff_cap_s(round_))
 
     # -- bounded-time path ---------------------------------------------------
 
@@ -198,9 +226,11 @@ class MigrationManager:
             source=_pool_label(source_pool.key), warning_s=warning)
         clock = _PhaseClock(self.env, tracer, trace)
 
-        # 1. Start destination acquisition immediately.
+        # 1. Start destination acquisition immediately (patient form:
+        #    it runs unjoined until step 6, so it must absorb failures
+        #    rather than die and crash the kernel).
         acquire_span = tracer.start_span(trace, "dest-acquire")
-        dest_proc = self.acquire_destination(vm, exclude_pool=source_pool)
+        dest_proc = self.acquire_patiently(vm, exclude_pool=source_pool)
 
         # 2. Plan the suspend point: as late as safety allows.
         stream = vm.checkpoint_stream
@@ -238,11 +268,8 @@ class MigrationManager:
         #    and its network interface after the VM is paused" and run
         #    sequentially — together with the reattach below they are
         #    the paper's ~22.65 s control-plane downtime.
-        clock.begin("ebs-detach")
-        yield self.api.detach_volume(vm.volume)
-        if vm.eni is not None:
-            clock.begin("vpc-detach")
-            yield self.api.detach_interface(vm.eni)
+        yield from self._detach_for_migration(vm, source_host, deadline,
+                                              clock)
         source_host.hypervisor.evict(vm)
 
         # 6. Join destination acquisition (usually already complete).
@@ -250,12 +277,18 @@ class MigrationManager:
         dest_host, dest_kind = yield dest_proc
         tracer.end(acquire_span)
 
-        # 7. Reattach at the destination and move the private IP.
+        # 7. Reattach at the destination and move the private IP.  The
+        #    VM's state is safe on the backup server, so persistence
+        #    beats failure here: the attaches retry until they land.
         clock.begin("ebs-attach")
-        yield self.api.attach_volume(vm.volume, dest_host.instance)
+        yield from self._insist(
+            lambda: self.api.attach_volume(vm.volume, dest_host.instance),
+            "attach_volume", "revocation.attach")
         if vm.eni is not None:
             clock.begin("vpc-attach")
-            yield self.api.attach_interface(vm.eni, dest_host.instance)
+            yield from self._insist(
+                lambda: self.api.attach_interface(vm.eni, dest_host.instance),
+                "attach_network_interface", "revocation.attach")
 
         # 8. Restore from the backup server.
         backup = vm.backup_assignment
@@ -309,6 +342,48 @@ class MigrationManager:
         # warned while we restored.
         self.chase_if_doomed(vm, dest_host)
         return dest_host
+
+    def _detach_for_migration(self, vm, source_host, deadline, clock):
+        """Detach the volume and ENI before ``deadline`` — or let the
+        platform do it.
+
+        Retries are deadline-aware: a backoff that would overrun the
+        remaining warning window is not taken.  When retries are
+        exhausted the flow degrades by waiting for the platform's
+        forced termination, whose force-detach releases both
+        attachments for free — the VM's state is already committed to
+        the backup server, so only downtime (never state) is at stake.
+        """
+        policy = self.config.retry
+        try:
+            clock.begin("ebs-detach")
+            yield from retry_call(
+                self.env, lambda: self.api.detach_volume(vm.volume),
+                policy, "detach_volume", deadline=deadline)
+            if vm.eni is not None:
+                clock.begin("vpc-detach")
+                yield from retry_call(
+                    self.env, lambda: self.api.detach_interface(vm.eni),
+                    policy, "detach_network_interface", deadline=deadline)
+        except ApiError as exc:
+            self.controller._note_degraded("revocation.detach", exc)
+            clock.begin("forced-detach-wait")
+            yield source_host.instance.terminated
+
+    def _insist(self, factory, operation, path):
+        """Retry ``factory`` until it succeeds (post-suspend phases).
+
+        Each exhausted policy round is recorded as one degradation and
+        followed by a full ``max_delay_s`` hold-down before the next
+        round.
+        """
+        while True:
+            try:
+                return (yield from retry_call(
+                    self.env, factory, self.config.retry, operation))
+            except ApiError as exc:
+                self.controller._note_degraded(path, exc)
+                yield self.env.timeout(self.config.retry.max_delay_s)
 
     def _publish_migration(self, obs, vm, cause, mechanism, downtime_s,
                            degraded_s, phases, concurrent, state_safe):
@@ -397,8 +472,17 @@ class MigrationManager:
 
         if dest_host is None:
             acquire_span = tracer.start_span(trace, "dest-acquire")
-            dest_host, _kind = yield self.acquire_destination(
-                vm, exclude_pool=exclude_pool)
+            try:
+                dest_host, _kind = yield self.acquire_destination(
+                    vm, exclude_pool=exclude_pool)
+            except (MigrationError, CapacityError, ApiError) as exc:
+                # No destination: the move is abandoned and the VM
+                # stays put (callers treat None as "did not move"; a
+                # doomed source then rides the forced termination).
+                self.controller._note_degraded("live.acquire", exc)
+                tracer.end(acquire_span)
+                tracer.end(trace)
+                return None
             tracer.end(acquire_span)
 
         # Pre-copy rounds: the VM runs, mildly degraded.
@@ -418,8 +502,15 @@ class MigrationManager:
             # The destination died during the pre-copy (e.g. a staging
             # host got revoked): restart the stop-and-copy against a
             # fresh destination; the source still holds the state.
-            dest_host, _kind = yield self.acquire_destination(
-                vm, exclude_pool=exclude_pool)
+            try:
+                dest_host, _kind = yield self.acquire_destination(
+                    vm, exclude_pool=exclude_pool)
+            except (MigrationError, CapacityError, ApiError) as exc:
+                self.controller._note_degraded("live.acquire", exc)
+                vm.set_state(VMState.RUNNING)
+                tracer.end(stop_span)
+                tracer.end(trace)
+                return None
             yield self.env.timeout(plan.downtime_s)
         tracer.end(stop_span)
         source_host.hypervisor.evict(vm)

@@ -94,15 +94,20 @@ class StabilityFirst(_PlacementPolicy):
 
     def choose(self, requested, markets, now=None):
         best = None
-        best_vol = None
+        best_rank = None
         for itype, zone, slots, market in self._options(requested, markets):
             when = market.env.now if now is None else now
             volatility = self._volatility(market, when)
-            if best_vol is None or volatility < best_vol:
-                best_vol = volatility
+            price_per_slot = market.current_price() / slots
+            # Equal-stability markets are ranked by current price per
+            # slot (never ignore an obviously cheaper option), then by
+            # market key so the choice is independent of dict order.
+            rank = (volatility, price_per_slot, (itype.name, zone.name))
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
                 best = PlacementChoice(
                     itype=itype, zone=zone, slots=slots,
-                    price_per_slot=market.current_price() / slots)
+                    price_per_slot=price_per_slot)
         if best is None:
             raise ValueError(
                 f"no market can host a {requested.name} nested VM")

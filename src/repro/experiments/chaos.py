@@ -1,0 +1,124 @@
+"""Chaos scenario: the policy simulation under control-plane fire.
+
+One fixed-seed run of the Figure 10-12 stack with a representative
+:class:`~repro.faults.FaultPlan` turned on — API error storms, a
+throttling window, latency tails, an ``InsufficientInstanceCapacity``
+episode, stuck volume detaches, and a scheduled backup-server crash —
+while the fleet lives through six weeks of price history.  The run has
+two jobs:
+
+* **Zero unhandled exceptions.**  The simulation kernel crashes on any
+  process failure nobody absorbs, so merely *finishing* the run proves
+  every injected fault was retried, degraded, or parked (the
+  robustness contract of ``docs/robustness.md``).
+* **Golden fault/retry metrics.**  The injector and the retry layer
+  draw from their own named RNG streams, so the counts of injected
+  faults, retries, and degradations are bit-stable for a given seed
+  and plan.  CI pins them (``repro chaos --check-golden``) to catch a
+  silently decoupled injector or retry path.
+"""
+
+from repro.faults import (
+    BackupCrash,
+    CapacityEpisode,
+    FaultPlan,
+    LatencyTail,
+    ThrottleWindow,
+)
+
+#: Metric names whose aggregate counts make up the golden digest.
+GOLDEN_COUNTERS = (
+    "faults_injected_total",
+    "retries_total",
+    "fault_degradations_total",
+)
+
+
+def default_chaos_plan():
+    """The chaos plan CI smokes with: every fault family, modest rates."""
+    day = 24 * 3600.0
+    return FaultPlan(
+        error_rates={
+            "start_spot_instance": 0.06,
+            "start_on_demand_instance": 0.04,
+            "terminate_instance": 0.04,
+            "attach_volume": 0.04,
+            "detach_volume": 0.04,
+            "attach_network_interface": 0.04,
+            "detach_network_interface": 0.04,
+        },
+        terminal_fraction=0.1,
+        throttle_windows=(
+            ThrottleWindow(start_s=2 * day, end_s=2 * day + 3600.0,
+                           rate=0.5),
+        ),
+        latency_tails={
+            "detach_volume": LatencyTail(rate=0.1, multiplier=4.0),
+            "start_spot_instance": LatencyTail(rate=0.05, multiplier=2.0),
+        },
+        capacity_episodes=(
+            CapacityEpisode("m3.medium", "us-east-1a",
+                            start_s=5 * day, end_s=5 * day + 6 * 3600.0,
+                            market="on-demand"),
+        ),
+        stuck_detach_rate=0.05,
+        stuck_detach_extra_s=120.0,
+        backup_crashes=(BackupCrash(at_s=10 * day),),
+    )
+
+
+def run_chaos(seed=11, days=42.0, vms=20, policy="4P-COST", plan=None,
+              obs=None):
+    """Run the chaos scenario; returns ``(summary, digest)``.
+
+    ``digest`` is the golden-comparable part: aggregate fault/retry
+    counters plus the headline robustness outcomes.  An unhandled
+    exception anywhere in the stack raises out of this function (the
+    kernel does not absorb process failures), so a normal return *is*
+    the zero-unhandled-exceptions assertion.
+    """
+    from repro.experiments.scenario import PolicySimulation, ScenarioConfig
+    from repro.obs import Observability
+
+    if plan is None:
+        plan = default_chaos_plan()
+    if obs is None:
+        obs = Observability()
+    # 4P-COST chases the cheapest (most volatile) markets, so the run
+    # sees hundreds of revocations — the traffic the faults land on.
+    config = ScenarioConfig(policy=policy, seed=seed, days=days, vms=vms,
+                            faults=plan)
+    summary = PolicySimulation(config).run(obs=obs)
+    digest = chaos_digest(obs, summary)
+    return summary, digest
+
+
+def chaos_digest(obs, summary):
+    """Golden-comparable counts extracted from one instrumented run."""
+    digest = {}
+    for name in GOLDEN_COUNTERS:
+        digest[name] = sum(
+            int(series.value) for series in obs.metrics.find(name))
+    backoff = obs.metrics.find("retry_backoff_seconds")
+    digest["retry_backoff_count"] = sum(s.count for s in backoff)
+    digest["faults_injected"] = int(summary.get("faults_injected", 0))
+    digest["faults_by_kind"] = {
+        kind: int(count)
+        for kind, count in sorted(summary.get("faults_by_kind", {}).items())}
+    digest["state_loss_events"] = int(summary["state_loss_events"])
+    digest["migrations"] = int(summary["migrations"])
+    return digest
+
+
+def check_digest(digest, golden):
+    """Compare a digest against a golden dict; returns mismatch lines."""
+    problems = []
+    for key in sorted(set(golden) | set(digest)):
+        want, got = golden.get(key), digest.get(key)
+        if want != got:
+            problems.append(f"{key}: golden {want!r} != observed {got!r}")
+    if digest.get("faults_injected_total", 0) <= 0:
+        problems.append("faults_injected_total: no faults were injected")
+    if digest.get("retries_total", 0) <= 0:
+        problems.append("retries_total: the retry layer never engaged")
+    return problems

@@ -16,6 +16,7 @@ from repro.cloud.instance_types import M3_CATALOG
 from repro.cloud.zones import default_region
 from repro.core.config import SpotCheckConfig
 from repro.core.controller import SpotCheckController
+from repro.faults import FaultInjector, FaultPlan
 from repro.sim.kernel import Environment
 from repro.traces.archive import TraceArchive
 from repro.traces.calibration import M3_MARKET_PARAMS
@@ -73,6 +74,10 @@ class ScenarioConfig:
     zones: int = 1
     vms_per_backup: int = 40
     market_params: dict = field(default_factory=lambda: dict(M3_MARKET_PARAMS))
+    #: Optional :class:`~repro.faults.FaultPlan`.  ``None`` (or a plan
+    #: with everything zeroed) runs the platform fault-free and
+    #: bit-identical to a build without the fault layer.
+    faults: FaultPlan = None
 
     @property
     def duration_s(self):
@@ -120,7 +125,10 @@ class PolicySimulation:
         cfg = self.config
         env = Environment(seed=cfg.seed, obs=obs)
         region = default_region(cfg.zones)
-        api = CloudApi(env, region, M3_CATALOG)
+        injector = None
+        if cfg.faults is not None and cfg.faults.enabled:
+            injector = FaultInjector(env, cfg.faults)
+        api = CloudApi(env, region, M3_CATALOG, faults=injector)
         archive = self._archive
         if archive is None:
             archive = self.build_archive(
@@ -142,6 +150,8 @@ class PolicySimulation:
             vms_per_backup=cfg.vms_per_backup,
         ))
         controller.install_pools(archive, list(region.zones))
+        if injector is not None:
+            injector.install_backup_crashes(controller)
 
         def _fleet():
             customer = controller.start_customer("fleet")
@@ -156,6 +166,11 @@ class PolicySimulation:
         summary["policy"] = cfg.policy
         summary["mechanism"] = cfg.mechanism
         summary["backup_servers"] = controller.backup_pool.server_count
+        if injector is not None:
+            # Only under injection, so fault-free summaries stay
+            # bit-identical to a build without the fault layer.
+            summary["faults_injected"] = injector.total_injected
+            summary["faults_by_kind"] = dict(injector.counts)
         if return_controller:
             return summary, controller
         return summary

@@ -1,0 +1,52 @@
+"""``repro.faults`` — control-plane fault injection and retry policy.
+
+Three parts:
+
+``repro.faults.plan``
+    :class:`FaultPlan` and its episode types — a declarative, JSON
+    round-trippable description of what a chaos run injects: API error
+    rates, throttling windows, latency tails, capacity episodes, stuck
+    detaches, scheduled backup-server crashes.
+
+``repro.faults.injector``
+    :class:`FaultInjector` — executes a plan against the simulated
+    control plane from its own named RNG stream, so fault sequences
+    are trace-deterministic and a disabled plan draws nothing.
+
+``repro.faults.retry``
+    :class:`RetryPolicy` and :func:`retry_call` — budgeted exponential
+    backoff with full jitter and deadline awareness, the single retry
+    loop every control-plane caller threads through.
+
+See ``docs/robustness.md`` for the fault model, the retry semantics,
+and the chaos-scenario walkthrough.
+"""
+
+from repro.faults.injector import INJECTOR_STREAM, FaultInjector
+from repro.faults.plan import (
+    BackupCrash,
+    CapacityEpisode,
+    FaultPlan,
+    LatencyTail,
+    ThrottleWindow,
+)
+from repro.faults.retry import (
+    BACKOFF_STREAM,
+    RetryExhausted,
+    RetryPolicy,
+    retry_call,
+)
+
+__all__ = [
+    "BACKOFF_STREAM",
+    "BackupCrash",
+    "CapacityEpisode",
+    "FaultInjector",
+    "FaultPlan",
+    "INJECTOR_STREAM",
+    "LatencyTail",
+    "RetryExhausted",
+    "RetryPolicy",
+    "ThrottleWindow",
+    "retry_call",
+]

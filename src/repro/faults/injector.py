@@ -1,0 +1,121 @@
+"""The fault injector: executes a :class:`~repro.faults.plan.FaultPlan`.
+
+One injector is bound to an environment (and its ``faults.injector``
+RNG stream) and consulted by :class:`~repro.cloud.api.CloudApi` at two
+points of every mutating control-plane call:
+
+* :meth:`FaultInjector.check` — before the operation takes effect; may
+  raise a typed error (:class:`~repro.cloud.errors.ThrottlingError`,
+  :class:`~repro.cloud.errors.ApiError`,
+  :class:`~repro.cloud.errors.InsufficientInstanceCapacity`).
+* :meth:`FaultInjector.adjusted_latency` — inflates the sampled
+  latency for tail episodes and stuck volume detaches.
+
+Scheduled backup-server crashes are driven by a separate process
+(:meth:`FaultInjector.install_backup_crashes`) that fires the
+controller's existing ``fail_backup_server`` hook.
+
+Every injected fault emits a ``fault.injected`` event and increments
+``faults_injected_total{kind,operation}``, so a chaos run's injected
+faults are fully visible in the ``repro.obs`` exports.
+"""
+
+from repro.cloud.errors import (
+    ApiError,
+    InsufficientInstanceCapacity,
+    ThrottlingError,
+)
+
+#: Named RNG stream all injection draws come from.  Separate from the
+#: model streams, so enabling faults never perturbs market prices or
+#: latency samples — and a disabled plan draws nothing at all.
+INJECTOR_STREAM = "faults.injector"
+
+
+class FaultInjector:
+    """Deterministic executor for one fault plan."""
+
+    def __init__(self, env, plan):
+        self.env = env
+        self.plan = plan
+        self._rng = env.rng.stream(INJECTOR_STREAM)
+        #: kind -> injected count, mirrored into obs metrics.
+        self.counts = {}
+
+    # -- control-plane call hooks ---------------------------------------
+
+    def check(self, operation, type_name=None, zone_name=None,
+              market_kind=None):
+        """Raise the fault (if any) injected into this call."""
+        plan = self.plan
+        now = self.env.now
+        for window in plan.throttle_windows:
+            if window.matches(now, operation) and \
+                    self._rng.random() < window.rate:
+                self._record("throttle", operation)
+                raise ThrottlingError(
+                    f"RequestLimitExceeded: {operation} throttled",
+                    operation=operation)
+        rate = plan.error_rates.get(operation, 0.0)
+        if rate and self._rng.random() < rate:
+            terminal = (plan.terminal_fraction > 0.0
+                        and self._rng.random() < plan.terminal_fraction)
+            kind = "api-error-terminal" if terminal else "api-error"
+            self._record(kind, operation)
+            raise ApiError(
+                f"InternalError: {operation} failed"
+                f"{' (terminal)' if terminal else ''}",
+                operation=operation, retryable=not terminal)
+        if type_name is not None:
+            for episode in plan.capacity_episodes:
+                if episode.matches(now, type_name, zone_name, market_kind):
+                    self._record("capacity", operation)
+                    raise InsufficientInstanceCapacity(
+                        f"InsufficientInstanceCapacity: no {type_name} "
+                        f"{market_kind} capacity in {zone_name}")
+
+    def adjusted_latency(self, operation, latency):
+        """Inflate a sampled latency per the plan's tail model."""
+        tail = self.plan.latency_tails.get(operation)
+        if tail is not None and tail.rate and \
+                self._rng.random() < tail.rate:
+            self._record("latency-tail", operation)
+            latency = latency * tail.multiplier
+        if operation == "detach_volume" and self.plan.stuck_detach_rate \
+                and self._rng.random() < self.plan.stuck_detach_rate:
+            self._record("stuck-detach", operation)
+            latency = latency + self.plan.stuck_detach_extra_s
+        return latency
+
+    # -- scheduled backup-server crashes --------------------------------
+
+    def install_backup_crashes(self, controller):
+        """Start the crash driver against ``controller`` (if scheduled)."""
+        if self.plan.backup_crashes:
+            self.env.process(self._backup_crash_driver(controller))
+
+    def _backup_crash_driver(self, controller):
+        for crash in sorted(self.plan.backup_crashes, key=lambda c: c.at_s):
+            if crash.at_s > self.env.now:
+                yield self.env.timeout(crash.at_s - self.env.now)
+            servers = [s for s in controller.backup_pool.servers
+                       if not s.failed]
+            if not servers:
+                continue
+            server = servers[crash.server_index % len(servers)]
+            self._record("backup-crash", "fail_backup_server")
+            controller.fail_backup_server(server)
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def _record(self, kind, operation):
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        obs = self.env.obs
+        if obs is not None:
+            obs.emit("fault.injected", kind=kind, operation=operation)
+            obs.metrics.counter("faults_injected_total", kind=kind,
+                                operation=operation).inc()
+
+    @property
+    def total_injected(self):
+        return sum(self.counts.values())

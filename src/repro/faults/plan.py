@@ -1,0 +1,227 @@
+"""Declarative, trace-deterministic fault plans.
+
+A :class:`FaultPlan` describes *what* can go wrong on the simulated
+control plane — API error rates, request throttling windows, latency
+tail inflation, per-(type, zone) ``InsufficientInstanceCapacity``
+episodes, stuck volume detaches, and scheduled backup-server crashes.
+The plan itself is pure data: all randomness is drawn by the
+:class:`~repro.faults.injector.FaultInjector` from its own named RNG
+stream, so two runs with the same master seed and the same plan inject
+bit-identical fault sequences, and a run with no plan draws nothing.
+
+Plans round-trip through JSON (``FaultPlan.from_json`` /
+``FaultPlan.to_dict``) so chaos scenarios can be checked into the repo
+and passed to the CLI via ``--faults config.json``.
+"""
+
+import json
+from dataclasses import dataclass, field, fields
+
+
+@dataclass(frozen=True)
+class ThrottleWindow:
+    """A wall of ``RequestLimitExceeded`` between two simulated times.
+
+    During ``[start_s, end_s)`` every control-plane call (optionally
+    restricted to one operation) is throttled with probability
+    ``rate``.
+    """
+
+    start_s: float
+    end_s: float
+    rate: float = 1.0
+    operation: str = None
+
+    def __post_init__(self):
+        if self.end_s <= self.start_s:
+            raise ValueError("throttle window must have end_s > start_s")
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError("throttle rate must lie in (0, 1]")
+
+    def matches(self, now, operation):
+        if not self.start_s <= now < self.end_s:
+            return False
+        return self.operation is None or self.operation == operation
+
+
+@dataclass(frozen=True)
+class CapacityEpisode:
+    """An ``InsufficientInstanceCapacity`` episode in one market.
+
+    While active, launches of ``type_name`` in ``zone_name`` fail with
+    the typed capacity error.  ``market`` restricts the episode to
+    ``"spot"``, ``"on-demand"``, or ``"any"`` launches.
+    """
+
+    type_name: str
+    zone_name: str
+    start_s: float
+    end_s: float
+    market: str = "any"
+
+    def __post_init__(self):
+        if self.end_s <= self.start_s:
+            raise ValueError("capacity episode must have end_s > start_s")
+        if self.market not in ("spot", "on-demand", "any"):
+            raise ValueError(f"unknown market kind {self.market!r}")
+
+    def matches(self, now, type_name, zone_name, market_kind):
+        if not self.start_s <= now < self.end_s:
+            return False
+        if self.type_name != type_name or self.zone_name != zone_name:
+            return False
+        return self.market == "any" or self.market == market_kind
+
+
+@dataclass(frozen=True)
+class LatencyTail:
+    """Occasional latency inflation for one operation.
+
+    With probability ``rate`` a call's sampled latency is multiplied
+    by ``multiplier`` — the control-plane stall the paper's suspend
+    scheduling has to absorb with its safety margin.
+    """
+
+    rate: float
+    multiplier: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("tail rate must lie in [0, 1]")
+        if self.multiplier < 1.0:
+            raise ValueError("tail multiplier must be at least 1")
+
+
+@dataclass(frozen=True)
+class BackupCrash:
+    """A scheduled backup-server failure.
+
+    At ``at_s`` the ``server_index``-th (modulo the live count)
+    healthy backup server is killed through
+    :meth:`~repro.core.controller.SpotCheckController.fail_backup_server`.
+    """
+
+    at_s: float
+    server_index: int = 0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything a chaos run injects into the control plane.
+
+    Attributes
+    ----------
+    error_rates:
+        operation name -> probability that one call fails with an
+        :class:`~repro.cloud.errors.ApiError` before taking effect.
+    terminal_fraction:
+        Fraction of injected API errors that are terminal
+        (``retryable=False``) rather than transient.
+    throttle_windows:
+        :class:`ThrottleWindow` episodes of request-rate throttling.
+    latency_tails:
+        operation name -> :class:`LatencyTail` inflating a fraction of
+        calls' sampled latencies.
+    capacity_episodes:
+        :class:`CapacityEpisode` spans of per-(type, zone)
+        ``InsufficientInstanceCapacity``.
+    stuck_detach_rate / stuck_detach_extra_s:
+        Probability that a volume detach wedges, and the extra seconds
+        it hangs before completing.
+    backup_crashes:
+        Scheduled :class:`BackupCrash` events driving the controller's
+        ``fail_backup_server`` hook.
+    """
+
+    error_rates: dict = field(default_factory=dict)
+    terminal_fraction: float = 0.0
+    throttle_windows: tuple = ()
+    latency_tails: dict = field(default_factory=dict)
+    capacity_episodes: tuple = ()
+    stuck_detach_rate: float = 0.0
+    stuck_detach_extra_s: float = 120.0
+    backup_crashes: tuple = ()
+
+    def __post_init__(self):
+        for operation, rate in self.error_rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"error rate for {operation!r} must lie in [0, 1]")
+        if not 0.0 <= self.terminal_fraction <= 1.0:
+            raise ValueError("terminal_fraction must lie in [0, 1]")
+        if not 0.0 <= self.stuck_detach_rate <= 1.0:
+            raise ValueError("stuck_detach_rate must lie in [0, 1]")
+        if self.stuck_detach_extra_s < 0:
+            raise ValueError("stuck_detach_extra_s must be non-negative")
+        object.__setattr__(
+            self, "throttle_windows", tuple(self.throttle_windows))
+        object.__setattr__(
+            self, "capacity_episodes", tuple(self.capacity_episodes))
+        object.__setattr__(
+            self, "backup_crashes", tuple(self.backup_crashes))
+
+    @property
+    def enabled(self):
+        """Whether this plan can inject anything at all."""
+        return bool(
+            any(self.error_rates.values())
+            or self.throttle_windows
+            or any(tail.rate for tail in self.latency_tails.values())
+            or self.capacity_episodes
+            or self.stuck_detach_rate
+            or self.backup_crashes)
+
+    # -- (de)serialization ----------------------------------------------
+
+    def to_dict(self):
+        """JSON-ready dict; inverse of :meth:`from_dict`."""
+        return {
+            "error_rates": dict(self.error_rates),
+            "terminal_fraction": self.terminal_fraction,
+            "throttle_windows": [
+                {"start_s": w.start_s, "end_s": w.end_s, "rate": w.rate,
+                 "operation": w.operation}
+                for w in self.throttle_windows],
+            "latency_tails": {
+                op: {"rate": t.rate, "multiplier": t.multiplier}
+                for op, t in self.latency_tails.items()},
+            "capacity_episodes": [
+                {"type_name": e.type_name, "zone_name": e.zone_name,
+                 "start_s": e.start_s, "end_s": e.end_s, "market": e.market}
+                for e in self.capacity_episodes],
+            "stuck_detach_rate": self.stuck_detach_rate,
+            "stuck_detach_extra_s": self.stuck_detach_extra_s,
+            "backup_crashes": [
+                {"at_s": c.at_s, "server_index": c.server_index}
+                for c in self.backup_crashes],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault-plan keys: {', '.join(sorted(unknown))}")
+        kwargs = dict(data)
+        kwargs["throttle_windows"] = tuple(
+            ThrottleWindow(**w) for w in data.get("throttle_windows", ()))
+        kwargs["latency_tails"] = {
+            op: LatencyTail(**t)
+            for op, t in data.get("latency_tails", {}).items()}
+        kwargs["capacity_episodes"] = tuple(
+            CapacityEpisode(**e) for e in data.get("capacity_episodes", ()))
+        kwargs["backup_crashes"] = tuple(
+            BackupCrash(**c) for c in data.get("backup_crashes", ()))
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, path):
+        """Load a plan from a ``--faults`` JSON config file."""
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def save_json(self, path):
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")

@@ -1,0 +1,198 @@
+"""FaultInjector: typed errors, latency tails, crashes, determinism."""
+
+import pytest
+
+from repro.cloud.errors import (
+    ApiError,
+    InsufficientInstanceCapacity,
+    ThrottlingError,
+)
+from repro.faults import (
+    BackupCrash,
+    CapacityEpisode,
+    FaultInjector,
+    FaultPlan,
+    LatencyTail,
+    ThrottleWindow,
+)
+from repro.faults.injector import INJECTOR_STREAM
+from repro.obs import Observability
+from repro.sim.kernel import Environment
+
+
+class TestCheck:
+    def test_throttle_window_raises_throttling_error(self):
+        env = Environment(seed=5)
+        plan = FaultPlan(throttle_windows=(
+            ThrottleWindow(0.0, 100.0, rate=1.0),))
+        injector = FaultInjector(env, plan)
+        with pytest.raises(ThrottlingError) as excinfo:
+            injector.check("attach_volume")
+        assert "RequestLimitExceeded" in str(excinfo.value)
+        assert excinfo.value.retryable
+        assert injector.counts == {"throttle": 1}
+
+    def test_throttle_outside_window_is_quiet(self):
+        env = Environment(seed=5)
+        plan = FaultPlan(throttle_windows=(
+            ThrottleWindow(50.0, 100.0, rate=1.0),))
+        injector = FaultInjector(env, plan)
+        injector.check("attach_volume")  # now=0, before the window
+        assert injector.counts == {}
+
+    def test_error_rate_raises_transient_api_error(self):
+        env = Environment(seed=5)
+        plan = FaultPlan(error_rates={"attach_volume": 1.0},
+                         terminal_fraction=0.0)
+        injector = FaultInjector(env, plan)
+        with pytest.raises(ApiError) as excinfo:
+            injector.check("attach_volume")
+        assert excinfo.value.retryable
+        assert injector.counts == {"api-error": 1}
+
+    def test_terminal_fraction_raises_terminal_api_error(self):
+        env = Environment(seed=5)
+        plan = FaultPlan(error_rates={"attach_volume": 1.0},
+                         terminal_fraction=1.0)
+        injector = FaultInjector(env, plan)
+        with pytest.raises(ApiError) as excinfo:
+            injector.check("attach_volume")
+        assert not excinfo.value.retryable
+        assert injector.counts == {"api-error-terminal": 1}
+
+    def test_unlisted_operation_is_quiet(self):
+        env = Environment(seed=5)
+        plan = FaultPlan(error_rates={"attach_volume": 1.0})
+        injector = FaultInjector(env, plan)
+        injector.check("detach_volume")
+        assert injector.counts == {}
+
+    def test_capacity_episode_raises(self):
+        env = Environment(seed=5)
+        plan = FaultPlan(capacity_episodes=(
+            CapacityEpisode("m3.medium", "us-east-1a", 0.0, 100.0,
+                            market="on-demand"),))
+        injector = FaultInjector(env, plan)
+        with pytest.raises(InsufficientInstanceCapacity):
+            injector.check("start_on_demand_instance",
+                           type_name="m3.medium", zone_name="us-east-1a",
+                           market_kind="on-demand")
+        assert injector.counts == {"capacity": 1}
+        # Non-matching market and missing type info stay quiet.
+        injector.check("start_spot_instance", type_name="m3.medium",
+                       zone_name="us-east-1a", market_kind="spot")
+        injector.check("attach_volume")
+        assert injector.total_injected == 1
+
+
+class TestLatency:
+    def test_tail_multiplies_latency(self):
+        env = Environment(seed=5)
+        plan = FaultPlan(latency_tails={
+            "detach_volume": LatencyTail(rate=1.0, multiplier=4.0)})
+        injector = FaultInjector(env, plan)
+        assert injector.adjusted_latency("detach_volume", 10.0) == 40.0
+        assert injector.counts == {"latency-tail": 1}
+
+    def test_stuck_detach_adds_extra(self):
+        env = Environment(seed=5)
+        plan = FaultPlan(stuck_detach_rate=1.0, stuck_detach_extra_s=120.0)
+        injector = FaultInjector(env, plan)
+        assert injector.adjusted_latency("detach_volume", 10.0) == 130.0
+        # Stuck detaches only afflict detach_volume.
+        assert injector.adjusted_latency("attach_volume", 10.0) == 10.0
+        assert injector.counts == {"stuck-detach": 1}
+
+    def test_no_tail_no_change(self):
+        env = Environment(seed=5)
+        injector = FaultInjector(env, FaultPlan())
+        assert injector.adjusted_latency("detach_volume", 10.0) == 10.0
+
+
+class _FakeServer:
+    def __init__(self):
+        self.failed = False
+
+
+class _FakeController:
+    def __init__(self, servers):
+        class _Pool:
+            pass
+        self.backup_pool = _Pool()
+        self.backup_pool.servers = servers
+        self.crashed = []
+
+    def fail_backup_server(self, server):
+        server.failed = True
+        self.crashed.append(server)
+
+
+class TestBackupCrashes:
+    def test_scheduled_crash_fires_controller_hook(self):
+        env = Environment(seed=5)
+        plan = FaultPlan(backup_crashes=(
+            BackupCrash(at_s=100.0), BackupCrash(at_s=200.0,
+                                                 server_index=1)))
+        injector = FaultInjector(env, plan)
+        servers = [_FakeServer(), _FakeServer(), _FakeServer()]
+        controller = _FakeController(servers)
+        injector.install_backup_crashes(controller)
+        env.run(until=300.0)
+        # First crash hits index 0; by the second, server 0 is failed,
+        # so index 1 counts within the two survivors.
+        assert controller.crashed == [servers[0], servers[2]]
+        assert injector.counts == {"backup-crash": 2}
+
+    def test_no_alive_servers_skips(self):
+        env = Environment(seed=5)
+        plan = FaultPlan(backup_crashes=(BackupCrash(at_s=10.0),))
+        injector = FaultInjector(env, plan)
+        server = _FakeServer()
+        server.failed = True
+        controller = _FakeController([server])
+        injector.install_backup_crashes(controller)
+        env.run(until=20.0)
+        assert controller.crashed == []
+        assert injector.counts == {}
+
+
+class TestDeterminismAndObs:
+    def _drive(self, seed):
+        env = Environment(seed=seed)
+        plan = FaultPlan(error_rates={"attach_volume": 0.3},
+                         terminal_fraction=0.2)
+        injector = FaultInjector(env, plan)
+        outcomes = []
+        for _ in range(200):
+            try:
+                injector.check("attach_volume")
+                outcomes.append("ok")
+            except ApiError as exc:
+                outcomes.append("t" if exc.retryable else "T")
+        return outcomes, dict(injector.counts)
+
+    def test_same_seed_same_plan_same_faults(self):
+        assert self._drive(11) == self._drive(11)
+
+    def test_different_seed_differs(self):
+        assert self._drive(11) != self._drive(12)
+
+    def test_injector_uses_own_stream(self):
+        env = Environment(seed=5)
+        FaultInjector(env, FaultPlan())
+        assert INJECTOR_STREAM in env.rng.names()
+
+    def test_obs_events_and_metrics(self):
+        obs = Observability()
+        env = Environment(seed=5, obs=obs)
+        plan = FaultPlan(error_rates={"attach_volume": 1.0},
+                         terminal_fraction=0.0)
+        injector = FaultInjector(env, plan)
+        with pytest.raises(ApiError):
+            injector.check("attach_volume")
+        injected = [e for e in obs.events if e.name == "fault.injected"]
+        assert len(injected) == 1
+        assert injected[0].fields["kind"] == "api-error"
+        assert injected[0].fields["operation"] == "attach_volume"
+        [counter] = obs.metrics.find("faults_injected_total")
+        assert counter.value == 1

@@ -1,0 +1,130 @@
+"""FaultPlan: validation, matching, JSON round-trip."""
+
+import pytest
+
+from repro.faults import (
+    BackupCrash,
+    CapacityEpisode,
+    FaultPlan,
+    LatencyTail,
+    ThrottleWindow,
+)
+
+
+class TestValidation:
+    def test_error_rate_bounds(self):
+        with pytest.raises(ValueError):
+            FaultPlan(error_rates={"attach_volume": 1.5})
+        with pytest.raises(ValueError):
+            FaultPlan(error_rates={"attach_volume": -0.1})
+
+    def test_terminal_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            FaultPlan(terminal_fraction=2.0)
+
+    def test_throttle_window_ordering(self):
+        with pytest.raises(ValueError):
+            ThrottleWindow(start_s=100.0, end_s=100.0)
+        with pytest.raises(ValueError):
+            ThrottleWindow(start_s=0.0, end_s=10.0, rate=0.0)
+
+    def test_capacity_episode_market_kind(self):
+        with pytest.raises(ValueError):
+            CapacityEpisode("m3.medium", "us-east-1a", 0.0, 1.0,
+                            market="reserved")
+
+    def test_latency_tail_multiplier(self):
+        with pytest.raises(ValueError):
+            LatencyTail(rate=0.1, multiplier=0.5)
+
+    def test_stuck_detach_bounds(self):
+        with pytest.raises(ValueError):
+            FaultPlan(stuck_detach_rate=1.1)
+        with pytest.raises(ValueError):
+            FaultPlan(stuck_detach_extra_s=-1.0)
+
+
+class TestMatching:
+    def test_throttle_window_half_open(self):
+        window = ThrottleWindow(start_s=10.0, end_s=20.0)
+        assert not window.matches(9.9, "attach_volume")
+        assert window.matches(10.0, "attach_volume")
+        assert not window.matches(20.0, "attach_volume")
+
+    def test_throttle_window_operation_filter(self):
+        window = ThrottleWindow(start_s=0.0, end_s=10.0,
+                                operation="detach_volume")
+        assert window.matches(5.0, "detach_volume")
+        assert not window.matches(5.0, "attach_volume")
+
+    def test_capacity_episode_matching(self):
+        episode = CapacityEpisode("m3.medium", "us-east-1a", 0.0, 100.0,
+                                  market="on-demand")
+        assert episode.matches(50.0, "m3.medium", "us-east-1a", "on-demand")
+        assert not episode.matches(50.0, "m3.medium", "us-east-1a", "spot")
+        assert not episode.matches(50.0, "m3.large", "us-east-1a",
+                                   "on-demand")
+        assert not episode.matches(150.0, "m3.medium", "us-east-1a",
+                                   "on-demand")
+
+    def test_capacity_episode_any_market(self):
+        episode = CapacityEpisode("m3.medium", "us-east-1a", 0.0, 100.0)
+        assert episode.matches(50.0, "m3.medium", "us-east-1a", "spot")
+        assert episode.matches(50.0, "m3.medium", "us-east-1a", "on-demand")
+
+
+class TestEnabled:
+    def test_empty_plan_disabled(self):
+        assert not FaultPlan().enabled
+
+    def test_zero_rates_disabled(self):
+        plan = FaultPlan(error_rates={"attach_volume": 0.0},
+                         latency_tails={"detach_volume": LatencyTail(0.0, 2.0)})
+        assert not plan.enabled
+
+    def test_each_knob_enables(self):
+        assert FaultPlan(error_rates={"attach_volume": 0.1}).enabled
+        assert FaultPlan(
+            throttle_windows=(ThrottleWindow(0.0, 1.0),)).enabled
+        assert FaultPlan(
+            latency_tails={"detach_volume": LatencyTail(0.1, 2.0)}).enabled
+        assert FaultPlan(capacity_episodes=(
+            CapacityEpisode("m3.medium", "us-east-1a", 0.0, 1.0),)).enabled
+        assert FaultPlan(stuck_detach_rate=0.1).enabled
+        assert FaultPlan(backup_crashes=(BackupCrash(at_s=10.0),)).enabled
+
+
+class TestRoundTrip:
+    def _full_plan(self):
+        return FaultPlan(
+            error_rates={"attach_volume": 0.1, "detach_volume": 0.2},
+            terminal_fraction=0.25,
+            throttle_windows=(
+                ThrottleWindow(10.0, 20.0, rate=0.5, operation="a"),),
+            latency_tails={"detach_volume": LatencyTail(0.1, 3.0)},
+            capacity_episodes=(
+                CapacityEpisode("m3.medium", "us-east-1a", 0.0, 50.0,
+                                market="spot"),),
+            stuck_detach_rate=0.05,
+            stuck_detach_extra_s=90.0,
+            backup_crashes=(BackupCrash(at_s=100.0, server_index=1),))
+
+    def test_dict_round_trip(self):
+        plan = self._full_plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_json_round_trip(self, tmp_path):
+        plan = self._full_plan()
+        path = tmp_path / "faults.json"
+        plan.save_json(path)
+        assert FaultPlan.from_json(path) == plan
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-plan keys"):
+            FaultPlan.from_dict({"error_rate": 0.1})
+
+    def test_default_chaos_plan_round_trips(self):
+        from repro.experiments.chaos import default_chaos_plan
+        plan = default_chaos_plan()
+        assert plan.enabled
+        assert FaultPlan.from_dict(plan.to_dict()) == plan

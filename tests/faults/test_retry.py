@@ -1,0 +1,165 @@
+"""RetryPolicy and retry_call: backoff, budgets, deadlines, obs."""
+
+import pytest
+
+from repro.cloud.errors import ApiError
+from repro.faults.retry import (
+    BACKOFF_STREAM,
+    RetryExhausted,
+    RetryPolicy,
+    retry_call,
+)
+from repro.obs import Observability
+from repro.sim.kernel import Environment
+
+from tests.conftest import run_process
+
+
+class TestPolicy:
+    def test_backoff_caps_double_then_saturate(self):
+        policy = RetryPolicy(base_delay_s=2.0, multiplier=2.0,
+                             max_delay_s=60.0)
+        assert policy.backoff_cap_s(1) == 2.0
+        assert policy.backoff_cap_s(2) == 4.0
+        assert policy.backoff_cap_s(5) == 32.0
+        assert policy.backoff_cap_s(6) == 60.0
+        assert policy.backoff_cap_s(100) == 60.0
+
+    def test_backoff_cap_huge_attempt_no_overflow(self):
+        # A patient loop riding out a day-long outage reaches attempt
+        # counts where ``multiplier ** attempt`` overflows a float.
+        policy = RetryPolicy()
+        assert policy.backoff_cap_s(100_000) == policy.max_delay_s
+
+    def test_backoff_jitter_within_cap(self):
+        policy = RetryPolicy(base_delay_s=2.0, multiplier=2.0)
+        env = Environment(seed=7)
+        rng = env.rng.stream(BACKOFF_STREAM)
+        draws = [policy.backoff_s(3, rng) for _ in range(200)]
+        cap = policy.backoff_cap_s(3)
+        assert all(0.0 <= d <= cap for d in draws)
+        assert max(draws) > 0.5 * cap  # full jitter, not a constant
+
+    def test_backoff_without_rng_returns_cap(self):
+        policy = RetryPolicy(base_delay_s=2.0)
+        assert policy.backoff_s(1, rng=None) == 2.0
+
+    def test_allows_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.allows(2)
+        assert not policy.allows(3)
+
+    def test_allows_deadline_margin(self):
+        policy = RetryPolicy(max_attempts=10, deadline_margin_s=5.0)
+        # now + delay + margin must stay clear of the deadline.
+        assert policy.allows(1, now=0.0, deadline=100.0, delay=10.0)
+        assert not policy.allows(1, now=90.0, deadline=100.0, delay=10.0)
+        assert not policy.allows(1, now=94.0, deadline=100.0, delay=1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1.0)
+
+
+def _failing_process(env, failures, exc_factory=None, value="done"):
+    """A factory whose process fails ``failures`` times, then succeeds."""
+    state = {"calls": 0}
+
+    def _factory():
+        def _body():
+            state["calls"] += 1
+            yield env.timeout(1.0)
+            if state["calls"] <= failures:
+                raise (exc_factory or (lambda: ApiError("boom")))()
+            return value
+        return env.process(_body())
+
+    return _factory, state
+
+
+class TestRetryCall:
+    def test_success_first_try_no_rng(self):
+        env = Environment(seed=3)
+        factory, state = _failing_process(env, failures=0)
+        result = run_process(env, retry_call(
+            env, factory, RetryPolicy(), "op"))
+        assert result == "done"
+        assert state["calls"] == 1
+        # Fault-free calls must not create the jitter stream at all.
+        assert BACKOFF_STREAM not in env.rng.names()
+
+    def test_transient_retried_until_success(self):
+        env = Environment(seed=3)
+        factory, state = _failing_process(env, failures=3)
+        result = run_process(env, retry_call(
+            env, factory, RetryPolicy(), "op"))
+        assert result == "done"
+        assert state["calls"] == 4
+
+    def test_terminal_error_propagates_immediately(self):
+        env = Environment(seed=3)
+        factory, state = _failing_process(
+            env, failures=5,
+            exc_factory=lambda: ApiError("fatal", retryable=False))
+        with pytest.raises(ApiError) as excinfo:
+            run_process(env, retry_call(env, factory, RetryPolicy(), "op"))
+        assert not excinfo.value.retryable
+        assert state["calls"] == 1
+
+    def test_budget_exhaustion_raises_retry_exhausted(self):
+        env = Environment(seed=3)
+        factory, state = _failing_process(env, failures=100)
+        policy = RetryPolicy(max_attempts=3)
+        with pytest.raises(RetryExhausted) as excinfo:
+            run_process(env, retry_call(env, factory, policy, "op"))
+        assert state["calls"] == 3
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.__cause__, ApiError)
+        # Exhaustion is terminal: an outer retry loop must not re-retry.
+        assert not excinfo.value.retryable
+
+    def test_deadline_vetoes_late_retry(self):
+        env = Environment(seed=3)
+        factory, state = _failing_process(env, failures=100)
+        policy = RetryPolicy(max_attempts=100, base_delay_s=10.0,
+                             multiplier=1.0, max_delay_s=10.0,
+                             deadline_margin_s=5.0)
+        with pytest.raises(RetryExhausted):
+            run_process(env, retry_call(
+                env, factory, policy, "op", deadline=30.0))
+        # The loop stopped well before the 100-attempt budget, and the
+        # simulation clock never passed the deadline.
+        assert state["calls"] < 5
+        assert env.now < 30.0
+
+    def test_backoff_advances_clock(self):
+        env = Environment(seed=3)
+        factory, _state = _failing_process(env, failures=2)
+        run_process(env, retry_call(env, factory, RetryPolicy(), "op"))
+        # 3 calls x 1s latency, plus two nonzero jittered backoffs.
+        assert env.now > 3.0
+
+    def test_obs_events_and_metrics(self):
+        obs = Observability()
+        env = Environment(seed=3, obs=obs)
+        factory, _state = _failing_process(env, failures=2)
+        run_process(env, retry_call(env, factory, RetryPolicy(), "op"))
+        retried = [e for e in obs.events if e.name == "retry.backoff"]
+        assert len(retried) == 2
+        assert retried[0].fields["operation"] == "op"
+        [counter] = obs.metrics.find("retries_total")
+        assert counter.value == 2
+        [hist] = obs.metrics.find("retry_backoff_seconds")
+        assert hist.count == 2
+
+    def test_non_api_errors_propagate(self):
+        env = Environment(seed=3)
+        factory, state = _failing_process(
+            env, failures=5, exc_factory=lambda: ValueError("not api"))
+        with pytest.raises(ValueError):
+            run_process(env, retry_call(env, factory, RetryPolicy(), "op"))
+        assert state["calls"] == 1
