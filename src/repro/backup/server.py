@@ -1,8 +1,13 @@
 """The backup-server resource model."""
 
 from dataclasses import dataclass
+from itertools import count
 
-from repro.sim.resources import Container
+from repro.sim.resources import Container, FairShareResource, fair_share_rates
+
+
+class BackupUnavailable(RuntimeError):
+    """Restore or commit work was sent to a failed backup server."""
 
 
 @dataclass(frozen=True)
@@ -97,30 +102,83 @@ class BackupServerSpec:
         return self.hourly_price / vms
 
 
+class _RestoreToken:
+    """Handle for one restore's stay on a server's read path.
+
+    ``peak`` records the highest number of simultaneous restores the
+    server saw at any point during this restore's lifetime — the
+    concurrency the availability accounting attributes to it.
+    """
+
+    __slots__ = ("peak",)
+
+    def __init__(self, concurrent_now):
+        self.peak = concurrent_now
+
+
+class _BackupIngest:
+    """``FairShareLink``-compatible facade over a server's commit path.
+
+    Checkpoint streams call ``transfer(size, rate_cap=...)``; each call
+    becomes a commit flow on the server's shared datapath, so steady
+    flushes contend with final commits and restores for real.
+    """
+
+    def __init__(self, server):
+        self.server = server
+
+    def transfer(self, size_bytes, rate_cap=None):
+        return self.server.commit_flow(size_bytes, rate_cap=rate_cap)
+
+
 class BackupServer:
     """One backup server: assigned checkpoint streams + restore load.
 
     Used analytically by the figure benches (utilization, degradation)
     and as a stateful entity by the controller (assignment bookkeeping,
-    storm accounting).
+    storm accounting).  All byte movement — checkpoint commits,
+    skeleton transfers, full/lazy restore reads — runs as flows on one
+    shared :class:`~repro.sim.resources.FairShareResource` whose two
+    paths model the disk and the NIC, so overlapping storms and
+    commit-vs-restore contention are simulated rather than approximated.
     """
-
-    _ids = iter(range(1, 10 ** 9))
 
     def __init__(self, env, spec=None):
         self.env = env
         self.spec = spec or BackupServerSpec()
-        self.id = f"bak-{next(self._ids):04d}"
+        self.id = f"bak-{self._next_id(env):04d}"
         #: vm.id -> stream rate (bytes/s).
         self.streams = {}
         #: Restores in flight right now.
         self.active_restores = 0
+        self._restore_tokens = []
         #: Disk occupancy for stored images.
         self.store_bytes = Container(env, capacity=float("inf"))
         self.created_at = env.now
         #: Set when the server dies (failure injection); a failed
         #: server accepts no assignments and serves no restores.
         self.failed_at = None
+        #: The shared datapath.  Reads and writes meet on the "disk"
+        #: path (whose aggregate depends on the traffic mix, see
+        #: :meth:`_disk_capacity_bps`); everything also crosses the
+        #: "nic" path, which caps any regime at the NIC rate.
+        self.datapath = FairShareResource(
+            env,
+            {"disk": self._disk_capacity_bps, "nic": self.spec.net_bps},
+            on_rebalance=self._observe_datapath)
+        #: Link-compatible handle checkpoint streams flush through.
+        self.ingest = _BackupIngest(self)
+
+    @staticmethod
+    def _next_id(env):
+        """Per-environment ID counter: scenario N's servers are named
+        identically no matter how many simulations ran earlier in the
+        process."""
+        counter = getattr(env, "_backup_server_ids", None)
+        if counter is None:
+            counter = count(1)
+            env._backup_server_ids = counter
+        return next(counter)
 
     @property
     def failed(self):
@@ -130,6 +188,12 @@ class BackupServer:
         """The server (and the images it held) are gone."""
         if self.failed_at is None:
             self.failed_at = self.env.now
+
+    def _require_alive(self):
+        if self.failed:
+            raise BackupUnavailable(
+                f"{self.id} failed at t={self.failed_at:.1f}; "
+                f"its images are gone")
 
     # -- checkpoint write path -------------------------------------------
 
@@ -192,13 +256,147 @@ class BackupServer:
         util = self.write_utilization()
         return max(0.0, 1.0 - 1.0 / util) if util > 0 else 0.0
 
+    def stream_fair_rates(self):
+        """Granted rate per assigned stream under max-min fair sharing.
+
+        What each VM's checkpoint stream would sustain if all assigned
+        streams pushed at their demand simultaneously — the fair-share
+        view of Figure 7's write path.  Below the knee every stream
+        receives its demand; past it the grants flatten at the equal
+        share.
+        """
+        vm_ids = list(self.streams)
+        grants = fair_share_rates(
+            [self.streams[vm_id] for vm_id in vm_ids],
+            self.spec.write_path_bps)
+        return dict(zip(vm_ids, grants))
+
+    def write_throttle_fraction(self):
+        """Fraction of aggregate stream demand denied by fair sharing.
+
+        Cross-check for :meth:`overload_fraction`: both derive the same
+        post-knee throttling, one from the utilization ratio and one
+        from the water-filled grants.
+        """
+        demand = sum(self.streams.values())
+        if demand <= 0:
+            return 0.0
+        granted = sum(self.stream_fair_rates().values())
+        return max(0.0, 1.0 - granted / demand)
+
+    # -- datapath flows ---------------------------------------------------
+
+    def commit_flow(self, nbytes, rate_cap=None):
+        """Write ``nbytes`` of checkpoint state; returns the done event.
+
+        Used both for steady-state flushes (capped at the per-VM stream
+        throttle) and for final commits (uncapped: the VM is suspended,
+        so the commit may burst to whatever share the datapath grants —
+        in a full 40-VM storm that share is exactly the worst-case
+        ``commit_bandwidth_bps`` the time bound was provisioned for).
+        """
+        self._require_alive()
+        return self.datapath.transfer(nbytes, paths=("disk", "nic"),
+                                      rate_cap=rate_cap, kind="commit")
+
+    def skeleton_flow(self, nbytes):
+        """Transfer a lazy restore's skeleton state (network only)."""
+        self._require_alive()
+        return self.datapath.transfer(nbytes, paths=("nic",),
+                                      kind="skeleton")
+
+    def restore_read_flow(self, image_bytes, kind, optimized):
+        """Read a VM image for restoration; returns the done event.
+
+        The flow crosses the disk read path (whose aggregate follows
+        the Figure 8 regime for ``kind``/``optimized``) and the NIC.
+        """
+        self._require_alive()
+        if kind not in ("full", "lazy"):
+            raise ValueError(f"unknown restore kind {kind!r}")
+        tag = f"restore:{kind}:{'opt' if optimized else 'unopt'}"
+        return self.datapath.transfer(image_bytes, paths=("disk", "nic"),
+                                      kind=tag)
+
+    def begin_restore(self):
+        """Enter the restore path; returns a token for :meth:`end_restore`.
+
+        Every live token's ``peak`` is raised to the new concurrency, so
+        a restore that spans several overlapping storms reports the
+        worst sharing it experienced.
+        """
+        self._require_alive()
+        self.active_restores += 1
+        token = _RestoreToken(self.active_restores)
+        self._restore_tokens.append(token)
+        for live in self._restore_tokens:
+            live.peak = max(live.peak, self.active_restores)
+        return token
+
+    def end_restore(self, token):
+        self.active_restores -= 1
+        self._restore_tokens.remove(token)
+
+    def _disk_capacity_bps(self, flows):
+        """Aggregate disk throughput for the current mix of disk flows.
+
+        Writes alone sustain ``disk_write_bps``; reads alone sustain
+        the Figure 8 aggregate of their regime; a mix is bound by the
+        slowest regime present (the head seeks between the journal and
+        the image files hurt both sides).  The NIC cap is *not* applied
+        here — the datapath's "nic" path carries it — so homogeneous
+        batches reproduce the spec's ``min(regime, net)/n`` analytic
+        shares exactly.
+        """
+        caps = []
+        reads = [f for f in flows
+                 if f.kind is not None and f.kind.startswith("restore:")]
+        if len(reads) < len(flows):
+            caps.append(self.spec.disk_write_bps)
+        if reads:
+            caps.append(self._read_aggregate_bps(reads))
+        return min(caps) if caps else self.spec.disk_write_bps
+
+    def _read_aggregate_bps(self, reads):
+        spec = self.spec
+        kinds = {f.kind for f in reads}
+        caps = []
+        if "restore:full:opt" in kinds:
+            caps.append(spec.seq_read_bps)
+        if "restore:full:unopt" in kinds:
+            caps.append(spec.seq_read_bps * spec.untuned_read_factor)
+        if "restore:lazy:opt" in kinds:
+            caps.append(spec.fadvise_rand_read_bps)
+        if "restore:lazy:unopt" in kinds:
+            concurrent = len(reads)
+            caps.append(spec.rand_read_bps / (
+                1.0 + spec.rand_interference * (concurrent - 1) ** 2))
+        return min(caps)
+
+    def _observe_datapath(self, datapath):
+        obs = getattr(self.env, "obs", None)
+        if obs is None:
+            return
+        obs.metrics.counter("backup_datapath_rebalances_total",
+                            server=self.id).inc()
+        obs.metrics.gauge("backup_datapath_flows", server=self.id).set(
+            datapath.flow_count())
+        for path, stats in datapath.snapshot().items():
+            utilization = (stats["rate_sum"] / stats["capacity"]
+                           if stats["capacity"] > 0 else 0.0)
+            obs.metrics.gauge("backup_datapath_utilization",
+                              server=self.id, path=path).set(utilization)
+
     # -- restore read path -------------------------------------------------
 
     def per_restore_bps(self, kind, optimized, concurrent=None):
         """Per-restore bandwidth for ``concurrent`` simultaneous restores.
 
-        ``kind`` is ``"full"`` or ``"lazy"``.
+        ``kind`` is ``"full"`` or ``"lazy"``.  Analytic counterpart of
+        the datapath's equal split; the DES path must reproduce it for
+        homogeneous batches.
         """
+        self._require_alive()
         n = self.active_restores if concurrent is None else concurrent
         n = max(n, 1)
         if kind == "full":

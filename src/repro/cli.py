@@ -18,6 +18,9 @@ Commands
 ``chaos``
     Run the fault-injection scenario (see docs/robustness.md) and
     check/record its golden fault and retry metrics.
+``storm``
+    Run the overlapping restore-storm smoke and assert the backup
+    datapath's fair-share invariant and analytic cross-check.
 """
 
 import argparse
@@ -93,6 +96,17 @@ def _cmd_chaos(args):
                 print(f"GOLDEN MISMATCH {problem}", file=sys.stderr)
             return 1
         print("golden fault/retry metrics match")
+    return 0
+
+
+def _cmd_storm(args):
+    from repro.experiments.fig8 import storm_smoke
+    ok, _lines = storm_smoke(echo=print)
+    if not ok:
+        print("storm smoke failed: fair-share invariant or analytic "
+              "cross-check violated", file=sys.stderr)
+        return 1
+    print("fair-share invariant held at every rebalance")
     return 0
 
 
@@ -326,6 +340,11 @@ def build_parser():
     chaos.add_argument("--check-golden", default=None, metavar="FILE",
                        help="fail (exit 1) unless the digest matches FILE")
     chaos.set_defaults(func=_cmd_chaos)
+
+    storm = sub.add_parser(
+        "storm", help="smoke the overlapping restore-storm scenario "
+                      "(fair-share invariant)")
+    storm.set_defaults(func=_cmd_storm)
     return parser
 
 

@@ -16,6 +16,8 @@ Three flows, mirroring Section 3.5:
   on-demand pool, staging slot, or a fresh on-demand instance.
 """
 
+from repro.backup.scheduler import RESUME_OVERHEAD_S
+from repro.backup.server import BackupUnavailable
 from repro.cloud.errors import ApiError, CapacityError
 from repro.cloud.instances import Market
 from repro.faults.retry import retry_call
@@ -23,7 +25,7 @@ from repro.obs.trace import NULL_TRACER
 from repro.virt.hypervisor import HostVM
 from repro.virt.migration.checkpoint import CheckpointStream
 from repro.virt.migration.live import PreCopyMigration
-from repro.virt.migration.restore import SKELETON_BYTES, RestorePlanner
+from repro.virt.migration.restore import SKELETON_BYTES
 from repro.virt.vm import VMState
 
 #: Safety margin, seconds, added to the worst-case suspend-side costs
@@ -253,15 +255,34 @@ class MigrationManager:
             degraded_s += ramp_s
         clock.end()
 
-        # 4. Suspend and commit the residual dirty state.  From here to
-        #    the end of the restore, every phase is downtime; the phase
-        #    clock partitions that window, so the per-phase durations
-        #    sum exactly to the recorded downtime (Table 1 per
-        #    migration).
+        # 4. Suspend and commit the residual dirty state as a real
+        #    write flow on the backup server's shared datapath.  Alone,
+        #    the commit bursts far past the guaranteed rate (faster
+        #    than the worst-case estimate the suspend point budgeted
+        #    for); in a full storm the fair share degenerates to
+        #    exactly the provisioned ``commit_bandwidth_bps``.  From
+        #    here to the end of the restore, every phase is downtime;
+        #    the phase clock partitions that window, so the per-phase
+        #    durations sum exactly to the recorded downtime (Table 1
+        #    per migration).
         vm.set_state(VMState.SUSPENDED)
         suspend_started = self.env.now
         clock.begin("final-commit")
-        yield self.env.timeout(commit_s)
+        state_safe = stream.commit_bound_feasible()
+        if mech.warning_ramp:
+            residual = vm.memory.dirty_bytes(
+                stream.feasible_ramp_interval_s())
+        else:
+            residual = vm.memory.dirty_bytes(stream.interval_s())
+        if residual > 0:
+            try:
+                yield backup.commit_flow(residual)
+            except BackupUnavailable:
+                # The backup server died between the warning and the
+                # suspend: the residual has nowhere to go.
+                state_safe = False
+        if self.env.now > deadline:
+            state_safe = False
 
         # 5. Detach the volume and interface from the doomed host.
         #    These EC2 operations "can only detach a VM's EBS volumes
@@ -290,27 +311,56 @@ class MigrationManager:
                 lambda: self.api.attach_interface(vm.eni, dest_host.instance),
                 "attach_network_interface", "revocation.attach")
 
-        # 8. Restore from the backup server.
+        # 8. Restore from the backup server as real read flows.  The
+        #    flows share the datapath with every other storm in flight,
+        #    so the concurrency a restore experiences is whatever
+        #    actually overlaps it — not a per-storm snapshot.  Recorded
+        #    ``concurrent`` is the peak simultaneous restores the
+        #    server saw during this VM's restore window.
         backup = vm.backup_assignment
+        usable = (backup is not None and not backup.failed
+                  and vm.id in backup.store
+                  and backup.store.image(vm.id).is_complete)
         concurrent = 1
-        if storm is not None and backup is not None:
-            concurrent = max(storm.backup_load.get(backup.id, 1), 1)
-        planner = RestorePlanner(backup)
-        restore = planner.plan(
-            vm.memory.total_bytes, kind=mech.restore_kind,
-            optimized=mech.restore_optimized, concurrent=concurrent)
+        token = None
         clock.begin("restore")
-        yield self.env.timeout(restore.downtime_s)
-        clock.end()
-        downtime_s = self.env.now - suspend_started
-        dest_host.hypervisor.attach(vm)
-        vm.host = dest_host
-        if restore.degraded_s > 0:
-            clock.begin("demand-page-tail")
-            vm.set_state(VMState.RESTORING)
-            yield self.env.timeout(restore.degraded_s)
-            degraded_s += restore.degraded_s
+        try:
+            if usable:
+                token = backup.begin_restore()
+                if mech.restore_kind == "full":
+                    yield backup.restore_read_flow(
+                        vm.memory.total_bytes, "full",
+                        mech.restore_optimized)
+                else:
+                    yield backup.skeleton_flow(SKELETON_BYTES)
+                    yield self.env.timeout(RESUME_OVERHEAD_S)
+            else:
+                # The image vanished mid-migration (the backup crashed
+                # after the warning-time check): resume from the
+                # durable volume with memory state lost.
+                state_safe = False
             clock.end()
+            downtime_s = self.env.now - suspend_started
+            dest_host.hypervisor.attach(vm)
+            vm.host = dest_host
+            if usable and mech.restore_kind == "lazy":
+                clock.begin("demand-page-tail")
+                vm.set_state(VMState.RESTORING)
+                tail_started = self.env.now
+                try:
+                    yield backup.restore_read_flow(
+                        vm.memory.total_bytes, "lazy",
+                        mech.restore_optimized)
+                except BackupUnavailable:
+                    # Crashed under the demand-paging tail: the pages
+                    # not yet faulted in are lost.
+                    state_safe = False
+                degraded_s += self.env.now - tail_started
+                clock.end()
+        finally:
+            if token is not None:
+                concurrent = max(token.peak, 1)
+                backup.end_restore(token)
         vm.set_state(VMState.RUNNING)
 
         # 9. The VM now sits on a non-revocable server: no backup needed.
@@ -329,7 +379,7 @@ class MigrationManager:
             downtime_s=downtime_s, degraded_s=degraded_s,
             source_pool=source_pool.key,
             dest_pool=("on-demand", vm.itype.name, dest_host.zone.name),
-            concurrent=concurrent, state_safe=True,
+            concurrent=concurrent, state_safe=state_safe,
             phases=downtime_phases)
         tracer.end(trace)
         if obs is not None:
@@ -337,7 +387,7 @@ class MigrationManager:
                 obs, vm, cause="revocation", mechanism=mechanism,
                 downtime_s=downtime_s, degraded_s=degraded_s,
                 phases=downtime_phases, concurrent=concurrent,
-                state_safe=True)
+                state_safe=state_safe)
         # A staging destination is itself revocable and may have been
         # warned while we restored.
         self.chase_if_doomed(vm, dest_host)

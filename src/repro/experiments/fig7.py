@@ -42,6 +42,13 @@ def run(vm_counts=DEFAULT_COUNTS, backup_spec=None,
                 conditions = Conditions(
                     checkpointing=True,
                     backup_overload=server.overload_fraction())
+                # Fair-share cross-check: the water-filled per-stream
+                # grants must reproduce the same post-knee throttling
+                # the utilization ratio predicts.
+                row[f"{label}_throttle"] = server.write_throttle_fraction()
+                grants = server.stream_fair_rates()
+                row[f"{label}_granted_mbps"] = \
+                    min(grants.values()) / 1e6 if grants else 0.0
             row[label] = workload.performance(conditions)
             row[f"{label}_degradation"] = \
                 workload.degradation_fraction(conditions)

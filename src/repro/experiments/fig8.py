@@ -75,3 +75,110 @@ def pick(result, concurrent, kind, optimized):
                 and row["optimized"] == optimized):
             return row["analytic_s"]
     raise KeyError((concurrent, kind, optimized))
+
+
+# -- overlapping-storm scenario (CI smoke + regression surface) ----------
+
+DEFAULT_STORM_BATCHES = ((3, 0.0), (3, 45.0))
+
+
+def run_storm(batches=DEFAULT_STORM_BATCHES, kind="lazy", optimized=True,
+              image_bytes=GUEST_BYTES, backup_spec=None, commit_vms=4,
+              commit_bytes=82.5e6):
+    """Staggered restore batches plus checkpoint commits on one server.
+
+    ``batches`` is a sequence of ``(vm_count, start_offset_s)`` — the
+    overlapping-storm regime the batch-frozen scheduler used to get
+    wrong.  ``commit_vms`` concurrent final commits (of
+    ``commit_bytes`` each, the 30 s x 2.75 MB/s worst-case residual)
+    are launched alongside the first batch so writes contend with the
+    restore reads.  Samples the datapath at every rebalance and reports
+    the peak per-path utilization — the fair-share invariant says it
+    never exceeds 1.
+    """
+    env = Environment()
+    server = BackupServer(env, backup_spec or BackupServerSpec())
+    scheduler = RestoreScheduler(server)
+
+    peak = {path: 0.0 for path in server.datapath.capacities}
+    chained = server.datapath.on_rebalance
+
+    def _sample(datapath):
+        for path, stats in datapath.snapshot().items():
+            if stats["capacity"] > 0:
+                peak[path] = max(peak[path],
+                                 stats["rate_sum"] / stats["capacity"])
+        if chained is not None:
+            chained(datapath)
+
+    server.datapath.on_rebalance = _sample
+
+    itype = M3_CATALOG.get("m3.medium")
+
+    def _delayed_batch(count, at_s):
+        if at_s > 0:
+            yield env.timeout(at_s)
+        vms = []
+        for _ in range(count):
+            vm = NestedVM(env, itype, workload=TpcwWorkload())
+            vm.state_log.clear()
+            vms.append(vm)
+        results = yield scheduler.run_batch(
+            env, [(vm, image_bytes) for vm in vms], kind, optimized)
+        return [{"batch_start_s": at_s, "downtime_s": downtime,
+                 "degraded_s": degraded}
+                for downtime, degraded in results]
+
+    def _commits(count):
+        flows = [server.commit_flow(commit_bytes) for _ in range(count)]
+        yield env.all_of(flows)
+
+    batch_procs = [env.process(_delayed_batch(count, at_s))
+                   for count, at_s in batches]
+    procs = list(batch_procs)
+    if commit_vms:
+        procs.append(env.process(_commits(commit_vms)))
+    env.run(until=env.all_of(procs))
+
+    per_vm = [row for proc in batch_procs for row in proc.value]
+    return {
+        "per_vm": per_vm,
+        "rebalances": server.datapath.rebalances,
+        "peak_utilization": peak,
+        "invariant_ok": max(peak.values()) <= 1.0 + 1e-9,
+    }
+
+
+def storm_smoke(echo=None):
+    """The CI storm smoke: invariant + analytic cross-check.
+
+    Returns ``(ok, lines)``: ``ok`` is False if the fair-share
+    invariant was violated at any event time or an isolated equal-size
+    batch drifted from its closed-form downtime by more than 1e-6
+    relative error.
+    """
+    lines = []
+    storm = run_storm()
+    for path, utilization in sorted(storm["peak_utilization"].items()):
+        lines.append(f"peak {path} utilization {utilization:.6f} "
+                     f"over {storm['rebalances']} rebalances")
+    ok = storm["invariant_ok"]
+    if not ok:
+        lines.append("FAIL: flow rates exceeded a path capacity")
+
+    n = 5
+    env = Environment()
+    server = BackupServer(env, BackupServerSpec())
+    scheduler = RestoreScheduler(server)
+    analytic = scheduler.full_restore_downtime_s(GUEST_BYTES, n, True)
+    des = _des_duration(env, scheduler, "full", True, n)
+    rel = abs(des - analytic) / analytic
+    lines.append(f"isolated batch of {n}: DES {des:.3f}s vs analytic "
+                 f"{analytic:.3f}s (rel err {rel:.2e})")
+    if rel > 1e-6:
+        lines.append("FAIL: DES drifted from the analytic estimate")
+        ok = False
+    if echo is not None:
+        for line in lines:
+            echo(line)
+    return ok, lines

@@ -10,7 +10,8 @@ from repro.sim.errors import Interrupt, SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.kernel import Environment
 from repro.sim.process import Process
-from repro.sim.resources import Container, Resource
+from repro.sim.resources import (Container, FairShareResource, Resource,
+                                 fair_share_rates)
 from repro.sim.rng import RngRegistry
 
 __all__ = [
@@ -19,10 +20,12 @@ __all__ = [
     "Container",
     "Environment",
     "Event",
+    "FairShareResource",
     "Interrupt",
     "Process",
     "Resource",
     "RngRegistry",
     "SimulationError",
     "Timeout",
+    "fair_share_rates",
 ]

@@ -1,8 +1,266 @@
-"""Shared-resource primitives: counted resources and continuous containers."""
+"""Shared-resource primitives: counted resources, continuous containers,
+and the multi-path processor-sharing bandwidth resource."""
 
 from collections import deque
 
 from repro.sim.events import Event
+
+
+def fair_share_rates(demands, capacity):
+    """Max-min fair (water-filling) allocation of one capacity.
+
+    ``demands`` are the per-flow requested rates; the returned grants
+    never exceed them, sum to at most ``capacity``, and are max-min
+    fair: no grant can be raised without lowering a smaller one.
+    """
+    grants = [0.0] * len(demands)
+    remaining = float(capacity)
+    unfixed = list(range(len(demands)))
+    while unfixed:
+        level = remaining / len(unfixed)
+        capped = [i for i in unfixed if demands[i] <= level]
+        if not capped:
+            for i in unfixed:
+                grants[i] = level
+            break
+        for i in capped:
+            grants[i] = float(demands[i])
+            remaining -= grants[i]
+            unfixed.remove(i)
+    return grants
+
+
+class _FairFlow:
+    """One in-flight transfer on a :class:`FairShareResource`."""
+
+    __slots__ = ("remaining", "size_bytes", "paths", "rate_cap", "kind",
+                 "rate", "done", "started_at", "done_epsilon")
+
+    def __init__(self, env, size_bytes, paths, rate_cap, kind):
+        self.remaining = float(size_bytes)
+        self.size_bytes = float(size_bytes)
+        self.paths = paths
+        self.rate_cap = rate_cap
+        self.kind = kind
+        self.rate = 0.0
+        self.done = env.event()
+        self.started_at = env.now
+        # Progress arithmetic leaves float residues proportional to the
+        # transfer size; treating them as unfinished would re-plan a
+        # completion below the clock's resolution.
+        self.done_epsilon = max(1e-6, 1e-12 * self.size_bytes)
+
+
+class FairShareResource:
+    """A processor-sharing bandwidth resource with multiple coupled paths.
+
+    Models a device whose flows traverse one or more internal
+    bottlenecks — e.g. a backup server whose restore reads cross both
+    the disk read path and the NIC, while checkpoint commits cross the
+    disk write path and the same NIC.  Each flow declares the paths it
+    occupies; rates are the multi-path max-min fair (progressive
+    filling) allocation, recomputed at every arrival and departure from
+    the flows' *remaining* bytes, so early finishers release their
+    bandwidth to the survivors mid-transfer.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    capacities:
+        Mapping of path name to capacity in bytes/s.  A capacity may be
+        a callable taking the list of flows currently on that path and
+        returning the aggregate bytes/s — this expresses regimes whose
+        throughput depends on the traffic mix (e.g. random demand-paged
+        reads collapsing under concurrency).
+    on_rebalance:
+        Optional callback invoked with the resource after every rate
+        recomputation (metrics/invariant hooks).
+
+    Invariant: between events every flow's rate is constant and, on
+    every path, the active flows' rates sum to at most the path's
+    capacity (up to float rounding).
+    """
+
+    def __init__(self, env, capacities, on_rebalance=None):
+        if not capacities:
+            raise ValueError("need at least one path")
+        for path, capacity in capacities.items():
+            if not callable(capacity) and capacity <= 0:
+                raise ValueError(f"capacity of path {path!r} must be positive")
+        self.env = env
+        self.capacities = dict(capacities)
+        self.on_rebalance = on_rebalance
+        self.flows = []
+        #: Number of rate recomputations performed so far.
+        self.rebalances = 0
+        self._last_update = env.now
+        self._wakeup = None
+
+    # -- public API -------------------------------------------------------
+
+    def transfer(self, size_bytes, paths=None, rate_cap=None, kind=None):
+        """Start a transfer; returns an event firing on completion.
+
+        ``paths`` selects the subset of configured paths the flow
+        occupies (default: all of them); ``rate_cap`` bounds the flow's
+        rate (the per-VM ``tc`` throttle); ``kind`` is an opaque tag
+        capacity callables and metrics may inspect.  The completion
+        event's value is the transfer's elapsed time.
+        """
+        if size_bytes <= 0:
+            raise ValueError("size must be positive")
+        if rate_cap is not None and rate_cap <= 0:
+            raise ValueError("rate cap must be positive")
+        if paths is None:
+            paths = tuple(self.capacities)
+        else:
+            paths = tuple(paths)
+            if not paths:
+                raise ValueError("flow must occupy at least one path")
+            unknown = [p for p in paths if p not in self.capacities]
+            if unknown:
+                raise ValueError(f"unknown paths {unknown!r}")
+        self._advance()
+        flow = _FairFlow(self.env, size_bytes, paths, rate_cap, kind)
+        self.flows.append(flow)
+        self._rebalance()
+        return flow.done
+
+    def flow_count(self, kind=None):
+        """Active flows, optionally only those with the given kind tag."""
+        if kind is None:
+            return len(self.flows)
+        return sum(1 for flow in self.flows if flow.kind == kind)
+
+    def snapshot(self):
+        """Per-path ``{"capacity", "rate_sum", "flows"}`` right now."""
+        stats = {}
+        for path in self.capacities:
+            members = [f for f in self.flows if path in f.paths]
+            stats[path] = {
+                "capacity": self._capacity(path, members),
+                "rate_sum": sum(f.rate for f in members),
+                "flows": len(members),
+            }
+        return stats
+
+    def utilization(self, path):
+        """Allocated fraction of one path's current capacity."""
+        members = [f for f in self.flows if path in f.paths]
+        capacity = self._capacity(path, members)
+        if capacity <= 0:
+            return 0.0
+        return sum(f.rate for f in members) / capacity
+
+    # -- internals --------------------------------------------------------
+
+    def _capacity(self, path, members):
+        capacity = self.capacities[path]
+        if callable(capacity):
+            capacity = capacity(members)
+        return float(capacity)
+
+    def _advance(self):
+        """Credit progress since the last event; complete finished flows."""
+        elapsed = self.env.now - self._last_update
+        self._last_update = self.env.now
+        if not self.flows:
+            return
+        if elapsed > 0:
+            for flow in self.flows:
+                flow.remaining -= flow.rate * elapsed
+        finished = [flow for flow in self.flows
+                    if flow.remaining <= flow.done_epsilon]
+        for flow in finished:
+            self.flows.remove(flow)
+            flow.done.succeed(self.env.now - flow.started_at)
+
+    def _rebalance(self):
+        """Recompute every flow's rate and re-plan the next completion."""
+        rates = self._compute_rates(self.flows)
+        for flow, rate in zip(self.flows, rates):
+            flow.rate = rate
+        self.rebalances += 1
+        if self.on_rebalance is not None:
+            self.on_rebalance(self)
+        self._replan()
+
+    def _compute_rates(self, flows):
+        """Multi-path max-min fair allocation (progressive filling).
+
+        Repeatedly: compute each path's equal-share water level over
+        its still-unfixed flows; freeze flows whose rate cap sits below
+        their attainable level at the cap, otherwise freeze the most
+        constrained path's flows at its level, charging every path they
+        cross.  Each round fixes at least one flow, and a fixed flow's
+        rate never exceeds any of its paths' remaining capacity.
+        """
+        if not flows:
+            return []
+        members = {}
+        remaining = {}
+        for path in self.capacities:
+            on_path = [f for f in flows if path in f.paths]
+            if on_path:
+                members[path] = on_path
+                remaining[path] = max(self._capacity(path, on_path), 0.0)
+        rates = {}
+        unfixed = set(flows)
+        while unfixed:
+            levels = {}
+            for path, on_path in members.items():
+                open_count = sum(1 for f in on_path if f in unfixed)
+                if open_count:
+                    levels[path] = max(remaining[path], 0.0) / open_count
+
+            def attainable(flow):
+                return min(levels[p] for p in flow.paths if p in levels)
+
+            capped = [f for f in unfixed
+                      if f.rate_cap is not None
+                      and f.rate_cap < attainable(f)]
+            if capped:
+                for flow in capped:
+                    rates[flow] = flow.rate_cap
+                    for path in flow.paths:
+                        remaining[path] -= flow.rate_cap
+                    unfixed.discard(flow)
+                continue
+            bottleneck = min(levels, key=levels.get)
+            level = levels[bottleneck]
+            for flow in members[bottleneck]:
+                if flow not in unfixed:
+                    continue
+                rates[flow] = level
+                for path in flow.paths:
+                    remaining[path] -= level
+                unfixed.discard(flow)
+        return [rates.get(flow, 0.0) for flow in flows]
+
+    def _replan(self):
+        """Schedule a wakeup at the earliest flow-completion time."""
+        if self._wakeup is not None and self._wakeup.is_alive:
+            self._wakeup.interrupt()
+            self._wakeup = None
+        times = [flow.remaining / flow.rate
+                 for flow in self.flows if flow.rate > 0]
+        if not times:
+            # Either idle, or every flow is rate-starved (a zero-capacity
+            # regime); starved flows wait for the next arrival/departure.
+            return
+        # Never plan a wakeup below the clock's float resolution.
+        next_done = max(min(times), 1e-9 * max(self.env.now, 1.0))
+        self._wakeup = self.env.process(self._sleep_then_settle(next_done))
+
+    def _sleep_then_settle(self, delay):
+        from repro.sim.errors import Interrupt
+        try:
+            yield self.env.timeout(delay)
+        except Interrupt:
+            return
+        self._advance()
+        self._rebalance()
 
 
 class _Request(Event):

@@ -21,6 +21,16 @@ from dataclasses import dataclass
 PAGE_SIZE = 4096
 
 
+class DirtyBudgetInfeasible(ValueError):
+    """No checkpoint interval keeps the dirty volume within the budget.
+
+    Raised when even the shortest meaningful interval (1 ms) dirties
+    more than the budget: the VM writes faster than the commit path can
+    absorb, so no checkpoint frequency can honour the time bound and
+    the caller must treat the VM's state as at risk.
+    """
+
+
 @dataclass(frozen=True)
 class MemoryModel:
     """Memory footprint and dirtying behaviour of one VM.
@@ -92,18 +102,26 @@ class MemoryModel:
         outstanding dirty pages can be safely committed upon a
         revocation within the time bound".  Solved by bisection on the
         monotone :meth:`dirty_bytes`.
+
+        Raises :class:`DirtyBudgetInfeasible` when even a 1 ms interval
+        overflows the budget — there is no interval to return, and a
+        silent floor would let planners pretend the time bound holds.
+        Returns ``inf`` when dirtying saturates below the budget (any
+        interval fits, so checkpoints are only needed for liveness).
         """
         if budget_bytes <= 0:
             raise ValueError("budget must be positive")
         if self.write_rate_pages == 0:
             return float("inf")
         if self.dirty_bytes(1e-3) > budget_bytes:
-            return 1e-3
+            raise DirtyBudgetInfeasible(
+                f"{self.dirty_bytes(1e-3):.0f} dirty bytes in 1 ms "
+                f"exceed the {budget_bytes:.0f}-byte commit budget")
         lo, hi = 1e-3, 1.0
         while self.dirty_bytes(hi) < budget_bytes and hi < 1e7:
             hi *= 2.0
         if hi >= 1e7:
-            return hi
+            return float("inf")
         for _ in range(60):
             mid = 0.5 * (lo + hi)
             if self.dirty_bytes(mid) < budget_bytes:

@@ -141,13 +141,16 @@ class BoundedTimeMigration:
         degraded = warn_degraded + restore.degraded_s
         # State is safe iff the stale-state commit fits both the chosen
         # time bound and the platform's warning (degradation while the
-        # VM keeps running does not endanger state).
+        # VM keeps running does not endanger state) — and a conforming
+        # checkpoint interval exists at all.  A VM that dirties faster
+        # than the commit path can absorb at any interval has no honest
+        # bound, even when the best-effort residual happens to fit.
         within = (commit_downtime <= cfg.checkpoint.time_bound_s
                   and commit_downtime <= warning_period_s)
         return MigrationOutcome(
             downtime_s=downtime,
             degraded_s=degraded,
             commit_bytes=commit_bytes,
-            state_safe=within,
+            state_safe=within and self.stream.commit_bound_feasible(),
             within_deadline=within,
         )

@@ -17,6 +17,8 @@ Two implementation details from the paper's Section 5 are modelled:
 
 from dataclasses import dataclass
 
+from repro.virt.memory import DirtyBudgetInfeasible
+
 
 @dataclass(frozen=True)
 class CheckpointConfig:
@@ -85,9 +87,16 @@ class CheckpointStream:
 
         The longest interval whose dirty volume fits the budget, also
         bounded below so the stream rate cannot exceed the throttle.
+        A VM dirtying too fast for *any* interval to fit the budget
+        (see :meth:`commit_bound_feasible`) checkpoints at the floor —
+        best effort; the planners report its state as unsafe.
         """
         cfg = self.config
-        interval = self.memory.interval_for_dirty_bytes(cfg.dirty_budget_bytes)
+        try:
+            interval = self.memory.interval_for_dirty_bytes(
+                cfg.dirty_budget_bytes)
+        except DirtyBudgetInfeasible:
+            interval = cfg.min_interval_s
         # The flush of one interval's dirty data must itself finish
         # within (roughly) one interval at the throttled stream rate,
         # or checkpoints would queue without bound.
@@ -98,6 +107,20 @@ class CheckpointStream:
                 break
             interval = flush_time
         return max(interval, cfg.min_interval_s)
+
+    def commit_bound_feasible(self):
+        """Whether any checkpoint interval honours the commit budget.
+
+        False means the VM dirties more than the budget within 1 ms —
+        the time bound is a fiction for this VM and bounded-time plans
+        must report ``state_safe=False``.
+        """
+        try:
+            self.memory.interval_for_dirty_bytes(
+                self.config.dirty_budget_bytes)
+        except DirtyBudgetInfeasible:
+            return False
+        return True
 
     def stream_rate_bps(self):
         """Average bytes/s the stream pushes to the backup server."""

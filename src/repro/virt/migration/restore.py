@@ -37,9 +37,16 @@ class RestorePlanner:
     def __init__(self, server):
         self.server = server
 
-    def plan(self, image_bytes, kind="lazy", optimized=True, concurrent=1):
-        """Plan a restore of ``image_bytes`` with ``concurrent`` peers."""
+    def plan(self, image_bytes, kind="lazy", optimized=True, concurrent=None):
+        """Plan a restore of ``image_bytes`` with ``concurrent`` peers.
+
+        ``concurrent`` defaults to the restores already in flight on
+        the server plus this one, so an estimate taken mid-storm prices
+        in the sharing the DES datapath would impose.
+        """
         from repro.backup.scheduler import RestoreScheduler
+        if concurrent is None:
+            concurrent = getattr(self.server, "active_restores", 0) + 1
         scheduler = RestoreScheduler(self.server)
         if kind == "full":
             downtime = scheduler.full_restore_downtime_s(

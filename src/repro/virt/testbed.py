@@ -19,7 +19,6 @@ from repro.backup.server import BackupServer
 from repro.backup.store import CheckpointStore
 from repro.cloud.instance_types import M3_CATALOG
 from repro.virt.migration.checkpoint import CheckpointConfig, CheckpointStream
-from repro.virt.network import FairShareLink
 from repro.virt.vm import NestedVM, VMState
 from repro.workloads import TpcwWorkload
 
@@ -44,8 +43,10 @@ class MicroTestbed:
         self.env = env
         self.server = BackupServer(env, backup_spec)
         self.server.store = CheckpointStore(env)
-        #: The backup server's ingest path as a shared link.
-        self.ingest = FairShareLink(env, self.server.spec.write_path_bps)
+        #: The backup server's ingest path: commit flows on the shared
+        #: datapath, so the drill's final commits and restore batches
+        #: contend on the same device the figure models describe.
+        self.ingest = self.server.ingest
         self.checkpoint_config = checkpoint_config or CheckpointConfig()
         itype = M3_CATALOG.get("m3.medium")
         self.vms = []

@@ -193,7 +193,10 @@ class TestRevocation:
         env.run(until=SPIKE_START + 600.0)
         [migration] = controller.ledger.migrations
         assert migration.mechanism == "bounded-full"
-        assert migration.downtime_s > 60.0  # 30s commit + ops + full read
+        # Ops (~23 s) plus the full unoptimized image read (~37 s); the
+        # lone final commit bursts on the idle datapath, so it no
+        # longer contributes the worst-case 30 s.
+        assert migration.downtime_s > 50.0
 
 
 class TestSparesAndStaging:

@@ -1,8 +1,9 @@
-"""Tests for Resource and Container."""
+"""Tests for Resource, Container, and the fair-share bandwidth resource."""
 
 import pytest
 
-from repro.sim import Container, Environment, Resource
+from repro.sim import (Container, Environment, FairShareResource, Resource,
+                       fair_share_rates)
 
 
 class TestResource:
@@ -105,3 +106,180 @@ class TestContainer:
             container.put(0)
         with pytest.raises(ValueError):
             container.get(-1)
+
+
+class TestFairShareRates:
+    def test_under_demand_granted_exactly(self):
+        assert fair_share_rates([10.0, 20.0], 100.0) == [10.0, 20.0]
+
+    def test_over_demand_water_level(self):
+        assert fair_share_rates([60.0, 60.0], 100.0) == [50.0, 50.0]
+
+    def test_small_demand_frees_share_for_big(self):
+        # Max-min: the 10 gets its demand, the rest split the remainder.
+        assert fair_share_rates([10.0, 100.0, 100.0], 100.0) == \
+            [10.0, 45.0, 45.0]
+
+    def test_empty(self):
+        assert fair_share_rates([], 50.0) == []
+
+    def test_never_exceeds_capacity(self):
+        grants = fair_share_rates([30.0, 70.0, 90.0], 120.0)
+        assert sum(grants) <= 120.0 + 1e-9
+        assert all(g <= d for g, d in zip(grants, [30.0, 70.0, 90.0]))
+
+
+class TestFairShareResource:
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            FairShareResource(env, {})
+        with pytest.raises(ValueError):
+            FairShareResource(env, {"link": 0.0})
+        resource = FairShareResource(env, {"link": 100.0})
+        with pytest.raises(ValueError):
+            resource.transfer(0)
+        with pytest.raises(ValueError):
+            resource.transfer(10.0, rate_cap=0.0)
+        with pytest.raises(ValueError):
+            resource.transfer(10.0, paths=("ghost",))
+        with pytest.raises(ValueError):
+            resource.transfer(10.0, paths=())
+
+    def test_single_flow_runs_at_capacity(self, env):
+        resource = FairShareResource(env, {"link": 100.0})
+        done = resource.transfer(1000.0)
+        env.run(until=done)
+        assert env.now == pytest.approx(10.0)
+        assert done.value == pytest.approx(10.0)
+        assert resource.flow_count() == 0
+
+    def test_equal_flows_split_evenly(self, env):
+        resource = FairShareResource(env, {"link": 100.0})
+        first = resource.transfer(500.0)
+        second = resource.transfer(500.0)
+        assert [f.rate for f in resource.flows] == [50.0, 50.0]
+        env.run(until=env.all_of([first, second]))
+        assert env.now == pytest.approx(10.0)
+
+    def test_early_finisher_releases_bandwidth(self, env):
+        # 100 + 300 bytes on a 100 B/s link: equal shares until the
+        # small flow drains at t=2, then the big one runs alone and the
+        # link stays work-conserving (last byte at total/capacity = 4).
+        resource = FairShareResource(env, {"link": 100.0})
+        small = resource.transfer(100.0)
+        big = resource.transfer(300.0)
+        env.run(until=small)
+        assert env.now == pytest.approx(2.0)
+        env.run(until=big)
+        assert env.now == pytest.approx(4.0)
+
+    def test_late_arrival_rebalances_mid_flow(self, env):
+        resource = FairShareResource(env, {"link": 100.0})
+        first = resource.transfer(400.0)
+
+        def later():
+            yield env.timeout(1.0)
+            elapsed = yield resource.transfer(100.0)
+            return elapsed
+
+        second = env.process(later())
+        # First runs alone for 1 s (100 done), shares for 2 s (100 each),
+        # then finishes its last 200 alone: 1 + 2 + 2 = 5 = 500/100.
+        env.run(until=second)
+        assert env.now == pytest.approx(3.0)
+        assert second.value == pytest.approx(2.0)
+        env.run(until=first)
+        assert env.now == pytest.approx(5.0)
+
+    def test_rate_cap_frees_share_for_others(self, env):
+        resource = FairShareResource(env, {"link": 100.0})
+        capped = resource.transfer(100.0, rate_cap=20.0)
+        greedy = resource.transfer(800.0)
+        assert [f.rate for f in resource.flows] == [20.0, 80.0]
+        env.run(until=capped)
+        assert env.now == pytest.approx(5.0)
+        env.run(until=greedy)
+        assert env.now == pytest.approx(9.0)  # 900 bytes / 100 B/s
+
+    def test_multi_path_progressive_filling(self, env):
+        # Two disk+nic flows bottleneck on the disk; the nic-only flow
+        # soaks up what the nic has left over.
+        resource = FairShareResource(env, {"disk": 90.0, "nic": 300.0})
+        resource.transfer(90.0, paths=("disk", "nic"))
+        resource.transfer(90.0, paths=("disk", "nic"))
+        resource.transfer(420.0, paths=("nic",))
+        assert [f.rate for f in resource.flows] == [45.0, 45.0, 210.0]
+        for stats in resource.snapshot().values():
+            assert stats["rate_sum"] <= stats["capacity"] + 1e-9
+
+    def test_shared_path_caps_both_kinds(self, env):
+        # A nic tighter than the disk binds disk flows too.
+        resource = FairShareResource(env, {"disk": 90.0, "nic": 60.0})
+        resource.transfer(100.0, paths=("disk", "nic"))
+        resource.transfer(100.0, paths=("disk", "nic"))
+        assert [f.rate for f in resource.flows] == [30.0, 30.0]
+
+    def test_callable_capacity_sees_member_flows(self, env):
+        # Aggregate throughput that collapses with concurrency, like
+        # untuned random reads.
+        def collapsing(members):
+            return 100.0 / len(members)
+
+        resource = FairShareResource(env, {"disk": collapsing})
+        resource.transfer(1000.0)
+        resource.transfer(1000.0)
+        assert [f.rate for f in resource.flows] == [25.0, 25.0]
+        assert resource.utilization("disk") == pytest.approx(1.0)
+
+    def test_flow_count_by_kind(self, env):
+        resource = FairShareResource(env, {"link": 100.0})
+        resource.transfer(50.0, kind="commit")
+        resource.transfer(50.0, kind="restore")
+        resource.transfer(50.0, kind="restore")
+        assert resource.flow_count() == 3
+        assert resource.flow_count(kind="restore") == 2
+        assert resource.flow_count(kind="commit") == 1
+
+    def test_rebalance_callback_and_counter(self, env):
+        seen = []
+        resource = FairShareResource(
+            env, {"link": 100.0},
+            on_rebalance=lambda r: seen.append(r.rebalances))
+        done = resource.transfer(100.0)
+        resource.transfer(200.0)
+        env.run(until=done)
+        # One rebalance per arrival plus one when the first flow drains.
+        assert resource.rebalances >= 3
+        assert seen == list(range(1, resource.rebalances + 1))
+
+    def test_invariant_holds_at_every_rebalance(self, env):
+        resource = FairShareResource(env, {"a": 70.0, "b": 100.0})
+
+        def check(res):
+            for stats in res.snapshot().values():
+                assert stats["rate_sum"] <= stats["capacity"] + 1e-9
+
+        resource.on_rebalance = check
+        resource.transfer(100.0, paths=("a", "b"))
+        resource.transfer(300.0, paths=("b",))
+
+        def later():
+            yield env.timeout(0.5)
+            yield resource.transfer(40.0, paths=("a",))
+
+        env.process(later())
+        env.run()
+        assert resource.flow_count() == 0
+
+    def test_transfer_value_is_elapsed_time(self, env):
+        resource = FairShareResource(env, {"link": 10.0})
+
+        def start_later():
+            yield env.timeout(7.0)
+            elapsed = yield resource.transfer(30.0)
+            return elapsed
+
+        proc = env.process(start_later())
+        env.run(until=proc)
+        assert proc.value == pytest.approx(3.0)
+        assert env.now == pytest.approx(10.0)

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.virt.memory import MemoryModel, PAGE_SIZE
+from repro.virt.memory import DirtyBudgetInfeasible, MemoryModel, PAGE_SIZE
 
 GiB = 1024 ** 3
 
@@ -103,9 +103,19 @@ class TestIntervalInversion:
         assert model(write_rate_pages=0.0).interval_for_dirty_bytes(1e6) \
             == float("inf")
 
-    def test_tiny_budget_floors_interval(self):
+    def test_tiny_budget_raises_infeasible(self):
+        # Even a 1 ms interval dirties more than the budget: there is
+        # no interval to return, and a silent floor would let planners
+        # pretend the commit bound holds.
         m = model(write_rate_pages=1e6)
-        assert m.interval_for_dirty_bytes(1.0) == pytest.approx(1e-3)
+        with pytest.raises(DirtyBudgetInfeasible):
+            m.interval_for_dirty_bytes(1.0)
+
+    def test_unreachable_budget_returns_inf(self):
+        # Dirtying saturates (working set + cold region) far below the
+        # budget: every interval fits.
+        m = model(write_rate_pages=10.0, total_bytes=PAGE_SIZE * 64)
+        assert m.interval_for_dirty_bytes(1e12) == float("inf")
 
     def test_budget_validation(self):
         with pytest.raises(ValueError):
@@ -115,10 +125,14 @@ class TestIntervalInversion:
            st.floats(min_value=PAGE_SIZE, max_value=1e9, allow_nan=False))
     @settings(max_examples=60, deadline=None)
     def test_dirty_at_returned_interval_within_budget(self, memory, budget):
-        interval = memory.interval_for_dirty_bytes(budget)
-        if interval == float("inf") or interval >= 1e7 or interval <= 1e-3:
-            # Saturated (idle VM) or floored (budget unreachably small
-            # at any interval): the bound cannot hold by construction.
+        try:
+            interval = memory.interval_for_dirty_bytes(budget)
+        except DirtyBudgetInfeasible:
+            # Signalled explicitly: the budget overflows within 1 ms.
+            assert memory.dirty_bytes(1e-3) > budget
+            return
+        if interval == float("inf"):
+            # Saturated below the budget: any interval fits.
             return
         assert memory.dirty_bytes(interval) <= budget * 1.02 + PAGE_SIZE
 
