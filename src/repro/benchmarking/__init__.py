@@ -1,21 +1,28 @@
 """``repro.benchmarking`` — the performance harness behind ``repro bench``.
 
-Three benchmarks, one JSON artifact:
+Four benchmarks, one JSON artifact:
 
 ``repro.benchmarking.kernel``
     Raw discrete-event kernel throughput (events/sec) on an
     uninstrumented :class:`~repro.sim.kernel.Environment` — the number
     the ``__slots__``/Timeout-fast-path work is measured by.
 
+``repro.benchmarking.market``
+    The spot-market drive, per-step vs threshold-indexed, on one
+    calibrated trace: kernel events eliminated, per-mode events/sec,
+    and the wall-clock speedup of sleeping between crossings.
+
 ``repro.benchmarking.grid``
-    One policy-grid cell, then the full grid serial vs parallel vs
-    cache-warm, with cache hit/miss counters pulled from the
+    One policy-grid cell (with its market-drive skip counters), then
+    the full grid serial vs parallel vs cache-warm, with cache and
+    worker-plan counters pulled from the
     :class:`~repro.obs.MetricsRegistry` the grid runner reports into.
 
 ``repro.benchmarking.harness``
-    Composes both into a schema-stable ``BENCH_<label>.json``
-    (``repro-bench/1``) and validates written artifacts, so CI can
-    track the performance trajectory across commits.
+    Composes all of it into a schema-stable ``BENCH_<label>.json``
+    (``repro-bench/2``), validates written artifacts, and holds
+    throughput above the :func:`check_bench_floors` regression floors,
+    so CI can track the performance trajectory across commits.
 
 See ``docs/performance.md`` for how to read the artifact.
 """
@@ -23,15 +30,19 @@ See ``docs/performance.md`` for how to read the artifact.
 from repro.benchmarking.harness import (
     BENCH_SCHEMA,
     bench_filename,
+    check_bench_floors,
     run_bench,
     validate_bench,
     validate_bench_file,
     write_bench,
 )
+from repro.benchmarking.market import measure_market_drive
 
 __all__ = [
     "BENCH_SCHEMA",
     "bench_filename",
+    "check_bench_floors",
+    "measure_market_drive",
     "run_bench",
     "validate_bench",
     "validate_bench_file",

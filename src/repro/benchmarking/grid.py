@@ -13,7 +13,12 @@ import tempfile
 import time
 
 from repro.experiments import policy_grid
-from repro.experiments.scenario import MECHANISMS, POLICIES
+from repro.experiments.scenario import (
+    MECHANISMS,
+    POLICIES,
+    PolicySimulation,
+    ScenarioConfig,
+)
 from repro.obs import MetricsRegistry
 
 
@@ -25,19 +30,54 @@ def _counter_total(metrics, name, **labels):
     return total
 
 
+def _worker_plan(metrics, requested):
+    """The planned worker count and reason recorded by ``run_grid``."""
+    planned = None
+    for series in metrics.find("grid_planned_workers"):
+        planned = int(series.value)
+    reason = "unplanned"
+    best = 0.0
+    for series in metrics.find("grid_worker_plan_total"):
+        if series.value > best:
+            best = series.value
+            reason = series.labels.get("reason", reason)
+    return {
+        "requested": requested,
+        "planned": requested if planned is None else planned,
+        "reason": reason,
+    }
+
+
 def measure_cell(policy="1P-M", mechanism="spotcheck-lazy", seed=11,
                  days=7.0, vms=10):
-    """Wall-clock of one cold grid cell (archive generation included)."""
+    """Wall-clock of one cold grid cell (archive generation included).
+
+    A second, untimed run of the same cell collects the spot-market
+    drive counters (``market_drive``): trace points vs actual kernel
+    wake-ups, i.e. how much work the threshold-indexed drive skipped.
+    """
     policy_grid.clear_caches()
     started = time.perf_counter()
     policy_grid.run_cell(policy, mechanism, seed=seed, days=days, vms=vms)
+    wall = time.perf_counter() - started
+
+    config = ScenarioConfig(policy=policy, mechanism=mechanism, seed=seed,
+                            days=days, vms=vms)
+    archive = policy_grid.shared_archive(
+        seed, days, zones=config.zones, market_params=config.market_params)
+    _summary, controller = PolicySimulation(config, archive=archive).run(
+        return_controller=True)
+    drive = controller.api.marketplace.drive_stats()
+    drive["event_reduction"] = (
+        drive["points"] / max(drive["delivered"], 1))
     return {
         "policy": policy,
         "mechanism": mechanism,
         "seed": seed,
         "days": days,
         "vms": vms,
-        "wall_s": time.perf_counter() - started,
+        "wall_s": wall,
+        "market_drive": drive,
     }
 
 
@@ -94,6 +134,7 @@ def measure_grid(policies=POLICIES, mechanisms=MECHANISMS, seed=11,
         "warm_wall_s": warm_wall,
         "speedup": serial_wall / parallel_wall,
         "warm_speedup": serial_wall / warm_wall,
+        "parallel_plan": _worker_plan(cold_metrics, workers),
         "cache": {
             "memory_hits": _counter_total(
                 cold_metrics, "grid_cache_hits_total", tier="memory"),

@@ -1,10 +1,16 @@
 """The ``repro bench`` harness: run, serialize, and validate benchmarks.
 
-One :func:`run_bench` call produces a ``repro-bench/1`` payload;
+One :func:`run_bench` call produces a ``repro-bench/2`` payload;
 :func:`write_bench` lands it as ``BENCH_<label>.json``.  The schema is
 deliberately flat and stable so that successive artifacts (one per
 commit, uploaded by CI) can be diffed and plotted as a performance
 trajectory: kernel events/sec must not regress, grid speedup must hold.
+
+Schema 2 adds the ``market`` section (the stepped-vs-indexed market
+drive microbenchmark), per-cell ``market_drive`` counters, the grid's
+``parallel_plan`` decision, and :func:`check_bench_floors` — the
+generous absolute floors CI holds kernel and market-drive throughput
+to.
 """
 
 import json
@@ -14,10 +20,19 @@ import time
 
 from repro.benchmarking.grid import measure_cell, measure_grid
 from repro.benchmarking.kernel import measure_kernel
+from repro.benchmarking.market import measure_market_drive
 from repro.experiments.scenario import MECHANISMS, POLICIES
 
 #: Current artifact schema identifier.
-BENCH_SCHEMA = "repro-bench/1"
+BENCH_SCHEMA = "repro-bench/2"
+
+#: Floors for :func:`check_bench_floors`, far below what any healthy
+#: host measures (a laptop does ~1M kernel events/sec and ~300k stepped
+#: market points/sec) so CI noise cannot flake the guard, while a
+#: complexity regression — the drive waking per point again, the kernel
+#: heap degrading — still lands well under them.
+KERNEL_EVENTS_PER_SEC_FLOOR = 50_000.0
+MARKET_EVENTS_PER_SEC_FLOOR = 20_000.0
 
 #: Preset for the seconds-scale CI smoke benchmark.
 SMOKE_PRESET = {
@@ -29,6 +44,8 @@ SMOKE_PRESET = {
     "workers": 2,
     "cell_days": 2.0,
     "cell_vms": 4,
+    "market_days": 2.0,
+    "market_instances": 4,
 }
 
 #: Preset for a full local benchmark run.
@@ -41,6 +58,8 @@ FULL_PRESET = {
     "workers": 4,
     "cell_days": 14.0,
     "cell_vms": 10,
+    "market_days": 14.0,
+    "market_instances": 10,
 }
 
 
@@ -61,9 +80,20 @@ def run_bench(label="local", smoke=False, seed=11, workers=None, days=None,
         if echo is not None:
             echo(message)
 
+    if days is not None:
+        preset["market_days"] = days
+
     say(f"kernel: {preset['kernel_events']} events x3 ...")
     kernel = measure_kernel(events=preset["kernel_events"])
     say(f"  {kernel['events_per_sec']:.0f} events/sec")
+
+    say(f"market drive: {preset['market_days']:.0f} days, "
+        f"{preset['market_instances']} instances, stepped vs indexed ...")
+    market = measure_market_drive(days=preset["market_days"], seed=seed,
+                                  instances=preset["market_instances"])
+    say(f"  {market['events_eliminated']} of {market['trace_points']} "
+        f"events eliminated (x{market['event_reduction']:.0f}), wall "
+        f"x{market['speedup']:.1f}")
 
     say(f"cell: 1P-M/spotcheck-lazy, {preset['cell_days']:.0f} days, "
         f"{preset['cell_vms']} VMs ...")
@@ -93,6 +123,7 @@ def run_bench(label="local", smoke=False, seed=11, workers=None, days=None,
             "python": sys.version.split()[0],
         },
         "kernel": kernel,
+        "market": market,
         "cell": cell,
         "grid": grid,
     }
@@ -128,7 +159,7 @@ def _require(payload, dotted, kinds):
 
 
 def validate_bench(payload):
-    """Check a payload against the ``repro-bench/1`` schema.
+    """Check a payload against the ``repro-bench/2`` schema.
 
     Raises ``ValueError`` on any missing field, wrong type, or
     non-positive timing; returns the payload for chaining.
@@ -145,19 +176,68 @@ def validate_bench(payload):
     _require(payload, "created_unix", (int, float))
     _require(payload, "host.cpu_count", int)
     for field in ("kernel.events", "kernel.wall_s", "kernel.events_per_sec",
-                  "cell.wall_s", "grid.cells", "grid.serial_wall_s",
+                  "market.trace_points", "market.events_eliminated",
+                  "market.stepped.wall_s", "market.stepped.delivered",
+                  "market.stepped.events_per_sec",
+                  "market.indexed.wall_s", "market.indexed.delivered",
+                  "market.indexed.events_per_sec",
+                  "cell.wall_s", "cell.market_drive.points",
+                  "cell.market_drive.wakes", "cell.market_drive.delivered",
+                  "cell.market_drive.rearms",
+                  "cell.market_drive.stale_skips",
+                  "grid.cells", "grid.serial_wall_s",
                   "grid.parallel_wall_s", "grid.warm_wall_s", "grid.speedup",
-                  "grid.warm_speedup", "grid.workers", "grid.cache.misses",
+                  "grid.warm_speedup", "grid.workers",
+                  "grid.parallel_plan.requested", "grid.parallel_plan.planned",
+                  "grid.cache.misses",
                   "grid.cache.memory_hits", "grid.cache.disk_hits",
                   "grid.cache.executed", "grid.cache.warm_disk_hits",
                   "grid.cache.warm_misses"):
         value = _require(payload, field, (int, float))
         if value < 0:
             raise ValueError(f"bench payload field {field!r} is negative")
+    _require(payload, "grid.parallel_plan.reason", str)
     for field in ("kernel.events_per_sec", "grid.speedup",
-                  "grid.warm_speedup"):
+                  "grid.warm_speedup", "market.event_reduction",
+                  "market.speedup", "cell.market_drive.event_reduction",
+                  "market.stepped.events_per_sec",
+                  "market.indexed.events_per_sec"):
         if _require(payload, field, (int, float)) <= 0:
             raise ValueError(f"bench payload field {field!r} must be > 0")
+    return payload
+
+
+def check_bench_floors(payload,
+                       kernel_floor=KERNEL_EVENTS_PER_SEC_FLOOR,
+                       market_floor=MARKET_EVENTS_PER_SEC_FLOOR):
+    """Hold kernel and market-drive throughput above absolute floors.
+
+    The floors are deliberately generous (see the module constants) —
+    this is a regression tripwire for order-of-magnitude collapses,
+    not a performance leaderboard.  The indexed drive must also retire
+    trace points at least as fast as the stepped one; it skips nearly
+    all of them, so even equality signals the skipping is broken.
+    Raises ``ValueError`` with every violation listed; returns the
+    payload for chaining.
+    """
+    validate_bench(payload)
+    problems = []
+    kernel_rate = payload["kernel"]["events_per_sec"]
+    if kernel_rate < kernel_floor:
+        problems.append(
+            f"kernel {kernel_rate:.0f} events/sec < floor {kernel_floor:.0f}")
+    stepped_rate = payload["market"]["stepped"]["events_per_sec"]
+    if stepped_rate < market_floor:
+        problems.append(
+            f"market stepped {stepped_rate:.0f} events/sec < floor "
+            f"{market_floor:.0f}")
+    indexed_rate = payload["market"]["indexed"]["events_per_sec"]
+    if indexed_rate < stepped_rate:
+        problems.append(
+            f"market indexed {indexed_rate:.0f} events/sec slower than "
+            f"stepped {stepped_rate:.0f} — event skipping is not skipping")
+    if problems:
+        raise ValueError("; ".join(problems))
     return payload
 
 

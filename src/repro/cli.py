@@ -213,12 +213,18 @@ def _cmd_bench(args):
                         kernel_events=args.kernel_events, echo=print)
     path = write_bench(payload, out_dir=args.out_dir)
     kernel = payload["kernel"]
+    market = payload["market"]
     grid = payload["grid"]
+    plan = grid["parallel_plan"]
     print(f"kernel ........... {kernel['events_per_sec']:.0f} events/sec")
+    print(f"market drive ..... {market['events_eliminated']} of "
+          f"{market['trace_points']} events eliminated "
+          f"(x{market['event_reduction']:.0f}, wall x{market['speedup']:.1f})")
     print(f"grid serial ...... {grid['serial_wall_s']:.2f}s "
           f"({grid['cells']} cells)")
     print(f"grid parallel .... {grid['parallel_wall_s']:.2f}s "
-          f"(x{grid['speedup']:.2f} at {grid['workers']} workers)")
+          f"(x{grid['speedup']:.2f}, planned {plan['planned']} of "
+          f"{plan['requested']} workers: {plan['reason']})")
     print(f"grid warm cache .. {grid['warm_wall_s']:.2f}s "
           f"(x{grid['warm_speedup']:.2f}, "
           f"{grid['cache']['warm_disk_hits']:.0f} disk hits)")

@@ -16,6 +16,7 @@ from repro.cloud.errors import (
     InvalidOperation,
 )
 from repro.cloud.instances import InstanceState, Market
+from repro.cloud.spot_market import PriceWatch
 from repro.faults.retry import retry_call
 from repro.core.accounting import AccountingLedger
 from repro.core.config import SpotCheckConfig
@@ -157,13 +158,48 @@ class SpotCheckController:
                 bid = self.bid_policy.bid_for(itype, trace=trace)
                 pool = SpotPool(itype, one_zone, self.slot_itype, market, bid)
                 self.pools.add_spot_pool(pool)
-                market.on_price_change(
-                    lambda mkt, price, p=pool: self._on_price_change(
-                        p, price))
+                self._wire_pool_dynamics(market, pool)
             od_pool = OnDemandPool(self.slot_itype, one_zone, self.slot_itype)
             self.pools.add_on_demand_pool(od_pool)
         if self.config.hot_spares > 0:
             self.env.process(self._replenish_spares())
+
+    def _wire_pool_dynamics(self, market, pool):
+        """Subscribe pool dynamics to one market's price trace.
+
+        With the predictor off, the controller only ever *acts* on two
+        price bands — the proactive window (od, bid] and the
+        return-to-spot recovery band (-inf, od] — so it registers
+        crossing watches and the market drive skips every other point.
+        The predictor's EWMA must see every sample in controller gate
+        order, so predictive runs fall back to the step-listener tier.
+        """
+        if self.predictor is not None:
+            market.on_price_change(
+                lambda mkt, price, p=pool: self._on_price_change(p, price))
+            return
+        od_price = pool.itype.on_demand_price
+        if self.config.proactive_migration and od_price < pool.bid:
+            market.add_watch(PriceWatch(
+                lambda mkt, price, p=pool: self._maybe_proactive_drain(
+                    p, price),
+                lo=od_price, hi=pool.bid))
+        if self.config.return_to_spot:
+            # Inactive while nothing is parked (most of the time, which
+            # is what makes the recovery band skippable at all); the
+            # parking sites rearm the market when the gate opens.
+            market.add_watch(PriceWatch(
+                lambda mkt, price, p=pool: self._maybe_return_to_spot(
+                    p, price),
+                hi=od_price,
+                active=lambda p=pool: p.key not in self._returning_pools
+                and bool(self._parked_vms_of(p))))
+
+    def _rearm_market(self, pool):
+        """Wake a pool's market drive after a watch gate opened."""
+        market = getattr(pool, "market", None)
+        if market is not None:
+            market.rearm()
 
     def start_customer(self, name=None):
         customer = Customer(name)
@@ -213,6 +249,7 @@ class SpotCheckController:
 
         if not on_spot:
             self._parked[vm.id] = (vm, pool)
+            self._rearm_market(pool)
         elif host.instance.state is InstanceState.MARKED_FOR_TERMINATION:
             # The warning arrived between placement and boot: this VM
             # missed the host's storm, so it joins the exodus directly
@@ -342,8 +379,7 @@ class SpotCheckController:
             pool = SpotPool(choice.itype, choice.zone, self.slot_itype,
                             market, self.bid_policy.bid_for(choice.itype))
             self.pools.add_spot_pool(pool)
-            market.on_price_change(
-                lambda mkt, price, p=pool: self._on_price_change(p, price))
+            self._wire_pool_dynamics(market, pool)
         return self.pools.spot_pools[key]
 
     def _slots_per_host(self, host_itype):
@@ -554,6 +590,7 @@ class SpotCheckController:
             obs.emit("vm.parked", vm=vm.id, dest_kind=dest_kind,
                      home_pool="/".join(map(str, home_pool.key)))
             obs.metrics.gauge("parked_vms").set(len(self._parked))
+        self._rearm_market(home_pool)
         if dest_kind == "staging":
             self.env.process(self._rebalance_from_staging(vm))
 
@@ -584,15 +621,11 @@ class SpotCheckController:
         self._gc_host_if_empty(source_host)
 
     def _on_price_change(self, pool, price):
+        """Step-listener tier: fed every price point (predictive runs)."""
         pool.record_price(self.env.now, price)
         od_price = pool.itype.on_demand_price
-        if self.config.proactive_migration and \
-                od_price < price <= pool.bid and \
-                pool.key not in self._draining_pools and pool.vm_count > 0:
-            self._draining_pools.add(pool.key)
-            self._note_pool_move(pool, "pool.drain", cause="proactive",
-                                 price=price)
-            self.env.process(self._proactive_drain(pool))
+        if self.config.proactive_migration and od_price < price <= pool.bid:
+            self._maybe_proactive_drain(pool, price)
         if self.predictor is not None and pool.vm_count > 0 and \
                 pool.key not in self._draining_pools and \
                 self.predictor.observe(pool.key, self.env.now, price,
@@ -601,13 +634,27 @@ class SpotCheckController:
             self._note_pool_move(pool, "pool.drain", cause="predictive",
                                  price=price)
             self.env.process(self._proactive_drain(pool, cause="predictive"))
-        if self.config.return_to_spot and price <= od_price and \
-                pool.key not in self._returning_pools and \
-                self._parked_vms_of(pool):
-            self._returning_pools.add(pool.key)
-            self._note_pool_move(pool, "pool.return_to_spot",
-                                 cause="price-recovery", price=price)
-            self.env.process(self._return_to_spot(pool))
+        if self.config.return_to_spot and price <= od_price:
+            self._maybe_return_to_spot(pool, price)
+
+    def _maybe_proactive_drain(self, pool, price):
+        """Crossing-tier trigger: the price entered (od, bid]."""
+        if pool.key in self._draining_pools or pool.vm_count <= 0:
+            return
+        self._draining_pools.add(pool.key)
+        self._note_pool_move(pool, "pool.drain", cause="proactive",
+                             price=price)
+        self.env.process(self._proactive_drain(pool))
+
+    def _maybe_return_to_spot(self, pool, price):
+        """Crossing-tier trigger: the price recovered below on-demand."""
+        if pool.key in self._returning_pools or \
+                not self._parked_vms_of(pool):
+            return
+        self._returning_pools.add(pool.key)
+        self._note_pool_move(pool, "pool.return_to_spot",
+                             cause="price-recovery", price=price)
+        self.env.process(self._return_to_spot(pool))
 
     def _note_pool_move(self, pool, event_name, cause, price):
         """Publish the start of a pool-wide drain or return."""
@@ -698,6 +745,9 @@ class SpotCheckController:
                     return
         finally:
             self._returning_pools.discard(pool.key)
+            # VMs may still be parked (the dip did not last, or a
+            # mid-return launch failed): reopen the recovery watch.
+            self._rearm_market(pool)
 
     def _gc_host_if_empty(self, host):
         """Relinquish an emptied on-demand host (not hot spares)."""

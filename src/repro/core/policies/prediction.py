@@ -105,6 +105,41 @@ class RevocationPredictor:
             return True
         return False
 
+    def observe_series(self, pool_key, times, prices, bid):
+        """Feed a whole price series at once; returns the fired indices.
+
+        Batch form of :meth:`observe` for offline evaluation (tuning
+        ``level_fraction``/``jump_factor`` against an archived trace)
+        — equivalent to calling :meth:`observe` once per point, and
+        leaves the predictor in the identical state.  The EWMA is
+        inherently sequential so it stays a Python fold, but the
+        per-point signal gates are precomputed as vector masks.
+        """
+        if len(times) != len(prices):
+            raise ValueError("times and prices must be equal-length")
+        alpha = self.ewma_alpha
+        over_bid = [price > bid for price in prices]
+        level_at = [price >= self.level_fraction * bid for price in prices]
+        fired = []
+        ewma = self._ewma.get(pool_key)
+        last = self._last_signal.get(pool_key)
+        for i, price in enumerate(prices):
+            previous = price if ewma is None else ewma
+            ewma = (1 - alpha) * previous + alpha * price
+            if over_bid[i]:
+                continue
+            if last is not None and times[i] - last < self.holdoff_s:
+                continue
+            if level_at[i] or \
+                    (previous > 0 and price / previous >= self.jump_factor):
+                last = times[i]
+                fired.append(i)
+        self._ewma[pool_key] = ewma
+        if last is not None:
+            self._last_signal[pool_key] = last
+        self.stats.signals += len(fired)
+        return fired
+
     def record_outcome(self, crossed_within_horizon, had_signal=True):
         """Book-keep a signal's (or a miss's) outcome for evaluation."""
         if had_signal:

@@ -9,6 +9,10 @@ revocation/migration counts.
 
 from collections import deque
 
+#: How many trailing price samples feed ``recent_mean_price_per_slot``
+#: (the bound the per-step deque historically had).
+PRICE_SAMPLE_WINDOW = 512
+
 
 class ServerPool:
     """Base pool: the native hosts of one (market, type, zone)."""
@@ -73,8 +77,17 @@ class SpotPool(ServerPool):
         self.bid = bid
         #: Revocation-event history: (time, hosts_lost, vms_displaced).
         self.revocations = []
-        #: Recent per-slot spot prices (time, price) for policy stats.
-        self._price_samples = deque(maxlen=512)
+        #: Explicitly recorded (time, price) samples.  Normally empty:
+        #: the window is reconstructed lazily from the market's trace
+        #: arrays (see ``_market_price_window``), so the market drive
+        #: does not need to wake at every point just to feed it.  A
+        #: caller that records samples by hand overrides the lazy path.
+        self._price_samples = deque(maxlen=PRICE_SAMPLE_WINDOW)
+        #: Trace points already delivered when this pool attached —
+        #: the start of its sample series, exactly as if it had been
+        #: hearing per-point callbacks from that moment on.
+        counter = getattr(market, "delivered_count", None)
+        self._series_start = counter() if counter is not None else 0
 
     def record_revocation(self, when, hosts_lost, vms_displaced):
         self.revocations.append((when, hosts_lost, vms_displaced))
@@ -87,12 +100,32 @@ class SpotPool(ServerPool):
         slots = max(int(self.itype.memory_gib // self.slot_itype.memory_gib), 1)
         return self.market.current_price() / slots
 
+    def _market_price_window(self):
+        """The last <= 512 prices the step drive would have fed us.
+
+        Reconstructed from the trace arrays via the market's delivered
+        count: same values, same order, same left-to-right float sum as
+        the per-step deque accumulation it replaces.
+        """
+        counter = getattr(self.market, "delivered_count", None)
+        if counter is None:
+            return []
+        end = counter()
+        start = max(self._series_start, end - PRICE_SAMPLE_WINDOW)
+        if end <= start:
+            return []
+        _times, prices = self.market.trace.arrays()
+        return prices[start:end].tolist()
+
     def recent_mean_price_per_slot(self):
         """Historical mean price per slot (4P-COST's weight input)."""
-        if not self._price_samples:
+        if self._price_samples:
+            prices = [price for _when, price in self._price_samples]
+        else:
+            prices = self._market_price_window()
+        if not prices:
             return self.price_per_slot()
         slots = max(int(self.itype.memory_gib // self.slot_itype.memory_gib), 1)
-        prices = [price for _when, price in self._price_samples]
         return (sum(prices) / len(prices)) / slots
 
     def recent_migration_count(self, since=None):

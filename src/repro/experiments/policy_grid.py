@@ -38,6 +38,33 @@ from repro.traces.calibration import M3_MARKET_PARAMS
 MAX_CACHED_CELLS = 256
 MAX_CACHED_ARCHIVES = 4
 
+#: Below this many uncached cells, process fan-out costs more than it
+#: buys (interpreter + archive load per worker) and the grid runs the
+#: cells inline instead.
+MIN_PARALLEL_CELLS = 4
+
+
+def plan_workers(requested, pending_cells, cpu_count=None):
+    """Decide how many processes a grid batch should actually use.
+
+    Returns ``(workers, reason)`` where reason is one of
+    ``serial-requested``, ``single-cpu``, ``small-batch``, or
+    ``parallel``.  The BENCH_baseline artifact showed a 20-cell grid
+    at speedup 0.995: executor startup swallowed the win on a host
+    where ``os.cpu_count()`` was 1.  Planning the worker count from
+    the pending-cell count and the host avoids that overhead and
+    records why, so a flat speedup in a bench artifact is explained
+    rather than mysterious.  Small batches stay serial by design.
+    """
+    cpu = os.cpu_count() if cpu_count is None else cpu_count
+    if requested is None or requested <= 1:
+        return 1, "serial-requested"
+    if cpu is not None and cpu <= 1:
+        return 1, "single-cpu"
+    if pending_cells < MIN_PARALLEL_CELLS:
+        return 1, "small-batch"
+    return min(requested, pending_cells), "parallel"
+
 _CACHE = OrderedDict()
 _ARCHIVES = OrderedDict()
 
@@ -182,6 +209,11 @@ def _run_grid_parallel(cells, seed, days, vms, workers, cache_dir, metrics,
     if not pending:
         return results
 
+    planned, reason = plan_workers(workers, len(pending))
+    if metrics is not None:
+        metrics.gauge("grid_planned_workers").set(planned)
+        _count(metrics, "grid_worker_plan_total", reason=reason)
+
     # All grid cells share one archive identity (same seed/days/zones/
     # market params), generated once here and loaded once per worker.
     sample = pending[0][2]
@@ -189,11 +221,21 @@ def _run_grid_parallel(cells, seed, days, vms, workers, cache_dir, metrics,
     archive = shared_archive(seed, days, zones=sample.zones,
                              market_params=sample.market_params)
 
+    if planned <= 1:
+        for (cell, key, config) in pending:
+            summary = PolicySimulation(config, archive=archive).run()
+            _count(metrics, "grid_cells_executed_total", mode="serial")
+            if disk is not None:
+                disk.put(config, summary)
+            _remember(_CACHE, key, summary, MAX_CACHED_CELLS)
+            results[cell] = summary
+        return results
+
     def _dispatch(archive_path):
         if not os.path.exists(archive_path):
             archive.save_npz(archive_path)
         return run_cells_parallel(
-            [config for _cell, _key, config in pending], workers,
+            [config for _cell, _key, config in pending], planned,
             archive_path=archive_path)
 
     if cache_dir:

@@ -93,6 +93,29 @@ class Environment:
         _heappush(
             self._heap, (self._now + delay, priority, next(self._eid), event))
 
+    def schedule_at(self, event, when, priority=NORMAL):
+        """Place a triggered event on the heap at absolute time ``when``.
+
+        Unlike :meth:`schedule`, which stores ``now + delay`` (one float
+        addition whose rounding depends on the *current* clock), this
+        stores ``when`` verbatim — callers that must land on an exact
+        precomputed timestamp (the event-skipping spot-market drive)
+        use it to reproduce the arrival times a step-by-step process
+        would have accumulated.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"when={when} is in the past (now={self._now})")
+        _heappush(self._heap, (when, priority, next(self._eid), event))
+
+    def timeout_at(self, when, value=None):
+        """An event that triggers exactly at absolute time ``when``."""
+        event = Event(self)
+        event._ok = True
+        event._value = value
+        self.schedule_at(event, when)
+        return event
+
     def peek(self):
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._heap[0][0] if self._heap else float("inf")

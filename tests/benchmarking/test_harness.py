@@ -6,6 +6,7 @@ import pytest
 
 from repro.benchmarking import (
     bench_filename,
+    check_bench_floors,
     run_bench,
     validate_bench,
     validate_bench_file,
@@ -16,19 +17,33 @@ from repro.benchmarking.kernel import measure_kernel
 
 def _minimal_payload():
     return {
-        "schema": "repro-bench/1",
+        "schema": "repro-bench/2",
         "label": "unit",
         "smoke": True,
         "created_unix": 1.0,
         "host": {"cpu_count": 1, "python": "3"},
         "kernel": {"events": 10, "wall_s": 0.1, "events_per_sec": 100.0,
                    "repeats": 3},
+        "market": {
+            "trace_points": 100, "events_eliminated": 90,
+            "event_reduction": 10.0, "speedup": 5.0,
+            "stepped": {"wall_s": 0.1, "wakes": 99, "delivered": 100,
+                        "events_per_sec": 1000.0},
+            "indexed": {"wall_s": 0.02, "wakes": 10, "delivered": 10,
+                        "rearms": 0, "stale_skips": 0,
+                        "events_per_sec": 5000.0},
+        },
         "cell": {"policy": "1P-M", "mechanism": "spotcheck-lazy",
-                 "seed": 11, "days": 1.0, "vms": 2, "wall_s": 0.5},
+                 "seed": 11, "days": 1.0, "vms": 2, "wall_s": 0.5,
+                 "market_drive": {"points": 100, "wakes": 5, "delivered": 5,
+                                  "rearms": 1, "stale_skips": 0,
+                                  "event_reduction": 20.0}},
         "grid": {
             "cells": 4, "workers": 2,
             "serial_wall_s": 2.0, "parallel_wall_s": 1.0,
             "warm_wall_s": 0.01, "speedup": 2.0, "warm_speedup": 200.0,
+            "parallel_plan": {"requested": 2, "planned": 2,
+                              "reason": "parallel"},
             "cache": {"memory_hits": 0.0, "disk_hits": 0.0, "misses": 4.0,
                       "executed": 4.0, "warm_disk_hits": 4.0,
                       "warm_misses": 0.0},
@@ -48,7 +63,9 @@ class TestValidation:
 
     @pytest.mark.parametrize("dotted", [
         "kernel.events_per_sec", "grid.speedup", "grid.serial_wall_s",
-        "grid.cache.misses", "host.cpu_count",
+        "grid.cache.misses", "host.cpu_count", "market.trace_points",
+        "market.stepped.events_per_sec", "market.indexed.events_per_sec",
+        "cell.market_drive.points", "grid.parallel_plan.planned",
     ])
     def test_missing_field_rejected(self, dotted):
         payload = _minimal_payload()
@@ -71,6 +88,36 @@ class TestValidation:
         payload["grid"]["speedup"] = 0.0
         with pytest.raises(ValueError, match="speedup"):
             validate_bench(payload)
+
+    def test_non_string_plan_reason_rejected(self):
+        payload = _minimal_payload()
+        payload["grid"]["parallel_plan"]["reason"] = 3
+        with pytest.raises(ValueError, match="reason"):
+            validate_bench(payload)
+
+
+class TestFloors:
+    def test_healthy_payload_passes(self):
+        assert check_bench_floors(_minimal_payload(),
+                                  kernel_floor=50.0,
+                                  market_floor=50.0) is not None
+
+    def test_kernel_floor_violation(self):
+        payload = _minimal_payload()
+        with pytest.raises(ValueError, match="kernel"):
+            check_bench_floors(payload, kernel_floor=1e12)
+
+    def test_market_floor_violation(self):
+        payload = _minimal_payload()
+        with pytest.raises(ValueError, match="market stepped"):
+            check_bench_floors(payload, kernel_floor=50.0,
+                               market_floor=1e12)
+
+    def test_indexed_slower_than_stepped_rejected(self):
+        payload = _minimal_payload()
+        payload["market"]["indexed"]["events_per_sec"] = 1.0
+        with pytest.raises(ValueError, match="not skipping"):
+            check_bench_floors(payload, kernel_floor=50.0, market_floor=50.0)
 
 
 class TestArtifact:

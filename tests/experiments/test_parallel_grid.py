@@ -142,3 +142,64 @@ class TestCacheBounds:
         # LRU: the oldest entries were evicted.
         assert ("k", 0) not in policy_grid._CACHE
         assert ("k", 4) in policy_grid._CACHE
+
+
+class TestWorkerPlanning:
+    """plan_workers keeps small or core-starved batches serial."""
+
+    def test_serial_requested(self):
+        assert policy_grid.plan_workers(1, 20, cpu_count=8) == \
+            (1, "serial-requested")
+        assert policy_grid.plan_workers(None, 20, cpu_count=8) == \
+            (1, "serial-requested")
+
+    def test_single_cpu_falls_back(self):
+        assert policy_grid.plan_workers(4, 20, cpu_count=1) == \
+            (1, "single-cpu")
+
+    def test_small_batch_stays_serial(self):
+        assert policy_grid.plan_workers(
+            4, policy_grid.MIN_PARALLEL_CELLS - 1, cpu_count=8) == \
+            (1, "small-batch")
+
+    def test_parallel_capped_by_pending(self):
+        assert policy_grid.plan_workers(8, 5, cpu_count=16) == \
+            (5, "parallel")
+        assert policy_grid.plan_workers(2, 20, cpu_count=16) == \
+            (2, "parallel")
+
+    def test_unknown_cpu_count_assumed_parallel(self, monkeypatch):
+        # os.cpu_count() may return None; treat the host as capable.
+        monkeypatch.setattr(policy_grid.os, "cpu_count", lambda: None)
+        assert policy_grid.plan_workers(2, 20)[1] == "parallel"
+
+    def test_run_grid_records_the_plan(self, tmp_path):
+        metrics = MetricsRegistry()
+        results = run_grid(workers=2, cache_dir=str(tmp_path),
+                           metrics=metrics, **GRID_KW)
+        assert len(results) == 4
+        planned = metrics.gauge("grid_planned_workers").value
+        reasons = [series.labels.get("reason")
+                   for series in metrics.find("grid_worker_plan_total")]
+        assert len(reasons) == 1
+        if planned <= 1:  # Host- or batch-driven serial fallback.
+            assert reasons[0] in ("single-cpu", "small-batch")
+        else:
+            assert reasons[0] == "parallel"
+
+    def test_serial_fallback_matches_parallel_results(self, tmp_path,
+                                                      monkeypatch):
+        baseline = run_grid(workers=1, **GRID_KW)
+        clear_caches()
+        # Force the fallback regardless of the host's core count and
+        # check the inline-serial path produces identical summaries.
+        monkeypatch.setattr(policy_grid, "plan_workers",
+                            lambda requested, pending: (1, "single-cpu"))
+        metrics = MetricsRegistry()
+        fallback = run_grid(workers=4, cache_dir=str(tmp_path),
+                            metrics=metrics, **GRID_KW)
+        assert fallback == baseline
+        executed = [series for series in
+                    metrics.find("grid_cells_executed_total")]
+        assert sum(s.value for s in executed) == 4
+        assert all(s.labels.get("mode") == "serial" for s in executed)
