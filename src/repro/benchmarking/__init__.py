@@ -1,6 +1,6 @@
 """``repro.benchmarking`` — the performance harness behind ``repro bench``.
 
-Four benchmarks, one JSON artifact:
+Five benchmarks, one JSON artifact:
 
 ``repro.benchmarking.kernel``
     Raw discrete-event kernel throughput (events/sec) on an
@@ -12,6 +12,11 @@ Four benchmarks, one JSON artifact:
     calibrated trace: kernel events eliminated, per-mode events/sec,
     and the wall-clock speedup of sleeping between crossings.
 
+``repro.benchmarking.traffic``
+    The open-loop traffic engine at two request-volume scales (1e3 vs
+    1e6 users): kernel wakes and accounting segments must be identical
+    — request volume buys zero events.
+
 ``repro.benchmarking.grid``
     One policy-grid cell (with its market-drive skip counters), then
     the full grid serial vs parallel vs cache-warm, with cache and
@@ -20,7 +25,7 @@ Four benchmarks, one JSON artifact:
 
 ``repro.benchmarking.harness``
     Composes all of it into a schema-stable ``BENCH_<label>.json``
-    (``repro-bench/2``), validates written artifacts, and holds
+    (``repro-bench/3``), validates written artifacts, and holds
     throughput above the :func:`check_bench_floors` regression floors,
     so CI can track the performance trajectory across commits.
 
@@ -37,12 +42,14 @@ from repro.benchmarking.harness import (
     write_bench,
 )
 from repro.benchmarking.market import measure_market_drive
+from repro.benchmarking.traffic import measure_traffic_scaling
 
 __all__ = [
     "BENCH_SCHEMA",
     "bench_filename",
     "check_bench_floors",
     "measure_market_drive",
+    "measure_traffic_scaling",
     "run_bench",
     "validate_bench",
     "validate_bench_file",

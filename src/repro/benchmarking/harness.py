@@ -11,6 +11,12 @@ drive microbenchmark), per-cell ``market_drive`` counters, the grid's
 ``parallel_plan`` decision, and :func:`check_bench_floors` — the
 generous absolute floors CI holds kernel and market-drive throughput
 to.
+
+Schema 3 adds the ``traffic`` section: the traffic-engine scaling
+microbenchmark (``repro.benchmarking.traffic``), whose low- and
+high-volume cells must land identical kernel-wake counts —
+``check_bench_floors`` fails the artifact if request volume bought
+even one extra wake.
 """
 
 import json
@@ -21,10 +27,11 @@ import time
 from repro.benchmarking.grid import measure_cell, measure_grid
 from repro.benchmarking.kernel import measure_kernel
 from repro.benchmarking.market import measure_market_drive
+from repro.benchmarking.traffic import measure_traffic_scaling
 from repro.experiments.scenario import MECHANISMS, POLICIES
 
 #: Current artifact schema identifier.
-BENCH_SCHEMA = "repro-bench/2"
+BENCH_SCHEMA = "repro-bench/3"
 
 #: Floors for :func:`check_bench_floors`, far below what any healthy
 #: host measures (a laptop does ~1M kernel events/sec and ~300k stepped
@@ -46,6 +53,8 @@ SMOKE_PRESET = {
     "cell_vms": 4,
     "market_days": 2.0,
     "market_instances": 4,
+    "traffic_days": 2.0,
+    "traffic_scales": (1_000, 1_000_000),
 }
 
 #: Preset for a full local benchmark run.
@@ -60,6 +69,8 @@ FULL_PRESET = {
     "cell_vms": 10,
     "market_days": 14.0,
     "market_instances": 10,
+    "traffic_days": 7.0,
+    "traffic_scales": (1_000, 1_000_000),
 }
 
 
@@ -95,6 +106,15 @@ def run_bench(label="local", smoke=False, seed=11, workers=None, days=None,
         f"events eliminated (x{market['event_reduction']:.0f}), wall "
         f"x{market['speedup']:.1f}")
 
+    low_scale, high_scale = preset["traffic_scales"]
+    say(f"traffic engine: {preset['traffic_days']:.0f} days, "
+        f"{low_scale} vs {high_scale} users ...")
+    traffic = measure_traffic_scaling(scales=preset["traffic_scales"],
+                                      days=preset["traffic_days"])
+    say(f"  {traffic['high']['requests']:.0f} requests in "
+        f"{traffic['high']['wakes']} wakes (x{traffic['request_ratio']:.0f} "
+        f"volume, wake ratio {traffic['wake_ratio']:.2f})")
+
     say(f"cell: 1P-M/spotcheck-lazy, {preset['cell_days']:.0f} days, "
         f"{preset['cell_vms']} VMs ...")
     cell = measure_cell(seed=seed, days=preset["cell_days"],
@@ -124,6 +144,7 @@ def run_bench(label="local", smoke=False, seed=11, workers=None, days=None,
         },
         "kernel": kernel,
         "market": market,
+        "traffic": traffic,
         "cell": cell,
         "grid": grid,
     }
@@ -159,7 +180,7 @@ def _require(payload, dotted, kinds):
 
 
 def validate_bench(payload):
-    """Check a payload against the ``repro-bench/2`` schema.
+    """Check a payload against the ``repro-bench/3`` schema.
 
     Raises ``ValueError`` on any missing field, wrong type, or
     non-positive timing; returns the payload for chaining.
@@ -181,6 +202,12 @@ def validate_bench(payload):
                   "market.stepped.events_per_sec",
                   "market.indexed.wall_s", "market.indexed.delivered",
                   "market.indexed.events_per_sec",
+                  "traffic.low.users", "traffic.low.requests",
+                  "traffic.low.wakes", "traffic.low.segments",
+                  "traffic.low.wall_s",
+                  "traffic.high.users", "traffic.high.requests",
+                  "traffic.high.wakes", "traffic.high.segments",
+                  "traffic.high.wall_s",
                   "cell.wall_s", "cell.market_drive.points",
                   "cell.market_drive.wakes", "cell.market_drive.delivered",
                   "cell.market_drive.rearms",
@@ -201,7 +228,8 @@ def validate_bench(payload):
                   "grid.warm_speedup", "market.event_reduction",
                   "market.speedup", "cell.market_drive.event_reduction",
                   "market.stepped.events_per_sec",
-                  "market.indexed.events_per_sec"):
+                  "market.indexed.events_per_sec",
+                  "traffic.request_ratio", "traffic.wake_ratio"):
         if _require(payload, field, (int, float)) <= 0:
             raise ValueError(f"bench payload field {field!r} must be > 0")
     return payload
@@ -236,6 +264,20 @@ def check_bench_floors(payload,
         problems.append(
             f"market indexed {indexed_rate:.0f} events/sec slower than "
             f"stepped {stepped_rate:.0f} — event skipping is not skipping")
+    traffic = payload["traffic"]
+    if traffic["high"]["wakes"] != traffic["low"]["wakes"] or \
+            traffic["high"]["segments"] != traffic["low"]["segments"]:
+        problems.append(
+            f"traffic engine wakes/segments scale with request volume: "
+            f"{traffic['low']['wakes']}/{traffic['low']['segments']} at "
+            f"{traffic['low']['users']:.0f} users vs "
+            f"{traffic['high']['wakes']}/{traffic['high']['segments']} at "
+            f"{traffic['high']['users']:.0f} users")
+    if traffic["request_ratio"] < 100.0:
+        problems.append(
+            f"traffic scaling cells too close "
+            f"(x{traffic['request_ratio']:.0f} request volume) to prove "
+            f"volume independence")
     if problems:
         raise ValueError("; ".join(problems))
     return payload

@@ -1,0 +1,121 @@
+"""Traffic-engine microbenchmark: kernel events vs request volume.
+
+The same two-day scenario — one customer, one VM with a scripted
+migration/suspend/restore churn schedule, a diurnal + flash-crowd
+arrival pattern — is driven twice, with the per-user pattern scaled to
+two wildly different user counts (1e3 and 1e6 by default).  The
+engine's promise is that request volume buys *zero* kernel events:
+both cells must finish with the identical wake and segment counts, and
+only the accounted request total may differ (by exactly the scale
+ratio, since the integrals are closed-form).  A mismatch raises
+``AssertionError`` — that means some per-request or per-volume path
+crept into the engine — and ``check_bench_floors`` holds the equality
+in CI from the recorded artifact.
+"""
+
+import time
+
+from repro.cloud.instance_types import M3_CATALOG
+from repro.core.customer import Customer
+from repro.sim.kernel import Environment
+from repro.traffic import (
+    CustomerTraffic,
+    DiurnalRate,
+    FlashCrowd,
+    SlaTarget,
+    TrafficEngine,
+)
+from repro.virt.vm import NestedVM, VMState
+
+#: Per-user arrival pattern: a daily sinusoid plus a flash crowd in
+#: the second day's morning.  Scaled by the cell's user count.
+_PER_USER_RPS = 0.05
+
+
+def _churn(env, vm, until):
+    """Scripted state churn: a migration every 6 hours, one
+    suspend/restore episode per simulated day."""
+    hour = 3600.0
+    while env.now + 6 * hour < until:
+        yield env.timeout(6 * hour - 120.0)
+        vm.set_state(VMState.MIGRATING)
+        yield env.timeout(90.0)
+        vm.set_state(VMState.SUSPENDED)
+        yield env.timeout(30.0)
+        vm.set_state(VMState.RESTORING)
+        yield env.timeout(10 * 60.0)
+        vm.set_state(VMState.RUNNING)
+
+
+def _drive_once(users, days, seed=7):
+    env = Environment(seed=seed)
+    customer = Customer("bench")
+    vm = NestedVM(env, M3_CATALOG.get("m3.medium"), customer=customer)
+    customer.add_vm(vm)
+    vm.set_state(VMState.RUNNING)
+
+    day = 24 * 3600.0
+    until = days * day
+    pattern = (DiurnalRate(base_rps=_PER_USER_RPS, amplitude=0.5,
+                           period_s=day)
+               + FlashCrowd(start_s=1.25 * day,
+                            peak_rps=4.0 * _PER_USER_RPS,
+                            ramp_s=1800.0, hold_s=7200.0,
+                            decay_s=3600.0)).scaled(users)
+    engine = TrafficEngine(env, report_interval_s=3600.0)
+    engine.watch(customer, CustomerTraffic(
+        "bench", pattern,
+        SlaTarget(latency_ms=100.0, availability=0.999, window_s=day)))
+    env.process(_churn(env, vm, until))
+    engine.start(until=until)
+    started = time.perf_counter()
+    env.run(until=until)
+    wall = time.perf_counter() - started
+    return wall, engine.drive_stats()
+
+
+def measure_traffic_scaling(scales=(1_000, 1_000_000), days=2.0, seed=7):
+    """Benchmark the traffic engine at two request-volume scales.
+
+    Returns a dict with per-cell user counts, accounted requests, wake
+    and segment counters, and wall clock, plus the derived
+    ``request_ratio`` (how much more traffic the high cell absorbed)
+    and ``wake_ratio`` (which must be exactly 1.0).  Raises
+    ``AssertionError`` if the high-volume cell needed even one more
+    kernel wake or accounting segment than the low-volume cell.
+    """
+    if len(scales) != 2 or scales[0] >= scales[1]:
+        raise ValueError("scales must be (low, high) with low < high")
+    low_users, high_users = scales
+    low_wall, low_stats = _drive_once(low_users, days, seed)
+    high_wall, high_stats = _drive_once(high_users, days, seed)
+
+    for key in ("wakes", "breakpoint_wakes", "report_wakes",
+                "window_rolls", "state_flushes", "segments"):
+        if low_stats[key] != high_stats[key]:
+            raise AssertionError(
+                f"traffic engine {key} scaled with request volume: "
+                f"{low_stats[key]} at {low_users} users but "
+                f"{high_stats[key]} at {high_users} users")
+
+    return {
+        "days": days,
+        "seed": seed,
+        "low": {
+            "users": low_users,
+            "requests": low_stats["requests"],
+            "wakes": low_stats["wakes"],
+            "segments": low_stats["segments"],
+            "wall_s": low_wall,
+        },
+        "high": {
+            "users": high_users,
+            "requests": high_stats["requests"],
+            "wakes": high_stats["wakes"],
+            "segments": high_stats["segments"],
+            "wall_s": high_wall,
+        },
+        "request_ratio": high_stats["requests"]
+        / max(low_stats["requests"], 1.0),
+        "wake_ratio": high_stats["wakes"] / max(low_stats["wakes"], 1),
+    }

@@ -21,6 +21,10 @@ Commands
 ``storm``
     Run the overlapping restore-storm smoke and assert the backup
     datapath's fair-share invariant and analytic cross-check.
+``sla``
+    Run the chaos fault plan under diurnal + flash-crowd traffic and
+    report per-policy SLA attainment (Figure 12 in error-budget units),
+    with a golden digest check for CI.
 """
 
 import argparse
@@ -96,6 +100,46 @@ def _cmd_chaos(args):
                 print(f"GOLDEN MISMATCH {problem}", file=sys.stderr)
             return 1
         print("golden fault/retry metrics match")
+    return 0
+
+
+def _cmd_sla(args):
+    from repro.experiments.sla_chaos import check_sla_digest, run_sla
+    results, digest = run_sla(seed=args.seed, days=args.days, vms=args.vms,
+                              policies=tuple(args.policies))
+    if args.write_golden:
+        with open(args.write_golden, "w", encoding="utf-8") as handle:
+            json.dump(digest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote golden digest to {args.write_golden}")
+        return 0
+    if args.json:
+        print(json.dumps({"digest": digest,
+                          "sla": {p: s["sla"] for p, s in results.items()}},
+                         indent=2, default=float))
+    else:
+        print(f"SLA under chaos ({args.days:.0f} days, {args.vms} VMs, "
+              f"seed {args.seed})")
+        for policy in args.policies:
+            entry = digest["policies"][policy]
+            print(f"  {policy:8s} attainment {100 * entry['attainment']:.4f}%"
+                  f"  (downtime {entry['unavailability_pct']:.3f}%, "
+                  f"degraded {entry['degradation_pct']:.3f}%)")
+            for name, cust in sorted(entry["customers"].items()):
+                print(f"    {name:6s} {cust['requests']:>12,d} requests  "
+                      f"p99 {cust['p99_ms']:6.1f} ms  "
+                      f"breaches {cust['breaches']}")
+        print(f"  ranking by attainment: "
+              f"{' > '.join(digest['attainment_order'])}")
+    if args.check_golden:
+        with open(args.check_golden, encoding="utf-8") as handle:
+            golden = json.load(handle)
+        problems = check_sla_digest(digest, golden)
+        if problems:
+            for problem in problems:
+                print(f"GOLDEN MISMATCH {problem}", file=sys.stderr)
+            return 1
+        print("golden SLA digest matches; policy ordering preserved")
     return 0
 
 
@@ -220,6 +264,11 @@ def _cmd_bench(args):
     print(f"market drive ..... {market['events_eliminated']} of "
           f"{market['trace_points']} events eliminated "
           f"(x{market['event_reduction']:.0f}, wall x{market['speedup']:.1f})")
+    traffic = payload["traffic"]
+    print(f"traffic engine ... {traffic['high']['requests']:.2e} requests "
+          f"in {traffic['high']['wakes']} wakes "
+          f"(x{traffic['request_ratio']:.0f} volume, wake ratio "
+          f"{traffic['wake_ratio']:.2f})")
     print(f"grid serial ...... {grid['serial_wall_s']:.2f}s "
           f"({grid['cells']} cells)")
     print(f"grid parallel .... {grid['parallel_wall_s']:.2f}s "
@@ -351,6 +400,20 @@ def build_parser():
         "storm", help="smoke the overlapping restore-storm scenario "
                       "(fair-share invariant)")
     storm.set_defaults(func=_cmd_storm)
+
+    sla = sub.add_parser(
+        "sla", help="run the chaos plan under live traffic and report "
+                    "per-policy SLA attainment (docs/traffic.md)")
+    sla.add_argument("--seed", type=int, default=11)
+    sla.add_argument("--days", type=float, default=14.0)
+    sla.add_argument("--vms", type=int, default=12)
+    sla.add_argument("--policies", nargs="*", default=["1P-M", "4P-COST"])
+    sla.add_argument("--json", action="store_true")
+    sla.add_argument("--write-golden", default=None, metavar="FILE",
+                     help="record this run's digest as the golden file")
+    sla.add_argument("--check-golden", default=None, metavar="FILE",
+                     help="fail (exit 1) unless the digest matches FILE")
+    sla.set_defaults(func=_cmd_sla)
     return parser
 
 

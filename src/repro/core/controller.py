@@ -103,6 +103,8 @@ class SpotCheckController:
         self._rng = env.rng.stream("controller")
         self._finalized = False
         self.backup_failures = 0
+        #: Optional :class:`~repro.traffic.engine.TrafficEngine`.
+        self.traffic = None
         self.predictor = None
         if self.config.predictive_migration:
             from repro.core.policies.prediction import RevocationPredictor
@@ -201,9 +203,25 @@ class SpotCheckController:
         if market is not None:
             market.rearm()
 
-    def start_customer(self, name=None):
+    def attach_traffic(self, engine):
+        """Score this deployment's customers with a traffic engine.
+
+        The engine is flushed from :meth:`finalize`, so ledgers are
+        complete even when the caller tears the simulation down before
+        the engine's own horizon.
+        """
+        self.traffic = engine
+
+    def start_customer(self, name=None, traffic=None):
+        """Register a customer; ``traffic`` (a ``CustomerTraffic``)
+        puts them under the attached traffic engine's SLA watch."""
         customer = Customer(name)
         self.customers[customer.id] = customer
+        if traffic is not None:
+            if self.traffic is None:
+                raise ValueError(
+                    "attach_traffic() before start_customer(traffic=...)")
+            self.traffic.watch(customer, traffic)
         return customer
 
     # -- public API (EC2-like) ---------------------------------------------
@@ -852,6 +870,8 @@ class SpotCheckController:
         if self._finalized:
             return
         self._finalized = True
+        if self.traffic is not None:
+            self.traffic.finalize()
         for server in self.backup_pool.servers:
             end = server.failed_at if server.failed else self.env.now
             hours = (end - server.created_at) / 3600.0

@@ -78,6 +78,13 @@ class ScenarioConfig:
     #: with everything zeroed) runs the platform fault-free and
     #: bit-identical to a build without the fault layer.
     faults: FaultPlan = None
+    #: Optional :class:`~repro.traffic.engine.TrafficMix`.  When set,
+    #: the fleet is split into one customer per traffic group
+    #: (largest-remainder by weight), a TrafficEngine scores each
+    #: group's SLA live, and the summary gains an ``"sla"`` section.
+    #: ``None`` keeps the single-customer fleet bit-identical to a
+    #: build without the traffic layer.
+    traffic: object = None
 
     @property
     def duration_s(self):
@@ -153,13 +160,32 @@ class PolicySimulation:
         if injector is not None:
             injector.install_backup_crashes(controller)
 
+        engine = None
+        if cfg.traffic is not None:
+            from repro.traffic import TrafficEngine
+            engine = TrafficEngine(
+                env, obs=obs,
+                report_interval_s=cfg.traffic.report_interval_s)
+            controller.attach_traffic(engine)
+
         def _fleet():
-            customer = controller.start_customer("fleet")
-            for _ in range(cfg.vms):
-                yield controller.request_server(
-                    customer, workload=make_workload(cfg.workload))
+            if cfg.traffic is None:
+                groups = [(None, "fleet", cfg.vms)]
+            else:
+                counts = cfg.traffic.allocate_vms(cfg.vms)
+                groups = [(group, group.name, count) for group, count
+                          in zip(cfg.traffic.groups, counts)]
+            for group, name, count in groups:
+                customer = controller.start_customer(name, traffic=group)
+                for _ in range(count):
+                    yield controller.request_server(
+                        customer, workload=make_workload(cfg.workload))
 
         env.run(until=env.process(_fleet()))
+        if engine is not None:
+            # SLA windows anchor at fleet-ready time: boot-time churn
+            # is provisioning, not broken promises to live traffic.
+            engine.start(until=cfg.duration_s)
         env.run(until=cfg.duration_s)
         controller.finalize()
         summary = controller.summary(total_vms=cfg.vms)
@@ -171,6 +197,9 @@ class PolicySimulation:
             # bit-identical to a build without the fault layer.
             summary["faults_injected"] = injector.total_injected
             summary["faults_by_kind"] = dict(injector.counts)
+        if engine is not None:
+            summary["sla"] = engine.report()
+            summary["traffic_drive"] = engine.drive_stats()
         if return_controller:
             return summary, controller
         return summary

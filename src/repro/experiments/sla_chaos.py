@@ -1,0 +1,168 @@
+"""SLA-under-chaos: Figure 12's story told in error budgets.
+
+Figure 12 ranks SpotCheck's pool-management policies by how much raw
+downtime/degradation they inflict.  This scenario re-renders that
+comparison the way a customer would see it: the chaos fault plan
+(PR 3's control-plane fire) runs under live diurnal + flash-crowd
+traffic, and each policy is scored by **per-customer SLA attainment**
+— the fraction of requests that succeeded within their latency target
+— instead of raw downtime seconds.
+
+Everything in the pipeline is closed-form and seeded, so the digest is
+bit-stable: CI pins it (``repro sla --check-golden``) and additionally
+checks that the *ordering* of policies by SLA attainment matches their
+ordering by raw unavailability + degradation — Figure 12's ranking
+must survive the change of units.
+"""
+
+from repro.experiments.chaos import default_chaos_plan
+from repro.traffic import (
+    CustomerTraffic,
+    DiurnalRate,
+    FlashCrowd,
+    SlaTarget,
+    TrafficMix,
+)
+
+#: The policies the smoke compares.  1P-M sticks to one stable market;
+#: 4P-COST chases the cheapest (most volatile) markets — Figure 12
+#: separates them cleanly, so the ordering check has teeth.
+DEFAULT_POLICIES = ("1P-M", "4P-COST")
+
+
+def default_traffic_mix(days=14.0):
+    """Diurnal web traffic plus a flash crowd riding on it.
+
+    Two customer groups: an interactive "web" group with a day/night
+    sinusoid and a flash crowd on day 2 (tight 100 ms / 99.5% SLO),
+    and a steadier "api" group with a shallower sinusoid and a looser
+    250 ms / 99% SLO.  Weekly SLO windows; both groups' patterns are
+    closed-form, so expected window volumes are exact.
+    """
+    day = 24 * 3600.0
+    window_s = min(7 * day, days * day)
+    web = DiurnalRate(base_rps=80.0, amplitude=0.6, period_s=day,
+                      phase_s=0.25 * day)
+    crowd = FlashCrowd(start_s=1.5 * day, peak_rps=400.0,
+                       ramp_s=1800.0, hold_s=7200.0, decay_s=3600.0)
+    api = DiurnalRate(base_rps=30.0, amplitude=0.2, period_s=day)
+    return TrafficMix(
+        groups=(
+            CustomerTraffic("web", web + crowd,
+                            SlaTarget(latency_ms=100.0, availability=0.9975,
+                                      window_s=window_s),
+                            weight=3.0),
+            CustomerTraffic("api", api,
+                            SlaTarget(latency_ms=250.0, availability=0.99,
+                                      window_s=window_s),
+                            weight=1.0),
+        ),
+        report_interval_s=6 * 3600.0,
+    )
+
+
+def run_sla(seed=11, days=14.0, vms=12, policies=DEFAULT_POLICIES,
+            plan=None, mix=None):
+    """Run the chaos plan under traffic for each policy.
+
+    Returns ``(results, digest)``: ``results`` maps policy name to the
+    full scenario summary (including the ``"sla"`` section), and
+    ``digest`` is the golden-comparable extract.
+    """
+    from repro.experiments.scenario import PolicySimulation, ScenarioConfig
+
+    if plan is None:
+        plan = default_chaos_plan()
+    if mix is None:
+        mix = default_traffic_mix(days)
+
+    results = {}
+    archive = None
+    for policy in policies:
+        config = ScenarioConfig(policy=policy, seed=seed, days=days,
+                                vms=vms, faults=plan, traffic=mix)
+        simulation = PolicySimulation(config, archive=archive)
+        if archive is None:
+            # Every policy must see identical prices (and identical
+            # traffic), as in the paper's grid.
+            archive = simulation.build_archive(seed, config.duration_s,
+                                               config.market_params)
+            simulation = PolicySimulation(config, archive=archive)
+        results[policy] = simulation.run()
+    return results, sla_digest(results)
+
+
+def policy_attainment(summary):
+    """Request-weighted SLA attainment across a run's customer groups."""
+    total = bad = 0.0
+    for snapshot in summary["sla"].values():
+        total += snapshot["total_requests"]
+        bad += snapshot["failed_requests"] + snapshot["slow_requests"]
+    if total <= 0:
+        return 1.0
+    return 1.0 - bad / total
+
+
+def sla_digest(results):
+    """Golden-comparable extract: rounded per-policy SLA outcomes.
+
+    Floats are rounded (attainment to 8 decimal places, latencies to
+    2, request counts to integers) so the digest survives platform
+    libm differences while still pinning every meaningful drift.
+    """
+    digest = {"policies": {}}
+    for policy, summary in sorted(results.items()):
+        entry = {
+            "attainment": round(policy_attainment(summary), 8),
+            "unavailability_pct": round(summary["unavailability_pct"], 6),
+            "degradation_pct": round(summary["degradation_pct"], 6),
+            "customers": {},
+        }
+        for name, snapshot in sorted(summary["sla"].items()):
+            entry["customers"][name] = {
+                "requests": int(round(snapshot["total_requests"])),
+                "failed": int(round(snapshot["failed_requests"])),
+                "attainment": round(snapshot["attainment"], 8),
+                "p50_ms": round(snapshot["p50_ms"], 2),
+                "p99_ms": round(snapshot["p99_ms"], 2),
+                "breaches": snapshot["breaches"],
+                "violation_s": round(snapshot["violation_s"], 1),
+            }
+        drive = summary["traffic_drive"]
+        entry["kernel_wakes"] = drive["wakes"]
+        entry["segments"] = drive["segments"]
+        digest["policies"][policy] = entry
+    digest["attainment_order"] = sorted(
+        digest["policies"],
+        key=lambda p: (-digest["policies"][p]["attainment"], p))
+    digest["downtime_order"] = sorted(
+        digest["policies"],
+        key=lambda p: (digest["policies"][p]["unavailability_pct"]
+                       + digest["policies"][p]["degradation_pct"], p))
+    return digest
+
+
+def check_sla_digest(digest, golden):
+    """Compare against a golden digest; returns mismatch lines.
+
+    Beyond equality, asserts the Figure 12 invariant: ranking policies
+    by SLA attainment must match ranking them by raw unavailability +
+    degradation.
+    """
+    problems = []
+
+    def walk(path, want, got):
+        if isinstance(want, dict) and isinstance(got, dict):
+            for key in sorted(set(want) | set(got)):
+                walk(f"{path}.{key}" if path else key,
+                     want.get(key), got.get(key))
+        elif want != got:
+            problems.append(f"{path}: golden {want!r} != observed {got!r}")
+
+    walk("", golden, digest)
+    if digest.get("attainment_order") != digest.get("downtime_order"):
+        problems.append(
+            f"ordering: attainment ranks policies "
+            f"{digest.get('attainment_order')} but downtime ranks "
+            f"{digest.get('downtime_order')} — Figure 12's story changed")
+    return problems

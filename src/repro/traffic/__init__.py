@@ -1,0 +1,30 @@
+"""Open-loop SLA traffic: arrival patterns, engine, and ledgers.
+
+See ``docs/traffic.md`` for the design and the event-elision argument.
+"""
+
+from repro.traffic.engine import CustomerTraffic, TrafficEngine, TrafficMix
+from repro.traffic.patterns import (
+    CompositeRate,
+    ConstantRate,
+    DiurnalRate,
+    FlashCrowd,
+    RatePattern,
+    ScaledRate,
+)
+from repro.traffic.sla import SlaLedger, SlaTarget, lognormal_params
+
+__all__ = [
+    "CompositeRate",
+    "ConstantRate",
+    "CustomerTraffic",
+    "DiurnalRate",
+    "FlashCrowd",
+    "RatePattern",
+    "ScaledRate",
+    "SlaLedger",
+    "SlaTarget",
+    "TrafficEngine",
+    "TrafficMix",
+    "lognormal_params",
+]

@@ -1,0 +1,235 @@
+"""Open-loop arrival patterns with closed-form interval integrals.
+
+A pattern is a deterministic request-rate function ``rate_at(t)``
+(requests per second of simulated time) whose *integral* over any
+window is available in closed form: ``requests_between(t0, t1)``
+returns the exact expected number of arrivals in ``[t0, t1)`` without
+generating a single per-request event.  That integral is what lets the
+:class:`~repro.traffic.engine.TrafficEngine` batch-account millions of
+users at the cost of a handful of segment boundaries.
+
+Patterns are frozen dataclasses so they compose into hashable,
+``asdict``-able trees (a :class:`~repro.experiments.scenario.ScenarioConfig`
+carries them straight into the grid cache's config hash):
+
+* :class:`ConstantRate` — a flat baseline;
+* :class:`DiurnalRate` — a day/night sinusoid (integral via cosine);
+* :class:`FlashCrowd` — a piecewise-linear ramp/hold/decay burst,
+  with its corner times exposed as *breakpoints* so the engine can
+  wake exactly there and nowhere else;
+* :class:`ScaledRate` — per-customer mixes ("two million users at
+  0.05 rps each" is ``ScaledRate(per_user, 2e6)``);
+* :class:`CompositeRate` — the sum of any of the above (``a + b``).
+"""
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RatePattern:
+    """Base class: a deterministic open-loop arrival-rate function."""
+
+    def rate_at(self, t):
+        """Instantaneous arrival rate at time ``t``, in requests/s."""
+        raise NotImplementedError
+
+    def _cumulative(self, t):
+        """Closed-form integral of the rate from time 0 to ``t``."""
+        raise NotImplementedError
+
+    def requests_between(self, t0, t1):
+        """Exact number of arrivals in ``[t0, t1)`` (closed form)."""
+        if t1 < t0:
+            raise ValueError(f"window end {t1} precedes start {t0}")
+        return self._cumulative(t1) - self._cumulative(t0)
+
+    def breakpoints(self):
+        """Times where the rate function is non-smooth, sorted.
+
+        The engine wakes at each of these (and only these, plus its
+        own reporting epochs); smooth patterns return ``()`` because
+        their integrals need no interior evaluation points.
+        """
+        return ()
+
+    def __add__(self, other):
+        if not isinstance(other, RatePattern):
+            return NotImplemented
+        mine = self.parts if isinstance(self, CompositeRate) else (self,)
+        theirs = other.parts if isinstance(other, CompositeRate) \
+            else (other,)
+        return CompositeRate(mine + theirs)
+
+    def scaled(self, factor):
+        """This pattern multiplied by ``factor`` (e.g. a user count)."""
+        return ScaledRate(self, float(factor))
+
+
+@dataclass(frozen=True)
+class ConstantRate(RatePattern):
+    """A flat ``rps`` arrival rate."""
+
+    rps: float = 1.0
+
+    def __post_init__(self):
+        if self.rps < 0:
+            raise ValueError("rate must be non-negative")
+
+    def rate_at(self, t):
+        return self.rps
+
+    def _cumulative(self, t):
+        return self.rps * t
+
+
+@dataclass(frozen=True)
+class DiurnalRate(RatePattern):
+    """A day/night sinusoid around ``base_rps``.
+
+    ``rate(t) = base_rps * (1 + amplitude * sin(2pi (t - phase_s) /
+    period_s))`` — amplitude 1 swings between 0 and twice the base.
+    The interval integral is closed-form via the cosine antiderivative,
+    and the pattern is smooth, so it contributes no breakpoints.
+    """
+
+    base_rps: float = 1.0
+    amplitude: float = 0.5
+    period_s: float = 86400.0
+    phase_s: float = 0.0
+
+    def __post_init__(self):
+        if self.base_rps < 0:
+            raise ValueError("base rate must be non-negative")
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise ValueError("amplitude must lie in [0, 1]")
+        if self.period_s <= 0:
+            raise ValueError("period must be positive")
+
+    def _omega(self):
+        return 2.0 * math.pi / self.period_s
+
+    def rate_at(self, t):
+        return self.base_rps * (
+            1.0 + self.amplitude * math.sin(self._omega() * (t - self.phase_s)))
+
+    def _cumulative(self, t):
+        omega = self._omega()
+        return self.base_rps * (
+            t - (self.amplitude / omega)
+            * math.cos(omega * (t - self.phase_s)))
+
+
+@dataclass(frozen=True)
+class FlashCrowd(RatePattern):
+    """A triangular-plateau burst: ramp up, hold, decay back to zero.
+
+    Zero outside ``[start_s, start_s + ramp_s + hold_s + decay_s)``;
+    linear from 0 to ``peak_rps`` over ``ramp_s``, flat for ``hold_s``,
+    linear back to 0 over ``decay_s``.  The four corner times are the
+    pattern's breakpoints.
+    """
+
+    start_s: float = 0.0
+    peak_rps: float = 100.0
+    ramp_s: float = 600.0
+    hold_s: float = 3600.0
+    decay_s: float = 1200.0
+
+    def __post_init__(self):
+        if self.peak_rps < 0:
+            raise ValueError("peak rate must be non-negative")
+        if min(self.ramp_s, self.hold_s, self.decay_s) < 0:
+            raise ValueError("phase durations must be non-negative")
+
+    @property
+    def end_s(self):
+        return self.start_s + self.ramp_s + self.hold_s + self.decay_s
+
+    def rate_at(self, t):
+        dt = t - self.start_s
+        if dt < 0 or dt >= self.ramp_s + self.hold_s + self.decay_s:
+            return 0.0
+        if dt < self.ramp_s:
+            return self.peak_rps * dt / self.ramp_s
+        if dt < self.ramp_s + self.hold_s:
+            return self.peak_rps
+        if self.decay_s == 0:
+            return 0.0
+        remaining = self.ramp_s + self.hold_s + self.decay_s - dt
+        return self.peak_rps * remaining / self.decay_s
+
+    def _cumulative(self, t):
+        dt = t - self.start_s
+        if dt <= 0:
+            return 0.0
+        total = 0.0
+        # Ramp: area of the growing triangle.
+        up = min(dt, self.ramp_s)
+        if self.ramp_s > 0:
+            total += 0.5 * self.peak_rps * up * up / self.ramp_s
+        dt -= self.ramp_s
+        if dt <= 0:
+            return total
+        # Hold: flat plateau.
+        total += self.peak_rps * min(dt, self.hold_s)
+        dt -= self.hold_s
+        if dt <= 0:
+            return total
+        # Decay: plateau area minus the still-missing triangle tail.
+        down = min(dt, self.decay_s)
+        if self.decay_s > 0:
+            total += self.peak_rps * down * (1.0 - 0.5 * down / self.decay_s)
+        return total
+
+    def breakpoints(self):
+        corners = (self.start_s,
+                   self.start_s + self.ramp_s,
+                   self.start_s + self.ramp_s + self.hold_s,
+                   self.end_s)
+        return tuple(sorted(set(corners)))
+
+
+@dataclass(frozen=True)
+class ScaledRate(RatePattern):
+    """``pattern`` multiplied by a constant ``factor`` (user count)."""
+
+    pattern: RatePattern = field(default_factory=ConstantRate)
+    factor: float = 1.0
+
+    def __post_init__(self):
+        if self.factor < 0:
+            raise ValueError("scale factor must be non-negative")
+
+    def rate_at(self, t):
+        return self.factor * self.pattern.rate_at(t)
+
+    def _cumulative(self, t):
+        return self.factor * self.pattern._cumulative(t)
+
+    def breakpoints(self):
+        return self.pattern.breakpoints()
+
+
+@dataclass(frozen=True)
+class CompositeRate(RatePattern):
+    """The sum of several patterns (built by ``a + b``)."""
+
+    parts: tuple = ()
+
+    def __post_init__(self):
+        for part in self.parts:
+            if not isinstance(part, RatePattern):
+                raise TypeError(f"not a RatePattern: {part!r}")
+
+    def rate_at(self, t):
+        return sum(part.rate_at(t) for part in self.parts)
+
+    def _cumulative(self, t):
+        return sum(part._cumulative(t) for part in self.parts)
+
+    def breakpoints(self):
+        merged = set()
+        for part in self.parts:
+            merged.update(part.breakpoints())
+        return tuple(sorted(merged))

@@ -64,6 +64,7 @@ class NestedVM:
         self.created_at = env.now
         #: (time, state) transition log for availability accounting.
         self.state_log = [(env.now, VMState.PROVISIONING)]
+        self._state_listeners = None
 
     def _default_guest_bytes(self):
         # The nested hypervisor and dom0 take a slice of the host's RAM;
@@ -71,11 +72,28 @@ class NestedVM:
         # host's 3.75 GiB to the guest.
         return int(self.itype.memory_gib * 0.45 * (1024 ** 3))
 
+    def on_state_change(self, callback):
+        """Call ``callback(vm, old_state, new_state)`` on transitions.
+
+        Listeners fire synchronously inside :meth:`set_state`, before
+        any other process observes the new state — the traffic engine
+        uses this to batch-account the elapsed segment under the old
+        state without scheduling a kernel event.
+        """
+        if self._state_listeners is None:
+            self._state_listeners = []
+        if callback not in self._state_listeners:
+            self._state_listeners.append(callback)
+
     def set_state(self, state):
         if self.state is VMState.TERMINATED:
             raise ValueError(f"{self.id} is terminated")
+        old_state = self.state
         self.state = state
         self.state_log.append((self.env.now, state))
+        if self._state_listeners:
+            for callback in self._state_listeners:
+                callback(self, old_state, state)
 
     @property
     def is_running(self):

@@ -55,13 +55,33 @@ class ConditionSegment:
         return self.end - self.start
 
 
+def conditions_for_state(state, checkpointing_while_running=True):
+    """The workload :class:`Conditions` a VM state imposes.
+
+    Returns ``None`` for down states (SUSPENDED, PROVISIONING,
+    TERMINATED): requests arriving then fail rather than slow down.
+    MIGRATING always maps to degraded (checkpointing) conditions —
+    pre-copy competes with the guest for I/O regardless of whether
+    steady-state checkpointing is being modelled.
+    """
+    if state in (VMState.SUSPENDED, VMState.PROVISIONING,
+                 VMState.TERMINATED):
+        return None
+    if state is VMState.RESTORING:
+        return Conditions(restoring=True, restore_concurrency=1)
+    if state is VMState.MIGRATING:
+        return Conditions(checkpointing=True)
+    return Conditions(checkpointing=checkpointing_while_running)
+
+
 def timeline_from_vm(vm, start, end, checkpointing_while_running=True):
     """Derive condition segments from a nested VM's state log.
 
     RUNNING maps to normal (checkpointing) operation, MIGRATING to the
     pre-copy/ramp window (mildly degraded — modelled as checkpointing
-    conditions), RESTORING to the demand-paging window, and
-    SUSPENDED/PROVISIONING to downtime.
+    conditions, independent of ``checkpointing_while_running``),
+    RESTORING to the demand-paging window, and SUSPENDED/PROVISIONING
+    to downtime.
     """
     segments = []
     log = vm.state_log
@@ -70,17 +90,12 @@ def timeline_from_vm(vm, start, end, checkpointing_while_running=True):
         lo, hi = max(when, start), min(seg_end, end)
         if hi <= lo:
             continue
-        if state in (VMState.SUSPENDED, VMState.PROVISIONING,
-                     VMState.TERMINATED):
+        conditions = conditions_for_state(state, checkpointing_while_running)
+        if conditions is None:
             segments.append(ConditionSegment(lo, hi, Conditions(),
                                              down=True))
-        elif state is VMState.RESTORING:
-            segments.append(ConditionSegment(
-                lo, hi, Conditions(restoring=True, restore_concurrency=1)))
-        else:  # RUNNING or MIGRATING
-            segments.append(ConditionSegment(
-                lo, hi,
-                Conditions(checkpointing=checkpointing_while_running)))
+        else:
+            segments.append(ConditionSegment(lo, hi, conditions))
     return segments
 
 
@@ -140,12 +155,17 @@ class RequestAnalyzer:
         weights /= weights.sum()
         means = np.asarray(means, dtype=float)
 
-        # Shared latency grid spanning every component's bulk.
-        low = means.min() / 4.0
-        high = means.max() * 6.0
+        from scipy.special import erf, ndtri
+
+        # Shared latency grid sized to the mixture's actual spread:
+        # each lognormal's 0.05th..99.995th percentile, so heavy tails
+        # (large latency_cov) stay on the grid instead of silently
+        # clamping to the top edge.
+        mu_all, sigma = self._lognormal_params(means)
+        low = float(np.exp(mu_all.min() + sigma * ndtri(0.0005)))
+        high = float(np.exp(mu_all.max() + sigma * ndtri(0.99995)))
         grid = np.geomspace(low, high, grid_size)
         cdf = np.zeros_like(grid)
-        from scipy.special import erf
         sla_violations = 0.0
         for weight, mean in zip(weights, means):
             mu, sigma = self._lognormal_params(mean)
@@ -155,6 +175,10 @@ class RequestAnalyzer:
             sla_violations += weight * (1.0 - 0.5 * (1.0 + erf(z_sla)))
 
         def quantile(q):
+            if q > cdf[-1]:
+                raise ValueError(
+                    f"latency grid covers only the {cdf[-1]:.6f} "
+                    f"quantile; cannot report q={q}")
             index = int(np.searchsorted(cdf, q))
             return float(grid[min(index, grid_size - 1)])
 

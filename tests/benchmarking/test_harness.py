@@ -17,7 +17,7 @@ from repro.benchmarking.kernel import measure_kernel
 
 def _minimal_payload():
     return {
-        "schema": "repro-bench/2",
+        "schema": "repro-bench/3",
         "label": "unit",
         "smoke": True,
         "created_unix": 1.0,
@@ -32,6 +32,14 @@ def _minimal_payload():
             "indexed": {"wall_s": 0.02, "wakes": 10, "delivered": 10,
                         "rearms": 0, "stale_skips": 0,
                         "events_per_sec": 5000.0},
+        },
+        "traffic": {
+            "days": 1.0, "seed": 7,
+            "low": {"users": 1000, "requests": 1e6, "wakes": 40,
+                    "segments": 60, "wall_s": 0.01},
+            "high": {"users": 1000000, "requests": 1e9, "wakes": 40,
+                     "segments": 60, "wall_s": 0.01},
+            "request_ratio": 1000.0, "wake_ratio": 1.0,
         },
         "cell": {"policy": "1P-M", "mechanism": "spotcheck-lazy",
                  "seed": 11, "days": 1.0, "vms": 2, "wall_s": 0.5,
@@ -66,6 +74,7 @@ class TestValidation:
         "grid.cache.misses", "host.cpu_count", "market.trace_points",
         "market.stepped.events_per_sec", "market.indexed.events_per_sec",
         "cell.market_drive.points", "grid.parallel_plan.planned",
+        "traffic.low.wakes", "traffic.high.requests", "traffic.wake_ratio",
     ])
     def test_missing_field_rejected(self, dotted):
         payload = _minimal_payload()
@@ -117,6 +126,18 @@ class TestFloors:
         payload = _minimal_payload()
         payload["market"]["indexed"]["events_per_sec"] = 1.0
         with pytest.raises(ValueError, match="not skipping"):
+            check_bench_floors(payload, kernel_floor=50.0, market_floor=50.0)
+
+    def test_traffic_wakes_scaling_rejected(self):
+        payload = _minimal_payload()
+        payload["traffic"]["high"]["wakes"] = 41
+        with pytest.raises(ValueError, match="request volume"):
+            check_bench_floors(payload, kernel_floor=50.0, market_floor=50.0)
+
+    def test_traffic_cells_too_close_rejected(self):
+        payload = _minimal_payload()
+        payload["traffic"]["request_ratio"] = 2.0
+        with pytest.raises(ValueError, match="too close"):
             check_bench_floors(payload, kernel_floor=50.0, market_floor=50.0)
 
 

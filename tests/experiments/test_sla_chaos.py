@@ -1,0 +1,110 @@
+"""SLA-under-chaos: determinism, digest pinning, scenario wiring."""
+
+import json
+
+import pytest
+
+from repro.experiments.sla_chaos import (
+    check_sla_digest,
+    default_traffic_mix,
+    policy_attainment,
+    run_sla,
+    sla_digest,
+)
+
+SMALL = dict(seed=5, days=4.0, vms=4)
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    return run_sla(**SMALL)
+
+
+class TestRun:
+    def test_summary_has_sla_sections(self, small_run):
+        results, digest = small_run
+        for summary in results.values():
+            assert set(summary["sla"]) == {"web", "api"}
+            assert "traffic_drive" in summary
+            assert summary["traffic_drive"]["wakes"] > 0
+
+    def test_deterministic_across_runs(self, small_run):
+        _, first = small_run
+        _, second = run_sla(**SMALL)
+        assert first == second
+
+    def test_digest_is_json_stable(self, small_run):
+        _, digest = small_run
+        assert json.loads(json.dumps(digest)) == digest
+
+    def test_attainment_in_range(self, small_run):
+        results, digest = small_run
+        for policy, summary in results.items():
+            attainment = policy_attainment(summary)
+            assert 0.0 < attainment <= 1.0
+            assert digest["policies"][policy]["attainment"] == \
+                pytest.approx(attainment, abs=1e-8)
+
+    def test_both_policies_share_one_archive(self, small_run):
+        # Identical seeds + shared price archive: the api group's
+        # expected request volume only differs by fleet-ready time.
+        results, _ = small_run
+        requests = [d["policies"][p]["customers"]["api"]["requests"]
+                    for d in [small_run[1]]
+                    for p in d["policies"]]
+        assert max(requests) - min(requests) < 0.01 * max(requests)
+
+
+class TestDigestCheck:
+    def test_self_check_clean(self, small_run):
+        _, digest = small_run
+        assert check_sla_digest(digest, digest) == []
+
+    def test_tampered_value_reported(self, small_run):
+        _, digest = small_run
+        golden = json.loads(json.dumps(digest))
+        policy = digest["attainment_order"][0]
+        golden["policies"][policy]["customers"]["web"]["requests"] += 1
+        problems = check_sla_digest(digest, golden)
+        assert len(problems) == 1
+        assert "web.requests" in problems[0]
+
+    def test_missing_policy_reported(self, small_run):
+        _, digest = small_run
+        golden = json.loads(json.dumps(digest))
+        golden["policies"]["9P-IMAGINARY"] = {"attainment": 1.0}
+        problems = check_sla_digest(digest, golden)
+        assert any("9P-IMAGINARY" in p for p in problems)
+
+    def test_ordering_flip_is_a_story_change(self, small_run):
+        _, digest = small_run
+        broken = json.loads(json.dumps(digest))
+        broken["downtime_order"] = list(reversed(broken["downtime_order"]))
+        problems = check_sla_digest(broken, broken)
+        assert any("Figure 12" in p for p in problems)
+
+
+class TestGoldenFile:
+    def test_checked_in_golden_is_wellformed(self):
+        from repro.experiments import sla_chaos
+        import os
+        path = os.path.join(os.path.dirname(sla_chaos.__file__),
+                            "sla_golden.json")
+        golden = json.loads(open(path).read())
+        assert set(golden["policies"]) == {"1P-M", "4P-COST"}
+        assert golden["attainment_order"] == golden["downtime_order"]
+        for entry in golden["policies"].values():
+            assert 0.9 < entry["attainment"] <= 1.0
+
+
+class TestMixDefaults:
+    def test_window_clips_to_short_runs(self):
+        day = 24 * 3600.0
+        mix = default_traffic_mix(days=3.0)
+        assert mix.groups[0].sla.window_s == 3.0 * day
+        assert default_traffic_mix(days=30.0).groups[0].sla.window_s == \
+            7.0 * day
+
+    def test_weights_favor_web(self):
+        mix = default_traffic_mix()
+        assert mix.allocate_vms(12) == [9, 3]

@@ -1,0 +1,152 @@
+"""Arrival patterns: closed-form integrals against numeric truth."""
+
+import math
+
+import pytest
+
+from repro.traffic import (
+    CompositeRate,
+    ConstantRate,
+    DiurnalRate,
+    FlashCrowd,
+    ScaledRate,
+)
+
+
+def numeric_integral(pattern, t0, t1, steps=200_000):
+    """Trapezoidal reference integral of ``rate_at`` over [t0, t1]."""
+    dt = (t1 - t0) / steps
+    total = 0.0
+    for i in range(steps):
+        a = pattern.rate_at(t0 + i * dt)
+        b = pattern.rate_at(t0 + (i + 1) * dt)
+        total += 0.5 * (a + b) * dt
+    return total
+
+
+class TestConstant:
+    def test_counts(self):
+        assert ConstantRate(2.5).requests_between(10.0, 110.0) == \
+            pytest.approx(250.0)
+
+    def test_rate(self):
+        assert ConstantRate(2.5).rate_at(123.0) == 2.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantRate(-1.0)
+        with pytest.raises(ValueError):
+            ConstantRate(1.0).requests_between(10.0, 5.0)
+
+    def test_no_breakpoints(self):
+        assert ConstantRate(1.0).breakpoints() == ()
+
+
+class TestDiurnal:
+    def test_full_period_integral_is_base(self):
+        # The sinusoid averages out over a whole period.
+        pattern = DiurnalRate(base_rps=10.0, amplitude=0.8)
+        assert pattern.requests_between(0.0, 86400.0) == \
+            pytest.approx(10.0 * 86400.0)
+
+    def test_closed_form_matches_numeric(self):
+        pattern = DiurnalRate(base_rps=7.0, amplitude=0.6,
+                              period_s=3600.0, phase_s=500.0)
+        want = numeric_integral(pattern, 100.0, 2600.0, steps=20_000)
+        assert pattern.requests_between(100.0, 2600.0) == \
+            pytest.approx(want, rel=1e-6)
+
+    def test_rate_swings_around_base(self):
+        pattern = DiurnalRate(base_rps=10.0, amplitude=0.5,
+                              period_s=86400.0)
+        rates = [pattern.rate_at(t) for t in range(0, 86400, 600)]
+        assert min(rates) == pytest.approx(5.0, rel=1e-3)
+        assert max(rates) == pytest.approx(15.0, rel=1e-3)
+
+    def test_amplitude_validated(self):
+        with pytest.raises(ValueError):
+            DiurnalRate(amplitude=1.2)
+        with pytest.raises(ValueError):
+            DiurnalRate(period_s=0.0)
+
+
+class TestFlashCrowd:
+    def test_total_is_trapezoid_area(self):
+        crowd = FlashCrowd(start_s=1000.0, peak_rps=50.0, ramp_s=200.0,
+                           hold_s=600.0, decay_s=400.0)
+        want = 50.0 * (100.0 + 600.0 + 200.0)
+        assert crowd.requests_between(0.0, 1e6) == pytest.approx(want)
+
+    def test_zero_outside_burst(self):
+        crowd = FlashCrowd(start_s=1000.0, peak_rps=50.0)
+        assert crowd.rate_at(999.0) == 0.0
+        assert crowd.requests_between(0.0, 1000.0) == 0.0
+        assert crowd.requests_between(crowd.end_s, crowd.end_s + 100.0) == 0.0
+
+    def test_piecewise_cumulative_matches_numeric(self):
+        crowd = FlashCrowd(start_s=100.0, peak_rps=30.0, ramp_s=150.0,
+                           hold_s=300.0, decay_s=250.0)
+        for t0, t1 in [(0.0, 180.0), (150.0, 420.0), (400.0, 900.0),
+                       (50.0, 850.0)]:
+            want = numeric_integral(crowd, t0, t1, steps=50_000)
+            assert crowd.requests_between(t0, t1) == \
+                pytest.approx(want, rel=1e-4, abs=1e-6)
+
+    def test_breakpoints_are_the_corners(self):
+        crowd = FlashCrowd(start_s=100.0, peak_rps=30.0, ramp_s=150.0,
+                           hold_s=300.0, decay_s=250.0)
+        assert crowd.breakpoints() == (100.0, 250.0, 550.0, 800.0)
+
+    def test_instant_decay(self):
+        crowd = FlashCrowd(start_s=0.0, peak_rps=10.0, ramp_s=100.0,
+                           hold_s=100.0, decay_s=0.0)
+        assert crowd.requests_between(0.0, 300.0) == \
+            pytest.approx(10.0 * 150.0)
+
+
+class TestComposition:
+    def test_add_sums_counts(self):
+        combined = ConstantRate(2.0) + DiurnalRate(base_rps=3.0)
+        assert isinstance(combined, CompositeRate)
+        assert combined.requests_between(0.0, 86400.0) == \
+            pytest.approx(5.0 * 86400.0)
+
+    def test_add_flattens(self):
+        parts = (ConstantRate(1.0) + ConstantRate(2.0)) + ConstantRate(3.0)
+        assert len(parts.parts) == 3
+
+    def test_breakpoints_merged_sorted(self):
+        a = FlashCrowd(start_s=500.0, ramp_s=100.0, hold_s=100.0,
+                       decay_s=100.0)
+        b = FlashCrowd(start_s=100.0, ramp_s=50.0, hold_s=50.0,
+                       decay_s=50.0)
+        merged = (a + b).breakpoints()
+        assert merged == tuple(sorted(set(a.breakpoints()
+                                          + b.breakpoints())))
+
+    def test_scaled(self):
+        pattern = DiurnalRate(base_rps=0.05).scaled(1_000_000)
+        assert isinstance(pattern, ScaledRate)
+        assert pattern.requests_between(0.0, 86400.0) == \
+            pytest.approx(0.05 * 1e6 * 86400.0)
+        assert pattern.rate_at(0.0) == pytest.approx(
+            1e6 * DiurnalRate(base_rps=0.05).rate_at(0.0))
+
+    def test_subdivision_invariance(self):
+        # Summing over any partition equals the whole-window count.
+        pattern = DiurnalRate(base_rps=5.0, amplitude=0.7) + FlashCrowd(
+            start_s=4000.0, peak_rps=80.0, ramp_s=600.0, hold_s=1200.0,
+            decay_s=900.0)
+        whole = pattern.requests_between(0.0, 20000.0)
+        cuts = [0.0, 123.4, 4000.0, 4100.5, 7777.0, 12345.6, 20000.0]
+        parts = sum(pattern.requests_between(a, b)
+                    for a, b in zip(cuts, cuts[1:]))
+        assert parts == pytest.approx(whole, rel=1e-12)
+
+    def test_frozen_and_hashable(self):
+        # Patterns ride inside ScenarioConfig and its cache hash.
+        pattern = ConstantRate(2.0) + DiurnalRate(base_rps=3.0)
+        assert hash(pattern) == hash(ConstantRate(2.0)
+                                     + DiurnalRate(base_rps=3.0))
+        with pytest.raises(AttributeError):
+            pattern.parts = ()

@@ -1,0 +1,183 @@
+"""SLA ledgers: bucket-grid quantiles, budgets, breach events."""
+
+import math
+
+import pytest
+
+from repro.obs import Observability
+from repro.traffic import SlaLedger, SlaTarget, lognormal_params
+
+
+class TestTarget:
+    def test_budget_fraction(self):
+        assert SlaTarget(availability=0.999).budget_fraction == \
+            pytest.approx(0.001)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlaTarget(latency_ms=0.0)
+        with pytest.raises(ValueError):
+            SlaTarget(availability=1.0)
+        with pytest.raises(ValueError):
+            SlaTarget(window_s=-1.0)
+
+
+class TestLognormalParams:
+    def test_mean_preserved(self):
+        mu, sigma = lognormal_params(29.0, 0.35)
+        assert math.exp(mu + sigma ** 2 / 2.0) == pytest.approx(29.0)
+
+    def test_cov_preserved(self):
+        mu, sigma = lognormal_params(29.0, 0.35)
+        assert math.sqrt(math.exp(sigma ** 2) - 1.0) == \
+            pytest.approx(0.35)
+
+
+class TestLatencyAccounting:
+    def test_quantiles_match_closed_form(self):
+        ledger = SlaLedger("c", latency_cov=0.35)
+        ledger.account_latency(0.0, 100.0, 1e6, mean_ms=29.0)
+        mu, sigma = lognormal_params(29.0, 0.35)
+        from scipy.special import ndtri
+        for q in (0.5, 0.95, 0.99):
+            want = math.exp(mu + sigma * ndtri(q))
+            assert ledger.quantile(q) == pytest.approx(want, rel=0.01)
+
+    def test_batch_size_does_not_change_quantiles(self):
+        small = SlaLedger("a")
+        big = SlaLedger("b")
+        small.account_latency(0.0, 1.0, 10.0, mean_ms=40.0)
+        big.account_latency(0.0, 1.0, 1e9, mean_ms=40.0)
+        assert small.quantile(0.95) == pytest.approx(big.quantile(0.95))
+
+    def test_slow_tail_counted_in_closed_form(self):
+        target = SlaTarget(latency_ms=29.0, availability=0.999)
+        ledger = SlaLedger("c", target, latency_cov=0.35)
+        ledger.account_latency(0.0, 10.0, 1000.0, mean_ms=29.0)
+        # Threshold at the mean of a lognormal: a bit under half of
+        # the requests land above it (median < mean).
+        assert 300.0 < ledger.slow_requests < 500.0
+        assert ledger.violation_s == 10.0
+        assert ledger.attainment == pytest.approx(
+            1.0 - ledger.slow_requests / 1000.0)
+
+    def test_fast_traffic_no_violation(self):
+        target = SlaTarget(latency_ms=500.0, availability=0.99)
+        ledger = SlaLedger("c", target)
+        ledger.account_latency(0.0, 10.0, 1000.0, mean_ms=29.0)
+        assert ledger.slow_requests / 1000.0 < 0.01
+        assert ledger.violation_s == 0.0
+
+    def test_degraded_time_tracked(self):
+        ledger = SlaLedger("c")
+        ledger.account_latency(0.0, 10.0, 100.0, mean_ms=29.0)
+        ledger.account_latency(10.0, 15.0, 50.0, mean_ms=60.0,
+                               degraded=True)
+        assert ledger.accounted_s == 15.0
+        assert ledger.degraded_s == 5.0
+
+    def test_empty_quantile_is_nan(self):
+        assert math.isnan(SlaLedger("c").quantile(0.5))
+        with pytest.raises(ValueError):
+            SlaLedger("c").quantile(1.5)
+
+
+class TestDownAccounting:
+    def test_down_requests_all_fail(self):
+        ledger = SlaLedger("c")
+        ledger.account_down(0.0, 30.0, 600.0)
+        assert ledger.failed_requests == 600.0
+        assert ledger.error_rate == 1.0
+        assert ledger.down_s == 30.0
+        assert ledger.violation_s == 30.0
+        assert ledger.attainment == 0.0
+
+    def test_idle_ledger_is_perfect(self):
+        ledger = SlaLedger("c")
+        assert ledger.attainment == 1.0
+        assert ledger.error_rate == 0.0
+
+
+class TestWindows:
+    def test_budget_from_expected_volume(self):
+        target = SlaTarget(availability=0.99, window_s=100.0)
+        ledger = SlaLedger("c", target)
+        ledger.begin_window(0.0, 100.0, expected_requests=5000.0)
+        assert ledger.window_budget == pytest.approx(50.0)
+        assert ledger.window_burn == 0.0
+
+    def test_burn_and_breach_once(self):
+        from repro.sim.kernel import Environment
+        obs = Observability()
+        Environment(seed=1, obs=obs)
+        breaches = []
+        obs.bus.subscribe("sla.breach", breaches.append)
+        target = SlaTarget(availability=0.99, window_s=100.0)
+        ledger = SlaLedger("c", target, obs=obs)
+        ledger.begin_window(0.0, 100.0, expected_requests=1000.0)
+        ledger.account_down(0.0, 1.0, 5.0)   # half the budget
+        assert ledger.window_burn == pytest.approx(0.5)
+        assert not ledger.window_breached
+        ledger.account_down(1.0, 2.0, 6.0)   # crosses it
+        assert ledger.window_breached
+        assert ledger.breaches == 1
+        ledger.account_down(2.0, 3.0, 100.0)  # no double-count
+        assert ledger.breaches == 1
+        assert len(breaches) == 1
+        assert breaches[0].fields["customer"] == "c"
+
+    def test_roll_resets_window_state(self):
+        target = SlaTarget(availability=0.99, window_s=100.0)
+        ledger = SlaLedger("c", target)
+        ledger.begin_window(0.0, 100.0, expected_requests=1000.0)
+        ledger.account_down(0.0, 5.0, 500.0)
+        record = ledger.roll_window()
+        assert record["breached"]
+        assert record["burn"] == pytest.approx(50.0)
+        ledger.begin_window(100.0, 200.0, expected_requests=1000.0)
+        assert ledger.window_bad == 0.0
+        assert not ledger.window_breached
+        assert len(ledger.windows) == 1
+
+    def test_zero_budget_burn(self):
+        ledger = SlaLedger("c")
+        assert ledger.window_burn == 0.0
+        ledger.window_bad = 1.0
+        assert ledger.window_burn == float("inf")
+
+
+class TestObsIntegration:
+    def test_p2_histogram_fed(self):
+        obs = Observability()
+        ledger = SlaLedger("web", obs=obs)
+        for i in range(50):
+            ledger.account_latency(i, i + 1.0, 1e6, mean_ms=29.0)
+        series = list(obs.metrics.find("sla_latency_ms"))
+        assert len(series) == 1
+        histogram = series[0]
+        # Bounded feed: 8 representative samples per batch, never 1e6.
+        assert histogram.count == 50 * 8
+        assert histogram.quantile(0.5) == pytest.approx(
+            ledger.quantile(0.5), rel=0.15)
+
+    def test_counters_accumulate(self):
+        obs = Observability()
+        ledger = SlaLedger("web", obs=obs)
+        ledger.account_latency(0.0, 1.0, 100.0, mean_ms=29.0)
+        ledger.account_down(1.0, 2.0, 10.0)
+        total = list(obs.metrics.find("traffic_requests_total"))[0]
+        assert total.value == pytest.approx(110.0)
+        bad = list(obs.metrics.find("sla_bad_requests_total"))[0]
+        assert bad.value >= 10.0
+
+    def test_snapshot_is_plain(self):
+        import json
+        ledger = SlaLedger("web")
+        ledger.begin_window(0.0, 10.0, 100.0)
+        ledger.account_latency(0.0, 10.0, 100.0, mean_ms=29.0)
+        ledger.roll_window()
+        snapshot = ledger.snapshot()
+        assert json.dumps(snapshot)  # JSON-able
+        assert snapshot["total_requests"] == 100.0
+        assert snapshot["customer"] == "web"
+        assert len(snapshot["windows"]) == 1

@@ -8,6 +8,8 @@ from repro.workloads import Conditions, TpcwWorkload
 from repro.workloads.requests import (
     ConditionSegment,
     RequestAnalyzer,
+    RequestStats,
+    conditions_for_state,
     timeline_from_vm,
 )
 
@@ -102,4 +104,97 @@ class TestTimeline:
         analyzer = RequestAnalyzer(TpcwWorkload())
         stats = analyzer.analyze_vm(vm, 0.0, 3600.0, rate_rps=20.0)
         assert stats.total_requests == pytest.approx(72000)
+        assert stats.error_rate == 0.0
+
+    def test_migrating_degrades_even_without_checkpointing(self, env):
+        # Pre-copy competes with the guest for I/O regardless of the
+        # steady-state checkpointing knob: a MIGRATING window must map
+        # to degraded conditions even with the flag off.
+        vm = NestedVM(env, M3_CATALOG.get("m3.medium"),
+                      workload=TpcwWorkload())
+        vm.set_state(VMState.RUNNING)
+        env._now = 100.0
+        vm.set_state(VMState.MIGRATING)
+        env._now = 160.0
+        vm.set_state(VMState.RUNNING)
+        segments = timeline_from_vm(vm, 0.0, 200.0,
+                                    checkpointing_while_running=False)
+        migrating = [s for s in segments
+                     if s.start == 100.0 and s.end == 160.0]
+        assert len(migrating) == 1
+        assert not migrating[0].down
+        assert migrating[0].conditions.checkpointing
+        # The surrounding RUNNING windows honour the flag.
+        running = [s for s in segments if s.start in (0.0, 160.0)]
+        assert all(not s.conditions.checkpointing for s in running)
+
+    def test_pure_downtime_vm(self, env):
+        # A VM that never comes up: every request fails, latency nan.
+        import math
+        vm = NestedVM(env, M3_CATALOG.get("m3.medium"),
+                      workload=TpcwWorkload())
+        env._now = 500.0
+        analyzer = RequestAnalyzer(TpcwWorkload())
+        stats = analyzer.analyze_vm(vm, 0.0, 500.0, rate_rps=4.0)
+        assert stats.error_rate == 1.0
+        assert stats.failed_requests == pytest.approx(2000.0)
+        assert math.isnan(stats.p50_ms) and math.isnan(stats.p99_ms)
+
+
+class TestConditionsForState:
+    def test_down_states_map_to_none(self):
+        for state in (VMState.SUSPENDED, VMState.PROVISIONING,
+                      VMState.TERMINATED):
+            assert conditions_for_state(state) is None
+            assert conditions_for_state(
+                state, checkpointing_while_running=False) is None
+
+    def test_migrating_always_checkpointing(self):
+        for flag in (True, False):
+            conditions = conditions_for_state(
+                VMState.MIGRATING, checkpointing_while_running=flag)
+            assert conditions.checkpointing
+
+    def test_running_honours_flag(self):
+        assert conditions_for_state(VMState.RUNNING).checkpointing
+        assert not conditions_for_state(
+            VMState.RUNNING,
+            checkpointing_while_running=False).checkpointing
+
+    def test_restoring_is_demand_paging(self):
+        conditions = conditions_for_state(VMState.RESTORING)
+        assert conditions.restoring
+        assert conditions.restore_concurrency == 1
+
+
+class TestQuantileGrid:
+    def test_heavy_tail_not_clamped(self, analyzer):
+        # latency_cov=3.0: sigma = sqrt(ln 10), true p99 is ~10.8x the
+        # mean.  The old fixed grid topped out at 6x the largest mean
+        # and silently clamped; the adaptive grid must not.
+        import math
+        from scipy.special import ndtri
+        heavy = RequestAnalyzer(TpcwWorkload(), latency_cov=3.0)
+        stats = heavy.analyze([normal_segment(0, 1000)], rate_rps=10.0)
+        sigma2 = math.log(1.0 + 3.0 ** 2)
+        mu = math.log(stats.mean_ms) - sigma2 / 2.0
+        want_p99 = math.exp(mu + math.sqrt(sigma2) * ndtri(0.99))
+        assert stats.p99_ms == pytest.approx(want_p99, rel=0.01)
+        assert stats.p99_ms > 6.0 * stats.mean_ms
+
+    def test_mixture_spread_covered(self, analyzer):
+        # Mixing a 29 ms and a 60 ms segment: the grid spans both the
+        # fast component's floor and the slow component's tail.
+        stats = analyzer.analyze(
+            [normal_segment(0, 500), restore_segment(500, 1000)],
+            rate_rps=10.0)
+        assert stats.p50_ms < 60.0 < stats.p99_ms
+
+
+class TestRequestStats:
+    def test_error_rate_zero_division(self):
+        stats = RequestStats(
+            total_requests=0.0, failed_requests=0.0, mean_ms=0.0,
+            p50_ms=0.0, p95_ms=0.0, p99_ms=0.0, sla_threshold_ms=100.0,
+            sla_violation_rate=0.0)
         assert stats.error_rate == 0.0

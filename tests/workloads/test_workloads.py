@@ -114,6 +114,52 @@ class TestSpecJbb:
         assert SpecJbbWorkload.write_rate_pages > TpcwWorkload.write_rate_pages
 
 
+ALL_CONDITIONS = [
+    pytest.param(Conditions(checkpointing=ckpt, backup_overload=load,
+                            restoring=rest,
+                            restore_concurrency=1 if rest else 0),
+                 id=f"ckpt={ckpt}-load={load}-restore={rest}")
+    for ckpt in (False, True)
+    for load in (0.0, 0.3)
+    for rest in (False, True)
+]
+
+
+class TestConditionMatrix:
+    """Every Conditions combination, both workloads, exhaustively.
+
+    The hypothesis tests above sample this space; the traffic engine
+    leans on it for every flush, so the full 2x2x2 grid is pinned here
+    deterministically.
+    """
+
+    @pytest.mark.parametrize("conditions", ALL_CONDITIONS)
+    def test_tpcw_response_well_formed(self, conditions):
+        workload = TpcwWorkload()
+        response = workload.response_time_ms(conditions)
+        assert response >= workload.baseline_response_ms
+        # Any disturbance must cost something; none may speed it up.
+        if conditions.restoring:
+            assert response >= 55.0
+        elif conditions.checkpointing and conditions.backup_overload:
+            assert response > workload.response_time_ms(
+                Conditions(checkpointing=True))
+
+    @pytest.mark.parametrize("conditions", ALL_CONDITIONS)
+    def test_specjbb_throughput_well_formed(self, conditions):
+        workload = SpecJbbWorkload()
+        throughput = workload.throughput_bops(conditions)
+        assert 0.0 < throughput <= workload.baseline_throughput_bops
+        if conditions.restoring:
+            assert throughput <= 0.6 * workload.baseline_throughput_bops
+
+    def test_specjbb_has_no_response_time(self):
+        # The traffic engine falls back to a TPC-W latency model for
+        # throughput-only workloads; this assumption is what makes
+        # that hasattr() gate load-bearing.
+        assert not hasattr(SpecJbbWorkload(), "response_time_ms")
+
+
 class TestMemoryProfiles:
     def test_profiles_build_models(self):
         for name in MEMORY_PROFILES:
