@@ -1,6 +1,6 @@
 """``repro.benchmarking`` — the performance harness behind ``repro bench``.
 
-Five benchmarks, one JSON artifact:
+Six benchmarks, one JSON artifact:
 
 ``repro.benchmarking.kernel``
     Raw discrete-event kernel throughput (events/sec) on an
@@ -17,6 +17,12 @@ Five benchmarks, one JSON artifact:
     1e6 users): kernel wakes and accounting segments must be identical
     — request volume buys zero events.
 
+``repro.benchmarking.fleet``
+    A calm-market SpotCheck cell at two fleet sizes (10 vs 100k nested
+    VMs) with the steady checkpoint flush running through the group
+    scheduler: kernel events and wall clock must stay nearly flat in
+    fleet size.
+
 ``repro.benchmarking.grid``
     One policy-grid cell (with its market-drive skip counters), then
     the full grid serial vs parallel vs cache-warm, with cache and
@@ -25,7 +31,7 @@ Five benchmarks, one JSON artifact:
 
 ``repro.benchmarking.harness``
     Composes all of it into a schema-stable ``BENCH_<label>.json``
-    (``repro-bench/3``), validates written artifacts, and holds
+    (``repro-bench/4``), validates written artifacts, and holds
     throughput above the :func:`check_bench_floors` regression floors,
     so CI can track the performance trajectory across commits.
 
@@ -41,6 +47,7 @@ from repro.benchmarking.harness import (
     validate_bench_file,
     write_bench,
 )
+from repro.benchmarking.fleet import measure_fleet_scaling
 from repro.benchmarking.market import measure_market_drive
 from repro.benchmarking.traffic import measure_traffic_scaling
 
@@ -48,6 +55,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "bench_filename",
     "check_bench_floors",
+    "measure_fleet_scaling",
     "measure_market_drive",
     "measure_traffic_scaling",
     "run_bench",

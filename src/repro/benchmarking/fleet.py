@@ -1,0 +1,161 @@
+"""Fleet-scale cell benchmark: kernel events vs nested-VM count.
+
+One calm-market SpotCheck cell — a single m3.2xlarge spot pool whose
+flat price stays far below the bid, every VM backed up with the
+steady-state checkpoint flush running through the group checkpoint
+scheduler — is driven twice: once at a small fleet size and once at
+fleet scale (100k nested VMs by default).  The batched schedulers'
+promise is that fleet size buys (almost) no kernel events: the group
+scheduler wakes once per shared checkpoint interval regardless of
+cohort size, the condition-driven spare replenisher sleeps at target,
+and the pool index answers placement queries without per-VM scans.
+
+``measure_fleet_scaling`` returns both cells' event totals, the
+normalized ``events_per_vm_hour`` rate, and the large/small event and
+wall-clock ratios ``check_bench_floors`` holds in CI: the 100k-VM cell
+must stay under 20x the events of the 10-VM cell and within ~10x its
+wall clock — per-VM loops would blow through both by orders of
+magnitude.
+
+The cell intentionally consolidates the whole fleet onto ONE scaled
+backup server (spec multiplied by the shard count a real deployment
+would spread the fleet over, sized from the sustained per-VM stream
+rate): the homogeneous fleet then forms a single cohort, which is the
+worst case for the scheduler's aggregation bookkeeping and the best
+case for event elision — exactly the axis this benchmark guards.
+"""
+
+import math
+import time
+
+from repro.backup.server import BackupServerSpec
+from repro.cloud.api import CloudApi
+from repro.cloud.instance_types import M3_CATALOG
+from repro.cloud.zones import default_region
+from repro.core.config import SpotCheckConfig
+from repro.core.controller import SpotCheckController
+from repro.sim.kernel import Environment
+from repro.traces.archive import PriceTrace, TraceArchive
+from repro.virt.migration.checkpoint import CheckpointStream
+from repro.virt.vm import NestedVM
+
+#: Calm-market spot price for the fleet cell, far under the m3.2xlarge
+#: on-demand bid, so no revocation machinery ever wakes.
+_CALM_PRICE = 0.08
+
+#: Ingest-path utilization target when sizing the consolidated backup
+#: server: leave headroom so steady flushes never queue behind each
+#: other (a saturated datapath measures backlog, not scheduling).
+_INGEST_UTILIZATION = 0.8
+
+
+def _steady_rate_bps(env, config):
+    """Sustained steady-flush rate of one nested VM (class-level fact)."""
+    probe = NestedVM(env, M3_CATALOG.get("m3.medium"))
+    return CheckpointStream(
+        probe.memory, config.mechanism.checkpoint).stream_rate_bps()
+
+
+def _fleet_backup_spec(n_vms, rate_bps):
+    """One backup server scaled to the shard count the fleet needs."""
+    base = BackupServerSpec()
+    shards = max(math.ceil(
+        n_vms * rate_bps
+        / (_INGEST_UTILIZATION * base.write_path_bps)), 1)
+    return BackupServerSpec(
+        net_bps=base.net_bps * shards,
+        disk_write_bps=base.disk_write_bps * shards,
+        seq_read_bps=base.seq_read_bps * shards,
+        rand_read_bps=base.rand_read_bps * shards,
+        fadvise_rand_read_bps=base.fadvise_rand_read_bps * shards,
+        max_checkpoint_vms=n_vms,
+        page_cache_bytes=base.page_cache_bytes * shards,
+    ), shards
+
+
+def _drive_cell(n_vms, days, seed):
+    """Run one calm-market fleet cell; returns its measurement dict."""
+    env = Environment(seed=seed)
+    region = default_region(1)
+    zone = region.zones[0]
+    api = CloudApi(env, region, M3_CATALOG)
+    duration_s = days * 24 * 3600.0
+    itype = M3_CATALOG.get("m3.2xlarge")
+    archive = TraceArchive()
+    archive.add(PriceTrace([0.0, duration_s], [_CALM_PRICE, _CALM_PRICE],
+                           itype.name, zone.name, itype.on_demand_price))
+
+    config = SpotCheckConfig(
+        hot_spares=2,
+        vms_per_backup=n_vms,
+        steady_checkpoint_flush=True,
+        defer_flush_accounting=True,
+    )
+    rate_bps = _steady_rate_bps(env, config)
+    spec, shards = _fleet_backup_spec(n_vms, rate_bps)
+    config.backup_spec = spec
+
+    controller = SpotCheckController(env, api, config)
+    controller.install_pools(archive, zone, type_names=[itype.name])
+    customer = controller.start_customer("fleet")
+    pool = controller.pools.spot_pool(itype.name, zone.name)
+
+    started = time.perf_counter()
+    vms = env.run(until=controller.provision_fleet(customer, n_vms,
+                                                   pool=pool))
+    env.run(until=duration_s)
+    controller.finalize()
+    wall = time.perf_counter() - started
+
+    if len(vms) != n_vms:
+        raise AssertionError(
+            f"fleet cell booted {len(vms)} of {n_vms} VMs")
+    flush = controller.migrations.flush_drive_stats()
+    spares = controller.spares_drive_stats()
+    vm_hours = n_vms * days * 24.0
+    return {
+        "vms": n_vms,
+        "hosts": pool.host_count,
+        "days": days,
+        "backup_shards": shards,
+        "events": env.events_processed,
+        "events_per_vm_hour": env.events_processed / vm_hours,
+        "wall_s": wall,
+        "flush_cohorts": flush["cohorts_created"],
+        "flush_flows": flush["flows_issued"],
+        "spare_wakes": spares["wakes"],
+        "spare_polls": spares["polls"],
+    }
+
+
+def measure_fleet_scaling(small_vms=10, large_vms=100_000, days=14.0,
+                          seed=11, echo=None):
+    """Benchmark the fleet cell at two sizes; returns the comparison.
+
+    Returns a dict with both cells' measurements plus the derived
+    ``event_ratio`` (large events / small events — near 1.0 when the
+    batched schedulers elide correctly, O(large/small) when any per-VM
+    loop survives) and ``wall_ratio`` (large wall / small wall, floored
+    at 50 ms per cell so sub-second smoke cells cannot flake the
+    ratio).
+    """
+    if small_vms < 1 or large_vms <= small_vms:
+        raise ValueError("need 1 <= small_vms < large_vms")
+    if echo is not None:
+        echo(f"  small cell: {small_vms} VMs, {days:.0f} days ...")
+    small = _drive_cell(small_vms, days, seed)
+    if echo is not None:
+        echo(f"    {small['events']} events, {small['wall_s']:.2f}s")
+        echo(f"  large cell: {large_vms} VMs, {days:.0f} days ...")
+    large = _drive_cell(large_vms, days, seed)
+    if echo is not None:
+        echo(f"    {large['events']} events, {large['wall_s']:.2f}s")
+    return {
+        "days": days,
+        "seed": seed,
+        "small": small,
+        "large": large,
+        "event_ratio": large["events"] / max(small["events"], 1),
+        "wall_ratio": max(large["wall_s"], 0.05)
+        / max(small["wall_s"], 0.05),
+    }

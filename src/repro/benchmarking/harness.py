@@ -17,6 +17,14 @@ microbenchmark (``repro.benchmarking.traffic``), whose low- and
 high-volume cells must land identical kernel-wake counts —
 ``check_bench_floors`` fails the artifact if request volume bought
 even one extra wake.
+
+Schema 4 adds the ``fleet`` section: the fleet-scale cell benchmark
+(``repro.benchmarking.fleet``), a calm-market SpotCheck cell driven at
+two fleet sizes with the steady checkpoint flush running through the
+group scheduler.  ``check_bench_floors`` holds the large cell's kernel
+events under :data:`FLEET_EVENT_RATIO_CEILING` times the small cell's
+and its wall clock under :data:`FLEET_WALL_RATIO_CEILING` times — a
+surviving per-VM loop blows through both by orders of magnitude.
 """
 
 import json
@@ -24,6 +32,7 @@ import os
 import sys
 import time
 
+from repro.benchmarking.fleet import measure_fleet_scaling
 from repro.benchmarking.grid import measure_cell, measure_grid
 from repro.benchmarking.kernel import measure_kernel
 from repro.benchmarking.market import measure_market_drive
@@ -31,7 +40,7 @@ from repro.benchmarking.traffic import measure_traffic_scaling
 from repro.experiments.scenario import MECHANISMS, POLICIES
 
 #: Current artifact schema identifier.
-BENCH_SCHEMA = "repro-bench/3"
+BENCH_SCHEMA = "repro-bench/4"
 
 #: Floors for :func:`check_bench_floors`, far below what any healthy
 #: host measures (a laptop does ~1M kernel events/sec and ~300k stepped
@@ -40,6 +49,13 @@ BENCH_SCHEMA = "repro-bench/3"
 #: heap degrading — still lands well under them.
 KERNEL_EVENTS_PER_SEC_FLOOR = 50_000.0
 MARKET_EVENTS_PER_SEC_FLOOR = 20_000.0
+
+#: Fleet-cell scaling ceilings.  The measured ratios sit near 1.2 and
+#: 1.7 (fleet size buys almost nothing); a surviving per-VM loop
+#: multiplies events by the fleet-size ratio (1000x+), so generous
+#: ceilings still catch any real regression without flaking on noise.
+FLEET_EVENT_RATIO_CEILING = 20.0
+FLEET_WALL_RATIO_CEILING = 10.0
 
 #: Preset for the seconds-scale CI smoke benchmark.
 SMOKE_PRESET = {
@@ -55,6 +71,8 @@ SMOKE_PRESET = {
     "market_instances": 4,
     "traffic_days": 2.0,
     "traffic_scales": (1_000, 1_000_000),
+    "fleet_days": 2.0,
+    "fleet_scales": (10, 10_000),
 }
 
 #: Preset for a full local benchmark run.
@@ -71,11 +89,14 @@ FULL_PRESET = {
     "market_instances": 10,
     "traffic_days": 7.0,
     "traffic_scales": (1_000, 1_000_000),
+    "fleet_days": 14.0,
+    "fleet_scales": (10, 100_000),
 }
 
 
 def run_bench(label="local", smoke=False, seed=11, workers=None, days=None,
-              vms=None, kernel_events=None, echo=None):
+              vms=None, kernel_events=None, fleet_vms=None, fleet_days=None,
+              echo=None):
     """Run the kernel, cell, and grid benchmarks; returns the payload."""
     preset = dict(SMOKE_PRESET if smoke else FULL_PRESET)
     if workers is not None:
@@ -86,6 +107,10 @@ def run_bench(label="local", smoke=False, seed=11, workers=None, days=None,
         preset["vms"] = preset["cell_vms"] = vms
     if kernel_events is not None:
         preset["kernel_events"] = kernel_events
+    if fleet_vms is not None:
+        preset["fleet_scales"] = (preset["fleet_scales"][0], fleet_vms)
+    if fleet_days is not None:
+        preset["fleet_days"] = fleet_days
 
     def say(message):
         if echo is not None:
@@ -114,6 +139,17 @@ def run_bench(label="local", smoke=False, seed=11, workers=None, days=None,
     say(f"  {traffic['high']['requests']:.0f} requests in "
         f"{traffic['high']['wakes']} wakes (x{traffic['request_ratio']:.0f} "
         f"volume, wake ratio {traffic['wake_ratio']:.2f})")
+
+    small_fleet, large_fleet = preset["fleet_scales"]
+    say(f"fleet cell: {preset['fleet_days']:.0f} days, "
+        f"{small_fleet} vs {large_fleet} VMs ...")
+    fleet = measure_fleet_scaling(small_vms=small_fleet,
+                                  large_vms=large_fleet,
+                                  days=preset["fleet_days"], seed=seed,
+                                  echo=say)
+    say(f"  {fleet['large']['events']} events at {large_fleet} VMs "
+        f"(event ratio {fleet['event_ratio']:.2f}, wall "
+        f"x{fleet['wall_ratio']:.2f})")
 
     say(f"cell: 1P-M/spotcheck-lazy, {preset['cell_days']:.0f} days, "
         f"{preset['cell_vms']} VMs ...")
@@ -145,6 +181,7 @@ def run_bench(label="local", smoke=False, seed=11, workers=None, days=None,
         "kernel": kernel,
         "market": market,
         "traffic": traffic,
+        "fleet": fleet,
         "cell": cell,
         "grid": grid,
     }
@@ -180,7 +217,7 @@ def _require(payload, dotted, kinds):
 
 
 def validate_bench(payload):
-    """Check a payload against the ``repro-bench/3`` schema.
+    """Check a payload against the ``repro-bench/4`` schema.
 
     Raises ``ValueError`` on any missing field, wrong type, or
     non-positive timing; returns the payload for chaining.
@@ -208,6 +245,14 @@ def validate_bench(payload):
                   "traffic.high.users", "traffic.high.requests",
                   "traffic.high.wakes", "traffic.high.segments",
                   "traffic.high.wall_s",
+                  "fleet.small.vms", "fleet.small.events",
+                  "fleet.small.events_per_vm_hour", "fleet.small.wall_s",
+                  "fleet.small.flush_cohorts", "fleet.small.flush_flows",
+                  "fleet.small.spare_wakes", "fleet.small.spare_polls",
+                  "fleet.large.vms", "fleet.large.events",
+                  "fleet.large.events_per_vm_hour", "fleet.large.wall_s",
+                  "fleet.large.flush_cohorts", "fleet.large.flush_flows",
+                  "fleet.large.spare_wakes", "fleet.large.spare_polls",
                   "cell.wall_s", "cell.market_drive.points",
                   "cell.market_drive.wakes", "cell.market_drive.delivered",
                   "cell.market_drive.rearms",
@@ -229,7 +274,8 @@ def validate_bench(payload):
                   "market.speedup", "cell.market_drive.event_reduction",
                   "market.stepped.events_per_sec",
                   "market.indexed.events_per_sec",
-                  "traffic.request_ratio", "traffic.wake_ratio"):
+                  "traffic.request_ratio", "traffic.wake_ratio",
+                  "fleet.event_ratio", "fleet.wall_ratio"):
         if _require(payload, field, (int, float)) <= 0:
             raise ValueError(f"bench payload field {field!r} must be > 0")
     return payload
@@ -237,7 +283,9 @@ def validate_bench(payload):
 
 def check_bench_floors(payload,
                        kernel_floor=KERNEL_EVENTS_PER_SEC_FLOOR,
-                       market_floor=MARKET_EVENTS_PER_SEC_FLOOR):
+                       market_floor=MARKET_EVENTS_PER_SEC_FLOOR,
+                       fleet_event_ceiling=FLEET_EVENT_RATIO_CEILING,
+                       fleet_wall_ceiling=FLEET_WALL_RATIO_CEILING):
     """Hold kernel and market-drive throughput above absolute floors.
 
     The floors are deliberately generous (see the module constants) —
@@ -278,6 +326,28 @@ def check_bench_floors(payload,
             f"traffic scaling cells too close "
             f"(x{traffic['request_ratio']:.0f} request volume) to prove "
             f"volume independence")
+    fleet = payload["fleet"]
+    vm_ratio = fleet["large"]["vms"] / max(fleet["small"]["vms"], 1)
+    if fleet["event_ratio"] >= fleet_event_ceiling:
+        problems.append(
+            f"fleet cell events scale with fleet size: "
+            f"{fleet['small']['events']} events at "
+            f"{fleet['small']['vms']} VMs vs {fleet['large']['events']} "
+            f"at {fleet['large']['vms']} (ratio {fleet['event_ratio']:.1f} "
+            f">= ceiling {fleet_event_ceiling:.0f})")
+    if fleet["wall_ratio"] > fleet_wall_ceiling:
+        problems.append(
+            f"fleet cell wall clock scales with fleet size: "
+            f"x{fleet['wall_ratio']:.1f} at x{vm_ratio:.0f} VMs "
+            f"(ceiling x{fleet_wall_ceiling:.0f})")
+    if fleet["large"]["events_per_vm_hour"] \
+            >= fleet["small"]["events_per_vm_hour"]:
+        problems.append(
+            f"fleet cell events/VM-hour did not amortize: "
+            f"{fleet['large']['events_per_vm_hour']:.3f} at "
+            f"{fleet['large']['vms']} VMs >= "
+            f"{fleet['small']['events_per_vm_hour']:.3f} at "
+            f"{fleet['small']['vms']}")
     if problems:
         raise ValueError("; ".join(problems))
     return payload

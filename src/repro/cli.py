@@ -252,9 +252,20 @@ def _cmd_report(args):
 
 def _cmd_bench(args):
     from repro.benchmarking import run_bench, write_bench
+    fleet_vms = args.fleet_vms
+    fleet_days = args.fleet_days
+    if args.fleet:
+        # The full-size fleet cell (100k VMs, 14 days), even when the
+        # rest of the run is the smoke preset.
+        if fleet_vms is None:
+            fleet_vms = 100_000
+        if fleet_days is None:
+            fleet_days = 14.0
     payload = run_bench(label=args.label, smoke=args.smoke, seed=args.seed,
                         workers=args.workers, days=args.days, vms=args.vms,
-                        kernel_events=args.kernel_events, echo=print)
+                        kernel_events=args.kernel_events,
+                        fleet_vms=fleet_vms, fleet_days=fleet_days,
+                        echo=print)
     path = write_bench(payload, out_dir=args.out_dir)
     kernel = payload["kernel"]
     market = payload["market"]
@@ -269,6 +280,12 @@ def _cmd_bench(args):
           f"in {traffic['high']['wakes']} wakes "
           f"(x{traffic['request_ratio']:.0f} volume, wake ratio "
           f"{traffic['wake_ratio']:.2f})")
+    fleet = payload["fleet"]
+    print(f"fleet cell ....... {fleet['large']['vms']} VMs in "
+          f"{fleet['large']['events']} events "
+          f"({fleet['large']['events_per_vm_hour']:.3f}/VM-hour, event "
+          f"ratio {fleet['event_ratio']:.2f}, wall "
+          f"x{fleet['wall_ratio']:.2f})")
     print(f"grid serial ...... {grid['serial_wall_s']:.2f}s "
           f"({grid['cells']} cells)")
     print(f"grid parallel .... {grid['parallel_wall_s']:.2f}s "
@@ -375,6 +392,13 @@ def build_parser():
                        help="override the preset's fleet size")
     bench.add_argument("--kernel-events", type=int, default=None,
                        help="override the kernel benchmark's event count")
+    bench.add_argument("--fleet", action="store_true",
+                       help="run the fleet cell at full size "
+                            "(100k VMs, 14 days) even with --smoke")
+    bench.add_argument("--fleet-vms", type=int, default=None,
+                       help="override the fleet cell's large VM count")
+    bench.add_argument("--fleet-days", type=float, default=None,
+                       help="override the fleet cell's duration")
     bench.add_argument("--out-dir", default=".",
                        help="directory for BENCH_<label>.json")
     bench.set_defaults(func=_cmd_bench)

@@ -143,6 +143,70 @@ class CloudApi:
             spot_market.register(instance)
         return instance
 
+    def run_instances(self, itype, zone, market, count, bid=None):
+        """Process: launch ``count`` instances as one batched call.
+
+        The fleet-provisioning path (EC2's ``RunInstances`` takes a
+        count for exactly this reason): one fault check, one capacity
+        reservation, and one control-plane latency cover the whole
+        batch, so bulk-booting 10k hosts does not serialize 10k
+        launch latencies.  Returns the list of RUNNING instances.
+        """
+        return self.env.process(
+            self._run_instances(itype, zone, market, count, bid))
+
+    def _run_instances(self, itype, zone, market, count, bid):
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        if market is Market.ON_DEMAND:
+            if self.faults is not None:
+                self.faults.check(
+                    "start_on_demand_instance", type_name=itype.name,
+                    zone_name=zone.name, market_kind="on-demand")
+            if (self.on_demand_capacity is not None
+                    and self._running_on_demand + count
+                    > self.on_demand_capacity):
+                raise CapacityError(
+                    f"no on-demand capacity for {count}x {itype.name} "
+                    f"in {zone}")
+            operation = "start_on_demand_instance"
+        else:
+            if self.faults is not None:
+                self.faults.check(
+                    "start_spot_instance", type_name=itype.name,
+                    zone_name=zone.name, market_kind="spot")
+            spot_market = self.marketplace.market(itype, zone)
+            if bid is None or bid <= 0:
+                raise ValueError("spot requests require a positive bid")
+            if spot_market.current_price() > bid:
+                raise BidTooLow(
+                    f"bid {bid} below spot price "
+                    f"{spot_market.current_price()} in {spot_market.key}")
+            operation = "start_spot_instance"
+
+        instances = [Instance(self.env, itype, zone, market, bid=bid)
+                     for _ in range(count)]
+        # Reserve the whole batch across the latency, with the same
+        # rollback discipline as the single-instance path.
+        if market is Market.ON_DEMAND:
+            self._running_on_demand += count
+        try:
+            yield self.env.timeout(self._op_latency(operation))
+        except BaseException:
+            if market is Market.ON_DEMAND:
+                self._running_on_demand -= count
+            raise
+
+        spot_market = (self.marketplace.market(itype, zone)
+                       if market is Market.SPOT else None)
+        for instance in instances:
+            self.instances[instance.id] = instance
+            instance._mark_running()
+            self.billing.open(instance)
+            if spot_market is not None:
+                spot_market.register(instance)
+        return instances
+
     def terminate_instance(self, instance):
         """Process: gracefully relinquish an instance.
 

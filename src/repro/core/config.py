@@ -73,6 +73,17 @@ class SpotCheckConfig:
         :class:`~repro.faults.retry.RetryPolicy` governing every
         control-plane retry: placement attempts, transient API errors,
         and the deadline-aware revocation-path detaches.
+    steady_checkpoint_flush:
+        Run the steady-state checkpoint streams of every backed-up VM
+        as DES flows through the group checkpoint scheduler (one
+        cohort wakeup per shared interval, aggregated flows on the
+        backup datapath).  Off by default: the scenario goldens
+        predate steady flush simulation and price only final commits,
+        so enabling it is an explicit opt-in for fleet cells.
+    defer_flush_accounting:
+        With ``steady_checkpoint_flush``, credit members O(1) per
+        round and settle per-VM totals at finalize (fleet mode)
+        instead of eagerly every round.
     """
 
     allocation_policy: str = "1P-M"
@@ -95,6 +106,8 @@ class SpotCheckConfig:
     live_safety_factor: float = 0.5
     live_migration_bps: float = 22e6
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    steady_checkpoint_flush: bool = False
+    defer_flush_accounting: bool = False
 
     def __post_init__(self):
         if self.bid_policy not in ("on-demand", "multiple", "knee"):

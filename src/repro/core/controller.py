@@ -90,6 +90,10 @@ class SpotCheckController:
         from repro.core.policies.spares import HotSparePolicy
         self.spares = HotSparePolicy(
             self.config.hot_spares, use_staging=self.config.use_staging)
+        self.spares.on_deficit = self._kick_spares
+        #: Pending replenisher sleep; deficit edges and finalize succeed it.
+        self._spares_wakeup = None
+        self._spares_stats = {"wakes": 0, "polls": 0, "provisioned": 0}
         self.backup_pool = BackupPool(self._provision_backup_server)
         self.migrations = MigrationManager(self)
         self.customers = {}
@@ -407,6 +411,92 @@ class SpotCheckController:
             host_itype.memory_gib // self.slot_itype.memory_gib,
             host_itype.vcpus // self.slot_itype.vcpus)), 1)
 
+    # -- bulk provisioning -------------------------------------------------
+
+    def provision_fleet(self, customer, count, pool=None,
+                        workload_factory=None):
+        """Process: bulk-boot ``count`` nested VMs onto one spot pool.
+
+        The fleet-scale request path: one batched ``run_instances``
+        call launches every host (one control-plane latency for the
+        whole fleet), VMs boot directly into the sliced slots, and
+        plan-level per-VM work (the live-fits-warning planner, the
+        iterative stream-rate solve) is computed once per workload
+        class instead of once per VM.  Unlike :meth:`request_server`,
+        the bulk path skips per-VM ENI/volume plumbing — subnets are
+        /24s, so a 100k-VM cell cannot hold per-VM addresses, and
+        nothing in the steady-state machinery needs them (every
+        consumer null-checks ``vm.eni`` / ``vm.volume``).
+
+        Returns the list of running nested VMs.
+        """
+        return self.env.process(
+            self._provision_fleet(customer, count, pool, workload_factory))
+
+    def _provision_fleet(self, customer, count, pool, workload_factory):
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        if pool is None:
+            pool = next(iter(self.pools.spot_pools.values()))
+        slots = self._slots_per_host(pool.itype)
+        host_count = -(-count // slots)
+        instances = yield self.api.run_instances(
+            pool.itype, pool.zone, Market.SPOT, host_count, bid=pool.bid)
+        hosts = []
+        for instance in instances:
+            host = HostVM(self.env, instance, self.slot_itype, slots=slots)
+            pool.add_host(host)
+            self.env.process(self._watch_spot_host(host, pool))
+            hosts.append(host)
+
+        warning = self.api.marketplace.warning_period
+        #: Per-workload-class plan cache: every VM of one class shares
+        #: identical memory parameters, so the planner verdict and
+        #: stream rate are class-level facts.
+        class_plans = {}
+        vms = []
+        booted = 0
+        obs = self.env.obs
+        for host in hosts:
+            for _slot in range(slots):
+                if booted >= count:
+                    break
+                workload = (workload_factory() if workload_factory
+                            is not None else None)
+                vm = NestedVM(self.env, self.slot_itype, workload=workload,
+                              customer=customer)
+                vm.checkpoint_stream = CheckpointStream(
+                    vm.memory, self.config.mechanism.checkpoint)
+                key = type(vm.workload).__name__
+                plan = class_plans.get(key)
+                if plan is None:
+                    plan = {
+                        "live_fits": self.migrations.live_fits_warning(
+                            vm.memory, warning),
+                        "rate": vm.checkpoint_stream.stream_rate_bps(),
+                    }
+                    class_plans[key] = plan
+                host.hypervisor.boot(vm)
+                vm.host = host
+                customer.add_vm(vm)
+                self.ledger.vm_created(vm)
+                if not (self.config.live_migration_only
+                        or plan["live_fits"]):
+                    backup = self.backup_pool.assign(
+                        vm.id, plan["rate"], cap=self.config.vms_per_backup)
+                    vm.backup_assignment = backup
+                    backup.store.open_image(vm.id, vm.memory.total_bytes)
+                    backup.store.seed_full_image(vm.id)
+                    if self.config.steady_checkpoint_flush:
+                        self.migrations.steady_flush_join(vm, backup)
+                booted += 1
+                vms.append(vm)
+        if obs is not None:
+            obs.emit("fleet.provisioned", vms=len(vms), hosts=len(hosts),
+                     pool_key=pool.key)
+            obs.metrics.counter("vms_created_total").inc(len(vms))
+        return vms
+
     def _host_with_slot(self, pool):
         """Process body: a host in ``pool`` with a slot reserved for us.
 
@@ -486,6 +576,8 @@ class SpotCheckController:
         vm.backup_assignment = backup
         backup.store.open_image(vm.id, vm.memory.total_bytes)
         backup.store.seed_full_image(vm.id)
+        if self.config.steady_checkpoint_flush:
+            self.migrations.steady_flush_join(vm, backup)
 
     def on_demand_pool_for(self, vm):
         """The on-demand pool revoked VMs of ``vm`` fail over to.
@@ -504,6 +596,7 @@ class SpotCheckController:
         backup = vm.backup_assignment
         if backup is None:
             return
+        self.migrations.steady_flush_leave(vm.id)
         self.backup_pool.release(vm.id, backup)
         backup.store.close_image(vm.id)
         vm.backup_assignment = None
@@ -797,23 +890,60 @@ class SpotCheckController:
 
     # -- hot spares -------------------------------------------------------
 
+    def _kick_spares(self):
+        """Deficit-edge hook: wake the sleeping replenisher."""
+        wakeup = self._spares_wakeup
+        if wakeup is not None and not wakeup.triggered:
+            wakeup.succeed()
+
     def _replenish_spares(self):
-        """Keep the hot-spare reserve at its target size."""
+        """Keep the hot-spare reserve at its target size.
+
+        Condition-driven: after filling the reserve the process sleeps
+        on a bare event that only deficit transition edges (a spare
+        taken via ``HotSparePolicy.on_deficit``) or finalization
+        succeed, so an at-target reserve costs zero kernel events no
+        matter how long the run — the old 60 s poll survives only as a
+        retry backoff after the platform refused capacity.  Finalize
+        wakes the process too, so a drained controller goes quiet
+        immediately instead of leaking one last poll wakeup.
+        """
         od_pool = self.pools.on_demand_pool(
             self.slot_itype.name, self.zone.name)
         while not self._finalized:
-            while self.spares.deficit > 0:
+            refused = False
+            while self.spares.deficit > 0 and not self._finalized:
                 try:
                     instance = yield from self._api_retry(
                         lambda: self.api.run_instance(
                             self.slot_itype, self.zone, Market.ON_DEMAND),
                         "start_on_demand_instance")
                 except (CapacityError, ApiError):
+                    refused = True
                     break
                 host = HostVM(self.env, instance, self.slot_itype, slots=1)
                 od_pool.add_host(host)
                 self.spares.add_spare(host)
-            yield self.env.timeout(60.0)
+                self._spares_stats["provisioned"] += 1
+            if self._finalized:
+                break
+            self._spares_wakeup = wakeup = self.env.event()
+            if refused:
+                # Capacity backoff: retry on the legacy 60 s cadence,
+                # but let a deficit edge or finalize cut it short.
+                yield self.env.any_of([wakeup, self.env.timeout(60.0)])
+                self._spares_stats["polls"] += 1
+            else:
+                yield wakeup
+                self._spares_stats["wakes"] += 1
+            self._spares_wakeup = None
+
+    def spares_drive_stats(self):
+        """Replenisher wakeup counters (the fleet bench's elision proof)."""
+        stats = dict(self._spares_stats)
+        stats["consumed"] = self.spares.consumed
+        stats["replenished"] = self.spares.replenished
+        return stats
 
     # -- relinquish -------------------------------------------------------
 
@@ -870,6 +1000,8 @@ class SpotCheckController:
         if self._finalized:
             return
         self._finalized = True
+        self._kick_spares()
+        self.migrations.settle_steady_flush()
         if self.traffic is not None:
             self.traffic.finalize()
         for server in self.backup_pool.servers:

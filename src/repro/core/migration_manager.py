@@ -24,6 +24,7 @@ from repro.faults.retry import retry_call
 from repro.obs.trace import NULL_TRACER
 from repro.virt.hypervisor import HostVM
 from repro.virt.migration.checkpoint import CheckpointStream
+from repro.virt.migration.group import GroupCheckpointScheduler
 from repro.virt.migration.live import PreCopyMigration
 from repro.virt.migration.restore import SKELETON_BYTES
 from repro.virt.vm import VMState
@@ -89,6 +90,61 @@ class MigrationManager:
         self.api = controller.api
         self.config = controller.config
         self.ledger = controller.ledger
+        #: backup-server id -> GroupCheckpointScheduler for that
+        #: server's steady-state flush cohorts (steady_checkpoint_flush).
+        self._flush_schedulers = {}
+        #: vm id -> the scheduler currently streaming it.
+        self._flush_members = {}
+
+    # -- steady-state flush (group scheduler) ------------------------------
+
+    def steady_flush_join(self, vm, backup):
+        """Enroll a backed-up VM's steady checkpoint stream.
+
+        All VMs of one backup server share a scheduler; VMs with
+        identical plans that enroll at the same instant share a cohort
+        (one wakeup per interval for the whole group).
+        """
+        if vm.id in self._flush_members:
+            return
+        scheduler = self._flush_schedulers.get(backup.id)
+        if scheduler is None:
+            scheduler = GroupCheckpointScheduler(
+                self.env, backup.ingest,
+                defer_accounting=self.config.defer_flush_accounting)
+            self._flush_schedulers[backup.id] = scheduler
+
+        def _commit(flushed, vm_id=vm.id, store=backup.store):
+            # A round in flight when the VM released its backup still
+            # credits the scheduler's totals, but the image is gone.
+            if vm_id in store:
+                store.commit(vm_id, flushed)
+
+        scheduler.join(vm.id, vm.checkpoint_stream, on_flush=_commit)
+        self._flush_members[vm.id] = scheduler
+
+    def steady_flush_leave(self, vm_id):
+        """Drop a VM from its flush cohort (in-flight rounds drain)."""
+        scheduler = self._flush_members.pop(vm_id, None)
+        if scheduler is not None:
+            scheduler.leave(vm_id)
+
+    def settle_steady_flush(self):
+        """Finalize every flush scheduler (synchronous, see finalize)."""
+        for scheduler in self._flush_schedulers.values():
+            scheduler.settle_now()
+
+    def flush_drive_stats(self):
+        """Aggregated group-scheduler counters for the fleet bench."""
+        totals = {"schedulers": len(self._flush_schedulers),
+                  "cohorts_created": 0, "cohorts_active": 0,
+                  "members": 0, "flows_issued": 0, "splits": 0}
+        for scheduler in self._flush_schedulers.values():
+            stats = scheduler.stats()
+            for key in ("cohorts_created", "cohorts_active", "members",
+                        "flows_issued", "splits"):
+                totals[key] += stats[key]
+        return totals
 
     # -- destination acquisition ------------------------------------------
 

@@ -29,6 +29,11 @@ class HotSparePolicy:
         self.consumed = 0
         self.replenished = 0
         self.staged = 0
+        #: Optional callback fired when a take pushes the reserve below
+        #: target (a deficit transition edge).  The controller's
+        #: replenisher sleeps forever and is woken only through this
+        #: hook — no polling.
+        self.on_deficit = None
 
     @property
     def available(self):
@@ -52,7 +57,10 @@ class HotSparePolicy:
         for index, host in enumerate(self.spares):
             if zone is None or host.zone == zone:
                 self.consumed += 1
-                return self.spares.pop(index)
+                taken = self.spares.pop(index)
+                if self.deficit > 0 and self.on_deficit is not None:
+                    self.on_deficit()
+                return taken
         return None
 
     def find_staging_slot(self, pools, exclude_pool=None, zone=None):

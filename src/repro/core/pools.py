@@ -7,15 +7,73 @@ allocation policies weigh: historical cost per nested-VM slot and
 revocation/migration counts.
 """
 
+import heapq
 from collections import deque
+from itertools import count
 
 #: How many trailing price samples feed ``recent_mean_price_per_slot``
 #: (the bound the per-step deque historically had).
 PRICE_SAMPLE_WINDOW = 512
 
+#: Per-host record fields inside ``ServerPool._hosts``.
+_SEQ, _VMS, _OFFERED, _HOOK = range(4)
+
+
+class _HostsView:
+    """Live, ordered, sequence-like view over a pool's host set.
+
+    The pool stores hosts in an insertion-ordered dict (O(1) removal);
+    this view preserves the old ``pool.hosts`` list surface — iteration,
+    ``len``, ``in``, indexing — without materializing a list on every
+    access.  Indexing is O(n) but only test/inspection code indexes.
+    """
+
+    __slots__ = ("_records",)
+
+    def __init__(self, records):
+        self._records = records
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __len__(self):
+        return len(self._records)
+
+    def __contains__(self, host):
+        return host in self._records
+
+    def __bool__(self):
+        return bool(self._records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._records)[index]
+        n = len(self._records)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("host index out of range")
+        for i, host in enumerate(self._records):
+            if i == index:
+                return host
+        raise IndexError("host index out of range")
+
+    def __repr__(self):
+        return repr(list(self._records))
+
 
 class ServerPool:
-    """Base pool: the native hosts of one (market, type, zone)."""
+    """Base pool: the native hosts of one (market, type, zone).
+
+    Hot state is kept in aggregate form so fleet-scale controllers never
+    scan the host list: an insertion-ordered host dict (O(1) add and
+    remove), a running nested-VM total maintained by per-host
+    :attr:`~repro.virt.hypervisor.NestedHypervisor.on_change` hooks
+    (O(1) ``vm_count``), and a min-seq heap of placement candidates so
+    ``host_with_free_slot`` is amortized O(log n) while still returning
+    the *first* eligible host in insertion order, exactly as the old
+    linear scan did.
+    """
 
     market_kind = "abstract"
 
@@ -23,18 +81,67 @@ class ServerPool:
         self.itype = itype
         self.zone = zone
         self.slot_itype = slot_itype
-        self.hosts = []
+        #: host -> [seq, last_vm_count, offered, hook]
+        self._hosts = {}
+        self._seq = count()
+        self._vm_total = 0
+        #: (seq, host) placement candidates; entries go stale when a
+        #: host leaves, fills up, or stops running, and are discarded
+        #: lazily on lookup.  ``offered`` on the record keeps each live
+        #: membership represented at most once.
+        self._free_heap = []
+        self.hosts = _HostsView(self._hosts)
 
     @property
     def key(self):
         return (self.market_kind, self.itype.name, self.zone.name)
 
     def add_host(self, host):
-        self.hosts.append(host)
+        if host in self._hosts:
+            return
+        record = [next(self._seq), len(host.vms), False, None]
+        record[_HOOK] = lambda h=host: self._host_changed(h)
+        self._hosts[host] = record
+        self._vm_total += record[_VMS]
+        host._pool = self
+        host.hypervisor.on_change = record[_HOOK]
+        state = host.instance.state.value
+        if state == "pending":
+            # Rare: a host registered before its instance finished
+            # launching.  Offer it once the instance reaches RUNNING.
+            started = host.instance.started
+            if started.callbacks is not None:
+                started.callbacks.append(
+                    lambda _event, h=host: self._host_changed(h))
+        self._offer(host, record)
 
     def remove_host(self, host):
-        if host in self.hosts:
-            self.hosts.remove(host)
+        record = self._hosts.pop(host, None)
+        if record is None:
+            return
+        self._vm_total -= record[_VMS]
+        if getattr(host, "_pool", None) is self:
+            host._pool = None
+        if host.hypervisor.on_change is record[_HOOK]:
+            host.hypervisor.on_change = None
+
+    def _offer(self, host, record):
+        """Push an eligible host into the placement heap (idempotent)."""
+        if record[_OFFERED]:
+            return
+        if host.free_slots > 0 and host.instance.state.value == "running":
+            record[_OFFERED] = True
+            heapq.heappush(self._free_heap, (record[_SEQ], host))
+
+    def _host_changed(self, host):
+        """Slot-occupancy hook: refresh aggregates for one host."""
+        record = self._hosts.get(host)
+        if record is None:
+            return
+        n = len(host.vms)
+        self._vm_total += n - record[_VMS]
+        record[_VMS] = n
+        self._offer(host, record)
 
     def host_with_free_slot(self):
         """A healthy host with a free nested-VM slot, or None.
@@ -42,24 +149,45 @@ class ServerPool:
         Hosts that have received a revocation warning stay in the pool
         until the platform actually terminates them (their VMs are
         still draining), but they are never offered for placement.
+        Warned and terminated entries are dropped permanently (instance
+        states never return to RUNNING); full hosts re-enter the heap
+        via the hypervisor change hook when a slot frees.
         """
-        for host in self.hosts:
-            if host.free_slots > 0 and \
-                    host.instance.state.value == "running":
-                return host
+        heap = self._free_heap
+        records = self._hosts
+        while heap:
+            seq, host = heap[0]
+            record = records.get(host)
+            if record is None or record[_SEQ] != seq:
+                heapq.heappop(heap)  # host left the pool; entry is stale
+                continue
+            if host.instance.state.value != "running":
+                heapq.heappop(heap)
+                record[_OFFERED] = False
+                continue
+            if host.free_slots <= 0:
+                heapq.heappop(heap)
+                record[_OFFERED] = False
+                continue
+            return host
         return None
 
     def vms(self):
-        """All nested VMs across the pool's hosts."""
-        return [vm for host in self.hosts for vm in host.vms]
+        """All nested VMs across the pool's hosts (materialized)."""
+        return [vm for host in self._hosts for vm in host.vms]
+
+    def iter_vms(self):
+        """Iterate nested VMs without building a list."""
+        for host in self._hosts:
+            yield from host.vms
 
     @property
     def vm_count(self):
-        return sum(len(host.vms) for host in self.hosts)
+        return self._vm_total
 
     @property
     def host_count(self):
-        return len(self.hosts)
+        return len(self._hosts)
 
     def __repr__(self):
         return (f"<{type(self).__name__} {self.key} hosts={self.host_count} "
@@ -223,7 +351,17 @@ class PoolManager:
             list(self.on_demand_pools.values())
 
     def pool_of_host(self, host):
-        for pool in self.all_pools():
-            if host in pool.hosts:
-                return pool
-        return None
+        """The registered pool holding ``host``, or None.
+
+        O(1): pools stamp a ``_pool`` backref on membership changes; the
+        stamp is validated against this manager's registry so hosts from
+        foreign managers (or hosts that already left) return None.
+        """
+        pool = getattr(host, "_pool", None)
+        if pool is None:
+            return None
+        registry = (self.spot_pools if pool.market_kind == "spot"
+                    else self.on_demand_pools)
+        if registry.get(pool.key) is not pool:
+            return None
+        return pool

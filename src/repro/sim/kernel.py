@@ -49,6 +49,10 @@ class Environment:
         self._eid = count()
         self.rng = RngRegistry(seed)
         self._active_process = None
+        #: Total events processed by :meth:`step` over the environment's
+        #: lifetime.  The fleet bench divides this by VM-hours to ratchet
+        #: the per-VM event budget; it is never reset.
+        self.events_processed = 0
         #: Observability facade, or ``None`` for uninstrumented runs.
         self.obs = None
         if obs is not None:
@@ -130,6 +134,7 @@ class Environment:
             raise SimulationError("no scheduled events")
         when, _priority, _eid, event = _heappop(self._heap)
         self._now = when
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

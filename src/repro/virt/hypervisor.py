@@ -45,6 +45,11 @@ class NestedHypervisor:
         #: Slots promised to in-flight migrations; counted as occupied
         #: so concurrent migrations cannot race for the same slot.
         self.reserved = 0
+        #: Optional callback fired after any slot-occupancy mutation
+        #: (reserve/cancel/consume/evict).  Pools use it to keep their
+        #: aggregate counters and free-slot index current without
+        #: scanning hosts.
+        self.on_change = None
         #: Host NIC shared by checkpoint streams and migrations.
         self.link = FairShareLink(
             env, capacity_bps=host_itype.network_gbps * 125e6)
@@ -58,10 +63,14 @@ class NestedHypervisor:
         if self.free_slots <= 0:
             raise ValueError("no slot available to reserve")
         self.reserved += 1
+        if self.on_change is not None:
+            self.on_change()
 
     def cancel_reservation(self):
         """Return an unused reservation."""
         self.reserved = max(self.reserved - 1, 0)
+        if self.on_change is not None:
+            self.on_change()
 
     def _consume_slot(self, vm):
         if self.reserved > 0:
@@ -69,6 +78,8 @@ class NestedHypervisor:
         elif self.free_slots <= 0:
             raise ValueError(f"no free slot for {vm.id}")
         self.vms.append(vm)
+        if self.on_change is not None:
+            self.on_change()
 
     def boot(self, vm):
         """Place a nested VM into a free (or reserved) slot, start it."""
@@ -87,6 +98,8 @@ class NestedHypervisor:
         """Remove a nested VM (migrated away or terminated)."""
         if vm in self.vms:
             self.vms.remove(vm)
+            if self.on_change is not None:
+                self.on_change()
 
 
 class HostVM:
@@ -100,6 +113,9 @@ class HostVM:
         #: ENIs reserved for nested-VM addresses (one per slot, plus the
         #: host's default interface which is not modelled here).
         self.interfaces = []
+        #: Backref stamped by :meth:`repro.core.pools.ServerPool.add_host`
+        #: so ``PoolManager.pool_of_host`` is O(1).
+        self._pool = None
 
     @property
     def id(self):

@@ -7,6 +7,7 @@ from repro.virt.migration.bounded import (
     MigrationOutcome,
 )
 from repro.virt.migration.checkpoint import CheckpointConfig, CheckpointStream
+from repro.virt.migration.group import GroupCheckpointScheduler
 from repro.virt.migration.live import LiveMigrationPlan, PreCopyMigration
 from repro.virt.migration.restore import RestorePlan, RestorePlanner
 
@@ -15,6 +16,7 @@ __all__ = [
     "BoundedTimeMigration",
     "CheckpointConfig",
     "CheckpointStream",
+    "GroupCheckpointScheduler",
     "LiveMigrationPlan",
     "MigrationOutcome",
     "PreCopyMigration",

@@ -19,6 +19,7 @@ from repro.backup.server import BackupServer
 from repro.backup.store import CheckpointStore
 from repro.cloud.instance_types import M3_CATALOG
 from repro.virt.migration.checkpoint import CheckpointConfig, CheckpointStream
+from repro.virt.migration.group import GroupCheckpointScheduler
 from repro.virt.vm import NestedVM, VMState
 from repro.workloads import TpcwWorkload
 
@@ -39,8 +40,14 @@ class MicroTestbed:
     """
 
     def __init__(self, env, vm_count=1, workload_factory=TpcwWorkload,
-                 backup_spec=None, checkpoint_config=None):
+                 backup_spec=None, checkpoint_config=None, grouped=False):
         self.env = env
+        #: When True, steady-state streaming runs through one
+        #: :class:`GroupCheckpointScheduler` cohort instead of per-VM
+        #: processes — the fleet-scale path, which the equivalence
+        #: tests hold bit-identical to per-VM mode.
+        self.grouped = grouped
+        self._group = None
         self.server = BackupServer(env, backup_spec)
         self.server.store = CheckpointStore(env)
         #: The backup server's ingest path: commit flows on the shared
@@ -67,7 +74,16 @@ class MicroTestbed:
     # -- steady state -----------------------------------------------------
 
     def start_streams(self):
-        """Begin every VM's continuous checkpoint process."""
+        """Begin steady checkpointing (per-VM processes or one cohort)."""
+        if self.grouped:
+            self._group = GroupCheckpointScheduler(self.env, self.ingest)
+            for vm in self.vms:
+                def _account(flushed, vm_id=vm.id):
+                    self.flushed_bytes[vm_id] += flushed
+                    self.server.store.commit(vm_id, flushed)
+                self._group.join(vm.id, self.streams[vm.id],
+                                 on_flush=_account)
+            return
         for vm in self.vms:
             stop = self.env.event()
             self._stops[vm.id] = stop
@@ -78,6 +94,9 @@ class MicroTestbed:
             stream.run(self.env, self.ingest, stop, on_flush=_account)
 
     def stop_streams(self):
+        if self._group is not None:
+            self.env.process(self._group.settle())
+            self._group = None
         for stop in self._stops.values():
             if not stop.triggered:
                 stop.succeed()

@@ -1,0 +1,32 @@
+"""The fleet-scale cell benchmark: events must not scale with VMs."""
+
+import pytest
+
+from repro.benchmarking.fleet import measure_fleet_scaling
+
+
+class TestFleetScaling:
+    def test_events_flat_in_fleet_size(self):
+        result = measure_fleet_scaling(small_vms=5, large_vms=200,
+                                       days=0.25)
+        small, large = result["small"], result["large"]
+        assert small["vms"] == 5
+        assert large["vms"] == 200
+        # The whole homogeneous fleet forms one cohort; both cells arm
+        # the same rounds, so event totals stay nearly flat.
+        assert small["flush_cohorts"] == 1
+        assert large["flush_cohorts"] == 1
+        assert large["flush_flows"] == small["flush_flows"]
+        assert result["event_ratio"] < 2.0
+        assert large["events_per_vm_hour"] < small["events_per_vm_hour"]
+
+    def test_spares_never_poll_on_calm_market(self):
+        result = measure_fleet_scaling(small_vms=5, large_vms=40,
+                                       days=0.25)
+        for cell in (result["small"], result["large"]):
+            assert cell["spare_wakes"] == 0
+            assert cell["spare_polls"] == 0
+
+    def test_cell_sizes_validated(self):
+        with pytest.raises(ValueError):
+            measure_fleet_scaling(small_vms=10, large_vms=10)

@@ -17,7 +17,7 @@ from repro.benchmarking.kernel import measure_kernel
 
 def _minimal_payload():
     return {
-        "schema": "repro-bench/3",
+        "schema": "repro-bench/4",
         "label": "unit",
         "smoke": True,
         "created_unix": 1.0,
@@ -40,6 +40,20 @@ def _minimal_payload():
             "high": {"users": 1000000, "requests": 1e9, "wakes": 40,
                      "segments": 60, "wall_s": 0.01},
             "request_ratio": 1000.0, "wake_ratio": 1.0,
+        },
+        "fleet": {
+            "days": 2.0, "seed": 11,
+            "small": {"vms": 10, "hosts": 2, "days": 2.0,
+                      "backup_shards": 1, "events": 1000,
+                      "events_per_vm_hour": 2.0, "wall_s": 0.1,
+                      "flush_cohorts": 1, "flush_flows": 100,
+                      "spare_wakes": 0, "spare_polls": 0},
+            "large": {"vms": 10000, "hosts": 1250, "days": 2.0,
+                      "backup_shards": 826, "events": 1100,
+                      "events_per_vm_hour": 0.002, "wall_s": 0.12,
+                      "flush_cohorts": 1, "flush_flows": 100,
+                      "spare_wakes": 0, "spare_polls": 0},
+            "event_ratio": 1.1, "wall_ratio": 1.2,
         },
         "cell": {"policy": "1P-M", "mechanism": "spotcheck-lazy",
                  "seed": 11, "days": 1.0, "vms": 2, "wall_s": 0.5,
@@ -75,6 +89,8 @@ class TestValidation:
         "market.stepped.events_per_sec", "market.indexed.events_per_sec",
         "cell.market_drive.points", "grid.parallel_plan.planned",
         "traffic.low.wakes", "traffic.high.requests", "traffic.wake_ratio",
+        "fleet.small.events", "fleet.large.events_per_vm_hour",
+        "fleet.event_ratio",
     ])
     def test_missing_field_rejected(self, dotted):
         payload = _minimal_payload()
@@ -140,6 +156,24 @@ class TestFloors:
         with pytest.raises(ValueError, match="too close"):
             check_bench_floors(payload, kernel_floor=50.0, market_floor=50.0)
 
+    def test_fleet_event_ratio_ceiling(self):
+        payload = _minimal_payload()
+        payload["fleet"]["event_ratio"] = 500.0
+        with pytest.raises(ValueError, match="events scale with fleet"):
+            check_bench_floors(payload, kernel_floor=50.0, market_floor=50.0)
+
+    def test_fleet_wall_ratio_ceiling(self):
+        payload = _minimal_payload()
+        payload["fleet"]["wall_ratio"] = 80.0
+        with pytest.raises(ValueError, match="wall clock scales"):
+            check_bench_floors(payload, kernel_floor=50.0, market_floor=50.0)
+
+    def test_fleet_per_vm_rate_must_amortize(self):
+        payload = _minimal_payload()
+        payload["fleet"]["large"]["events_per_vm_hour"] = 5.0
+        with pytest.raises(ValueError, match="did not amortize"):
+            check_bench_floors(payload, kernel_floor=50.0, market_floor=50.0)
+
 
 class TestArtifact:
     def test_write_and_validate_file(self, tmp_path):
@@ -164,9 +198,12 @@ class TestMeasurements:
     def test_run_bench_micro(self, tmp_path):
         """A miniature full pipeline: run, write, re-validate."""
         payload = run_bench(label="micro", smoke=True, days=0.5, vms=2,
-                            workers=2, kernel_events=2000)
+                            workers=2, kernel_events=2000,
+                            fleet_vms=400, fleet_days=0.5)
         path = write_bench(payload, out_dir=str(tmp_path))
         loaded = validate_bench_file(path)
         assert loaded["grid"]["cells"] == 4
         assert loaded["grid"]["cache"]["misses"] == 4.0
         assert loaded["grid"]["cache"]["warm_disk_hits"] == 4.0
+        assert loaded["fleet"]["large"]["vms"] == 400
+        assert loaded["fleet"]["small"]["flush_cohorts"] == 1

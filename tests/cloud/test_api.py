@@ -73,6 +73,61 @@ class TestRunInstance:
         assert instance.is_running
 
 
+class TestRunInstancesBatch:
+    def test_batch_pays_one_launch_latency(self, env, cloud, zone):
+        def flow():
+            instances = yield cloud.run_instances(
+                MEDIUM, zone, Market.ON_DEMAND, 50)
+            return instances
+        instances = run_process(env, flow())
+        assert len(instances) == 50
+        assert all(i.state is InstanceState.RUNNING for i in instances)
+        # One control-plane latency for the whole batch, not 50.
+        assert 47 <= env.now <= 86
+
+    def test_batch_spot_registers_every_instance(self, env, cloud, zone):
+        def flow():
+            instances = yield cloud.run_instances(
+                MEDIUM, zone, Market.SPOT, 8, bid=0.07)
+            return instances
+        instances = run_process(env, flow())
+        market = cloud.marketplace.market(MEDIUM, zone)
+        registered = market.instances()
+        assert all(i in registered for i in instances)
+        assert all(i.id in cloud.instances for i in instances)
+
+    def test_batch_checked_against_capacity(self, env, region, zone):
+        api = CloudApi(env, region, M3_CATALOG, on_demand_capacity=3)
+        def flow():
+            yield api.run_instances(MEDIUM, zone, Market.ON_DEMAND, 5)
+        with pytest.raises(CapacityError):
+            run_process(env, flow())
+        # The refused batch reserved nothing.
+        assert api._running_on_demand == 0
+
+    def test_batch_bid_below_price_rejected(self, env, cloud, zone):
+        def flow():
+            yield cloud.run_instances(MEDIUM, zone, Market.SPOT, 4,
+                                      bid=0.01)
+        with pytest.raises(BidTooLow):
+            run_process(env, flow())
+
+    def test_empty_batch_rejected(self, env, cloud, zone):
+        def flow():
+            yield cloud.run_instances(MEDIUM, zone, Market.ON_DEMAND, 0)
+        with pytest.raises(ValueError):
+            run_process(env, flow())
+
+    def test_batch_billing_opens_per_instance(self, env, cloud, zone):
+        def flow():
+            instances = yield cloud.run_instances(
+                MEDIUM, zone, Market.ON_DEMAND, 3)
+            return instances
+        instances = run_process(env, flow())
+        for instance in instances:
+            assert instance.id in cloud.billing.records
+
+
 class TestTerminate:
     def test_graceful_terminate_stops_billing_immediately(
             self, env, cloud, zone):

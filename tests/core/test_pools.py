@@ -113,6 +113,107 @@ class TestBackupPool:
         assert server.assigned_vms == 0
 
 
+class TestPoolIndex:
+    """The struct-of-arrays pool internals behind the O(1) hot paths."""
+
+    def test_first_fit_is_insertion_order(self, env, zone):
+        from repro.virt.vm import NestedVM
+        pool = make_spot_pool(env, zone)
+        first, second = make_host(env, zone), make_host(env, zone)
+        pool.add_host(first)
+        pool.add_host(second)
+        assert pool.host_with_free_slot() is first
+        host = pool.host_with_free_slot()
+        host.hypervisor.boot(NestedVM(env, MEDIUM))
+        assert pool.host_with_free_slot() is second
+
+    def test_evict_reoffers_host(self, env, zone):
+        from repro.virt.vm import NestedVM
+        pool = make_spot_pool(env, zone)
+        first = make_host(env, zone)
+        second = make_host(env, zone)
+        pool.add_host(first)
+        pool.add_host(second)
+        vm = NestedVM(env, MEDIUM)
+        first.hypervisor.boot(vm)
+        assert pool.host_with_free_slot() is second
+        first.hypervisor.evict(vm)
+        # The change hook re-offers the freed host; insertion order
+        # makes it first-fit again.
+        assert pool.host_with_free_slot() is first
+
+    def test_vm_count_tracks_boot_and_evict(self, env, zone):
+        from repro.virt.vm import NestedVM
+        pool = make_spot_pool(env, zone)
+        hosts = [make_host(env, zone, itype=LARGE, slots=2)
+                 for _ in range(3)]
+        for host in hosts:
+            pool.add_host(host)
+        vms = []
+        for host in hosts:
+            vm = NestedVM(env, MEDIUM)
+            host.hypervisor.boot(vm)
+            vms.append(vm)
+        assert pool.vm_count == 3
+        assert sorted(v.id for v in pool.iter_vms()) == \
+            sorted(v.id for v in vms)
+        hosts[1].hypervisor.evict(vms[1])
+        assert pool.vm_count == 2
+
+    def test_removed_host_detaches_hook_and_backref(self, env, zone):
+        pool = make_spot_pool(env, zone)
+        host = make_host(env, zone)
+        pool.add_host(host)
+        assert host._pool is pool
+        assert host.hypervisor.on_change is not None
+        pool.remove_host(host)
+        assert host._pool is None
+        assert host.hypervisor.on_change is None
+        assert pool.host_with_free_slot() is None
+        assert pool.vm_count == 0
+
+    def test_readded_host_offered_again(self, env, zone):
+        pool = make_spot_pool(env, zone)
+        host = make_host(env, zone)
+        pool.add_host(host)
+        pool.remove_host(host)
+        pool.add_host(host)
+        assert pool.host_with_free_slot() is host
+
+    def test_terminated_host_skipped(self, env, zone):
+        pool = make_spot_pool(env, zone)
+        first, second = make_host(env, zone), make_host(env, zone)
+        pool.add_host(first)
+        pool.add_host(second)
+        first.instance._mark_terminated()
+        assert pool.host_with_free_slot() is second
+
+    def test_pending_host_offered_once_running(self, env, zone):
+        pool = make_spot_pool(env, zone)
+        instance = Instance(env, MEDIUM, zone, Market.ON_DEMAND)
+        host = HostVM(env, instance, MEDIUM, slots=1)
+        pool.add_host(host)
+        assert pool.host_with_free_slot() is None
+        instance._mark_running()
+        env.run(until=env.now + 0.001)  # deliver the started event
+        assert pool.host_with_free_slot() is host
+
+    def test_hosts_view_behaves_like_a_sequence(self, env, zone):
+        pool = make_spot_pool(env, zone)
+        hosts = [make_host(env, zone) for _ in range(3)]
+        for host in hosts:
+            pool.add_host(host)
+        assert len(pool.hosts) == 3
+        assert list(pool.hosts) == hosts
+        assert pool.hosts[0] is hosts[0]
+        assert pool.hosts[1:] == hosts[1:]
+        assert hosts[2] in pool.hosts
+        assert bool(pool.hosts)
+        pool.remove_host(hosts[0])
+        assert hosts[0] not in pool.hosts
+        assert len(pool.hosts) == 2
+
+
 class TestPoolManager:
     def test_registration_and_lookup(self, env, zone):
         manager = PoolManager()

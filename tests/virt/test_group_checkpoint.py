@@ -1,0 +1,251 @@
+"""Group checkpoint scheduler: batched cohorts vs per-VM streams.
+
+The fleet-scale contract: at any fleet size the grouped scheduler must
+reproduce the per-VM steady-state streams bit-for-bit (same wake
+times, same credited flush totals), while waking once per shared
+interval instead of once per VM.
+"""
+
+import pytest
+
+from repro.backup.server import BackupServer
+from repro.cloud.instance_types import M3_CATALOG
+from repro.sim.kernel import Environment
+from repro.virt.migration.checkpoint import CheckpointConfig, CheckpointStream
+from repro.virt.migration.group import GroupCheckpointScheduler
+from repro.virt.testbed import MicroTestbed
+from repro.virt.vm import NestedVM
+from repro.workloads import SpecJbbWorkload, TpcwWorkload
+
+MEDIUM = M3_CATALOG.get("m3.medium")
+
+
+def run_testbed(vm_count, grouped, duration_s=1800.0,
+                workload=TpcwWorkload, checkpoint_config=None):
+    env = Environment(seed=3)
+    testbed = MicroTestbed(env, vm_count=vm_count,
+                           workload_factory=workload,
+                           checkpoint_config=checkpoint_config,
+                           grouped=grouped)
+    result = testbed.run_steady(duration_s)
+    return env, testbed, result
+
+
+def per_vm_rates(testbed, result):
+    """Flush rates in VM creation order (ids are process-global, so
+    the two testbeds' VMs must be matched positionally)."""
+    return [result["per_vm_bps"][vm.id] for vm in testbed.vms]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("vm_count", [1, 10, 40])
+    def test_bit_identical_to_per_vm_streams(self, vm_count):
+        _, bed_a, per_vm = run_testbed(vm_count, grouped=False)
+        _, bed_b, grouped = run_testbed(vm_count, grouped=True)
+        assert per_vm_rates(bed_b, grouped) == per_vm_rates(bed_a, per_vm)
+        assert grouped["aggregate_bps"] == per_vm["aggregate_bps"]
+
+    @pytest.mark.parametrize("workload", [TpcwWorkload, SpecJbbWorkload])
+    def test_bit_identical_across_workloads(self, workload):
+        _, bed_a, per_vm = run_testbed(10, grouped=False, workload=workload)
+        _, bed_b, grouped = run_testbed(10, grouped=True, workload=workload)
+        assert per_vm_rates(bed_b, grouped) == per_vm_rates(bed_a, per_vm)
+
+    def test_bit_identical_under_tight_throttle(self):
+        config = CheckpointConfig(stream_bandwidth_bps=6e6,
+                                  commit_bandwidth_bps=1.5e6)
+        _, bed_a, per_vm = run_testbed(10, grouped=False,
+                                       checkpoint_config=config)
+        _, bed_b, grouped = run_testbed(10, grouped=True,
+                                        checkpoint_config=config)
+        assert per_vm_rates(bed_b, grouped) == per_vm_rates(bed_a, per_vm)
+
+    def test_store_commits_match_per_vm_mode(self):
+        _, per_vm_bed, _ = run_testbed(5, grouped=False)
+        _, grouped_bed, _ = run_testbed(5, grouped=True)
+        for vm_a, vm_b in zip(per_vm_bed.vms, grouped_bed.vms):
+            expected = per_vm_bed.server.store.image(vm_a.id)
+            actual = grouped_bed.server.store.image(vm_b.id)
+            assert actual.commits == expected.commits
+
+    def test_grouping_elides_kernel_events(self):
+        env_per_vm, _, _ = run_testbed(40, grouped=False)
+        env_grouped, _, _ = run_testbed(40, grouped=True)
+        # One wakeup + one flow per cohort round instead of 40 of each.
+        assert env_grouped.events_processed * 5 \
+            < env_per_vm.events_processed
+
+
+def make_scheduler(env, defer=False):
+    server = BackupServer(env)
+    return GroupCheckpointScheduler(env, server.ingest,
+                                    defer_accounting=defer)
+
+
+def make_stream(env, workload=TpcwWorkload):
+    vm = NestedVM(env, MEDIUM, workload=workload())
+    return vm, CheckpointStream(vm.memory, CheckpointConfig())
+
+
+class TestCohorts:
+    def test_same_instant_same_plan_shares_cohort(self):
+        env = Environment(seed=5)
+        sched = make_scheduler(env)
+        _, stream_a = make_stream(env)
+        _, stream_b = make_stream(env)
+        cohort_a = sched.join("a", stream_a)
+        cohort_b = sched.join("b", stream_b)
+        assert cohort_a is cohort_b
+        assert sched.cohorts_created == 1
+        assert sched.member_count() == 2
+
+    def test_later_join_starts_fresh_cohort(self):
+        env = Environment(seed=5)
+        sched = make_scheduler(env)
+        _, stream_a = make_stream(env)
+        _, stream_b = make_stream(env)
+        sched.join("a", stream_a)
+        env.run(until=1.0)  # mid-interval
+        cohort_b = sched.join("b", stream_b)
+        assert cohort_b is not sched.cohort_of("a")
+        assert sched.cohorts_created == 2
+
+    def test_duplicate_join_rejected(self):
+        env = Environment(seed=5)
+        sched = make_scheduler(env)
+        _, stream = make_stream(env)
+        sched.join("a", stream)
+        with pytest.raises(ValueError, match="already enrolled"):
+            sched.join("a", stream)
+
+    def test_empty_cohort_stops_immediately(self):
+        env = Environment(seed=5)
+        sched = make_scheduler(env)
+        _, stream = make_stream(env)
+        cohort = sched.join("a", stream)
+        env.run(until=1.0)
+        sched.leave("a")
+        assert cohort.stop.triggered
+        env.run(until=2.0)
+        assert not cohort.proc.is_alive
+        assert sched.stats()["cohorts_active"] == 0
+
+    def test_leaver_misses_rounds_after_departure(self):
+        env = Environment(seed=5)
+        sched = make_scheduler(env)
+        _, stream_a = make_stream(env)
+        _, stream_b = make_stream(env)
+        cohort = sched.join("a", stream_a)
+        sched.join("b", stream_b)
+        interval = cohort.plan[0]
+        env.run(until=2.5 * interval)
+        sched.leave("a")
+        env.run(until=6.5 * interval)
+        sched.settle_now()
+        # "a" saw two completed rounds, "b" six.
+        dirty = cohort.plan[1]
+        assert sched.flushed["a"] == pytest.approx(2 * dirty)
+        assert sched.flushed["b"] == pytest.approx(6 * dirty)
+
+    def test_defer_mode_matches_eager_totals(self):
+        results = {}
+        for defer in (False, True):
+            env = Environment(seed=7)
+            sched = make_scheduler(env, defer=defer)
+            for index in range(5):
+                _, stream = make_stream(env)
+                sched.join(f"vm{index}", stream)
+            interval = sched.cohort_of("vm0").plan[0]
+            env.run(until=3.5 * interval)
+            sched.leave("vm4")
+            env.run(until=10.5 * interval)
+            env.run(until=env.process(sched.settle()))
+            results[defer] = dict(sched.flushed)
+        assert results[True] == results[False]
+
+    def test_settle_now_credits_only_completed_rounds(self):
+        env = Environment(seed=7)
+        sched = make_scheduler(env, defer=True)
+        _, stream = make_stream(env)
+        cohort = sched.join("a", stream)
+        interval, dirty, _cap = cohort.plan
+        env.run(until=4.5 * interval)
+        flushed = sched.settle_now()
+        # Four rounds armed and (by mid-interval) long since flushed.
+        assert flushed["a"] == pytest.approx(4 * dirty)
+        # Settling is idempotent.
+        assert sched.settle_now() is flushed
+
+
+class _SteppedMemory:
+    """Time-varying double: the steady interval doubles at ``switch_t``.
+
+    ``dirty_bytes`` stays a pure function of the interval, so per-VM
+    streams (which evaluate it at wake time) and cohort plans (which
+    capture it at sleep time) agree; only the *interval* moves, which
+    is exactly the divergence the cohort must detect and split on.
+    Deliberately not a ``MemoryModel`` so the plan cache is bypassed.
+    """
+
+    def __init__(self, env, rate_bps=2e6, base_interval_s=20.0,
+                 switch_t=100.0):
+        self.env = env
+        self.rate_bps = rate_bps
+        self.base_interval_s = base_interval_s
+        self.switch_t = switch_t
+        self.total_bytes = 4e9
+
+    def interval_for_dirty_bytes(self, budget_bytes):
+        if self.env.now < self.switch_t:
+            return self.base_interval_s
+        return 2 * self.base_interval_s
+
+    def dirty_bytes(self, interval_s):
+        return self.rate_bps * min(interval_s, 3600.0)
+
+
+class TestDivergenceFallback:
+    def _run_per_vm(self, duration_s):
+        env = Environment(seed=9)
+        server = BackupServer(env)
+        flushed = {}
+        stops = []
+        for index in range(3):
+            stream = CheckpointStream(_SteppedMemory(env),
+                                      CheckpointConfig())
+            stop = env.event()
+            stops.append(stop)
+            member = f"vm{index}"
+            flushed[member] = 0.0
+
+            def _account(nbytes, member=member):
+                flushed[member] += nbytes
+
+            stream.run(env, server.ingest, stop, on_flush=_account)
+        env.run(until=duration_s)
+        for stop in stops:
+            stop.succeed()
+        env.run(until=duration_s + 30.0)
+        return flushed
+
+    def _run_grouped(self, duration_s):
+        env = Environment(seed=9)
+        server = BackupServer(env)
+        sched = GroupCheckpointScheduler(env, server.ingest)
+        for index in range(3):
+            stream = CheckpointStream(_SteppedMemory(env),
+                                      CheckpointConfig())
+            sched.join(f"vm{index}", stream)
+        env.run(until=duration_s)
+        env.run(until=env.process(sched.settle()))
+        env.run(until=duration_s + 30.0)
+        return sched, dict(sched.flushed)
+
+    def test_split_reproduces_per_vm_results(self):
+        per_vm = self._run_per_vm(310.0)
+        sched, grouped = self._run_grouped(310.0)
+        assert grouped == per_vm
+        # All three members diverged at t=100 and were split off into
+        # one fresh cohort (same instant, same new plan).
+        assert sched.splits == 3
+        assert sched.cohorts_created == 2
