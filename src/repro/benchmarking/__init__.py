@@ -1,6 +1,6 @@
 """``repro.benchmarking`` — the performance harness behind ``repro bench``.
 
-Six benchmarks, one JSON artifact:
+Seven benchmarks, one JSON artifact:
 
 ``repro.benchmarking.kernel``
     Raw discrete-event kernel throughput (events/sec) on an
@@ -23,6 +23,11 @@ Six benchmarks, one JSON artifact:
     scheduler: kernel events and wall clock must stay nearly flat in
     fleet size.
 
+``repro.benchmarking.index``
+    The same cell under 1P-M and an index-tracking portfolio: the
+    portfolio's crossing-driven rebalancing must deliver only a small
+    minority of trace points as kernel events — no per-point drive.
+
 ``repro.benchmarking.grid``
     One policy-grid cell (with its market-drive skip counters), then
     the full grid serial vs parallel vs cache-warm, with cache and
@@ -31,7 +36,7 @@ Six benchmarks, one JSON artifact:
 
 ``repro.benchmarking.harness``
     Composes all of it into a schema-stable ``BENCH_<label>.json``
-    (``repro-bench/4``), validates written artifacts, and holds
+    (``repro-bench/5``), validates written artifacts, and holds
     throughput above the :func:`check_bench_floors` regression floors,
     so CI can track the performance trajectory across commits.
 
@@ -48,6 +53,7 @@ from repro.benchmarking.harness import (
     write_bench,
 )
 from repro.benchmarking.fleet import measure_fleet_scaling
+from repro.benchmarking.index import measure_index_drive
 from repro.benchmarking.market import measure_market_drive
 from repro.benchmarking.traffic import measure_traffic_scaling
 
@@ -56,6 +62,7 @@ __all__ = [
     "bench_filename",
     "check_bench_floors",
     "measure_fleet_scaling",
+    "measure_index_drive",
     "measure_market_drive",
     "measure_traffic_scaling",
     "run_bench",

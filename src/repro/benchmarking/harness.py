@@ -25,6 +25,13 @@ group scheduler.  ``check_bench_floors`` holds the large cell's kernel
 events under :data:`FLEET_EVENT_RATIO_CEILING` times the small cell's
 and its wall clock under :data:`FLEET_WALL_RATIO_CEILING` times — a
 surviving per-VM loop blows through both by orders of magnitude.
+
+Schema 5 adds the ``index`` section: the portfolio-drive benchmark
+(``repro.benchmarking.index``), the same cell run under 1P-M and an
+index-tracking portfolio.  ``check_bench_floors`` holds the portfolio
+cell's ``delivered_fraction`` under
+:data:`INDEX_DELIVERED_FRACTION_CEILING` — portfolio rebalancing must
+ride price crossings, not reintroduce the per-point market drive.
 """
 
 import json
@@ -34,13 +41,14 @@ import time
 
 from repro.benchmarking.fleet import measure_fleet_scaling
 from repro.benchmarking.grid import measure_cell, measure_grid
+from repro.benchmarking.index import measure_index_drive
 from repro.benchmarking.kernel import measure_kernel
 from repro.benchmarking.market import measure_market_drive
 from repro.benchmarking.traffic import measure_traffic_scaling
 from repro.experiments.scenario import MECHANISMS, POLICIES
 
 #: Current artifact schema identifier.
-BENCH_SCHEMA = "repro-bench/4"
+BENCH_SCHEMA = "repro-bench/5"
 
 #: Floors for :func:`check_bench_floors`, far below what any healthy
 #: host measures (a laptop does ~1M kernel events/sec and ~300k stepped
@@ -56,6 +64,12 @@ MARKET_EVENTS_PER_SEC_FLOOR = 20_000.0
 #: ceilings still catch any real regression without flaking on noise.
 FLEET_EVENT_RATIO_CEILING = 20.0
 FLEET_WALL_RATIO_CEILING = 10.0
+
+#: Ceiling on the portfolio cell's delivered-events-per-trace-point
+#: fraction.  Measured runs sit under 0.02 (a couple hundred crossings
+#: across ~15k points); a per-point drive sits at 1.0, so a generous
+#: ceiling still trips on any real regression.
+INDEX_DELIVERED_FRACTION_CEILING = 0.25
 
 #: Preset for the seconds-scale CI smoke benchmark.
 SMOKE_PRESET = {
@@ -73,6 +87,8 @@ SMOKE_PRESET = {
     "traffic_scales": (1_000, 1_000_000),
     "fleet_days": 2.0,
     "fleet_scales": (10, 10_000),
+    "index_days": 2.0,
+    "index_vms": 4,
 }
 
 #: Preset for a full local benchmark run.
@@ -91,6 +107,8 @@ FULL_PRESET = {
     "traffic_scales": (1_000, 1_000_000),
     "fleet_days": 14.0,
     "fleet_scales": (10, 100_000),
+    "index_days": 14.0,
+    "index_vms": 10,
 }
 
 
@@ -102,9 +120,9 @@ def run_bench(label="local", smoke=False, seed=11, workers=None, days=None,
     if workers is not None:
         preset["workers"] = workers
     if days is not None:
-        preset["days"] = preset["cell_days"] = days
+        preset["days"] = preset["cell_days"] = preset["index_days"] = days
     if vms is not None:
-        preset["vms"] = preset["cell_vms"] = vms
+        preset["vms"] = preset["cell_vms"] = preset["index_vms"] = vms
     if kernel_events is not None:
         preset["kernel_events"] = kernel_events
     if fleet_vms is not None:
@@ -151,6 +169,15 @@ def run_bench(label="local", smoke=False, seed=11, workers=None, days=None,
         f"(event ratio {fleet['event_ratio']:.2f}, wall "
         f"x{fleet['wall_ratio']:.2f})")
 
+    say(f"portfolio drive: {preset['index_days']:.0f} days, "
+        f"{preset['index_vms']} VMs, 1P-M vs IT-0.125 ...")
+    index = measure_index_drive(days=preset["index_days"], seed=seed,
+                                vms=preset["index_vms"])
+    say(f"  {index['portfolio']['delivered']} of "
+        f"{index['portfolio']['points']} points delivered "
+        f"({100 * index['delivered_fraction']:.2f}%), "
+        f"{index['extra_delivered']} over the 1P-M baseline")
+
     say(f"cell: 1P-M/spotcheck-lazy, {preset['cell_days']:.0f} days, "
         f"{preset['cell_vms']} VMs ...")
     cell = measure_cell(seed=seed, days=preset["cell_days"],
@@ -182,6 +209,7 @@ def run_bench(label="local", smoke=False, seed=11, workers=None, days=None,
         "market": market,
         "traffic": traffic,
         "fleet": fleet,
+        "index": index,
         "cell": cell,
         "grid": grid,
     }
@@ -217,7 +245,7 @@ def _require(payload, dotted, kinds):
 
 
 def validate_bench(payload):
-    """Check a payload against the ``repro-bench/4`` schema.
+    """Check a payload against the ``repro-bench/5`` schema.
 
     Raises ``ValueError`` on any missing field, wrong type, or
     non-positive timing; returns the payload for chaining.
@@ -253,6 +281,13 @@ def validate_bench(payload):
                   "fleet.large.events_per_vm_hour", "fleet.large.wall_s",
                   "fleet.large.flush_cohorts", "fleet.large.flush_flows",
                   "fleet.large.spare_wakes", "fleet.large.spare_polls",
+                  "index.baseline.points", "index.baseline.delivered",
+                  "index.baseline.wall_s",
+                  "index.portfolio.points", "index.portfolio.delivered",
+                  "index.portfolio.rearms", "index.portfolio.wall_s",
+                  "index.portfolio.crossings",
+                  "index.portfolio.rebalance_moves",
+                  "index.delivered_fraction",
                   "cell.wall_s", "cell.market_drive.points",
                   "cell.market_drive.wakes", "cell.market_drive.delivered",
                   "cell.market_drive.rearms",
@@ -285,7 +320,8 @@ def check_bench_floors(payload,
                        kernel_floor=KERNEL_EVENTS_PER_SEC_FLOOR,
                        market_floor=MARKET_EVENTS_PER_SEC_FLOOR,
                        fleet_event_ceiling=FLEET_EVENT_RATIO_CEILING,
-                       fleet_wall_ceiling=FLEET_WALL_RATIO_CEILING):
+                       fleet_wall_ceiling=FLEET_WALL_RATIO_CEILING,
+                       index_ceiling=INDEX_DELIVERED_FRACTION_CEILING):
     """Hold kernel and market-drive throughput above absolute floors.
 
     The floors are deliberately generous (see the module constants) —
@@ -348,6 +384,15 @@ def check_bench_floors(payload,
             f"{fleet['large']['vms']} VMs >= "
             f"{fleet['small']['events_per_vm_hour']:.3f} at "
             f"{fleet['small']['vms']}")
+    index = payload["index"]
+    if index["delivered_fraction"] >= index_ceiling:
+        problems.append(
+            f"portfolio cell delivered "
+            f"{index['portfolio']['delivered']} of "
+            f"{index['portfolio']['points']} trace points "
+            f"({index['delivered_fraction']:.3f} >= ceiling "
+            f"{index_ceiling}) — rebalancing reintroduced the "
+            f"per-point market drive")
     if problems:
         raise ValueError("; ".join(problems))
     return payload

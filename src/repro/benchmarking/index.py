@@ -1,0 +1,66 @@
+"""Portfolio-drive benchmark: rebalancing must stay crossing-driven.
+
+The index-tracking portfolio (PR 8) registers two price watches per
+spot pool and rearms them on every reweigh.  The failure mode to guard
+against is sneaky: a watch band that hugs the current price refires on
+every trace point, silently reverting the threshold-indexed drive
+(PR 5) to the per-point replay it replaced.  This benchmark runs the
+same cell twice on one archive — the 1P-M baseline, then a portfolio
+policy — and reports both cells' market-drive counters.  The floor
+check holds the portfolio cell's ``delivered_fraction`` (kernel events
+delivered per trace point) to a small minority; a per-point drive sits
+at 1.0.
+"""
+
+import time
+
+from repro.experiments.scenario import PolicySimulation, ScenarioConfig
+
+
+def _run_cell(policy, archive, seed, days, vms):
+    config = ScenarioConfig(policy=policy, seed=seed, days=days, vms=vms)
+    simulation = PolicySimulation(config, archive=archive)
+    started = time.perf_counter()
+    summary, controller = simulation.run(return_controller=True)
+    wall = time.perf_counter() - started
+    totals = {"points": 0, "wakes": 0, "delivered": 0, "rearms": 0,
+              "stale_skips": 0}
+    for pool in controller.pools.all_spot_pools():
+        stats = pool.market.drive_stats()
+        for key in totals:
+            totals[key] += stats[key]
+    row = dict(totals)
+    row["policy"] = policy
+    row["wall_s"] = wall
+    row["migrations"] = summary["migrations"]
+    row["delivered_fraction"] = \
+        totals["delivered"] / max(1, totals["points"])
+    allocation = controller.allocation
+    if hasattr(allocation, "stats"):
+        row["crossings"] = allocation.stats.get("crossings", 0)
+        row["rebalance_moves"] = allocation.stats.get("moves_planned", 0)
+    return row
+
+
+def measure_index_drive(days=2.0, seed=11, vms=4,
+                        portfolio_policy="IT-0.125"):
+    """Benchmark the market drive under a portfolio policy.
+
+    Returns per-cell drive counters for the 1P-M baseline and
+    ``portfolio_policy`` on the same archive, plus the derived
+    ``extra_delivered`` (events the portfolio added over the baseline)
+    and the portfolio cell's ``delivered_fraction``.
+    """
+    archive = PolicySimulation.build_archive(seed, days * 24 * 3600.0)
+    baseline = _run_cell("1P-M", archive, seed, days, vms)
+    portfolio = _run_cell(portfolio_policy, archive, seed, days, vms)
+    return {
+        "days": days,
+        "seed": seed,
+        "vms": vms,
+        "baseline": baseline,
+        "portfolio": portfolio,
+        "extra_delivered": (portfolio["delivered"]
+                            - baseline["delivered"]),
+        "delivered_fraction": portfolio["delivered_fraction"],
+    }

@@ -25,6 +25,11 @@ Commands
     Run the chaos fault plan under diurnal + flash-crowd traffic and
     report per-policy SLA attainment (Figure 12 in error-budget units),
     with a golden digest check for CI.
+``index``
+    Run the cost-variance study comparing the classic allocation
+    policies with the index-tracking / optimal-combination portfolios
+    (realized $/VM-hour mean and variance, downtime, drive laziness),
+    with a golden digest check for CI.
 """
 
 import argparse
@@ -140,6 +145,50 @@ def _cmd_sla(args):
                 print(f"GOLDEN MISMATCH {problem}", file=sys.stderr)
             return 1
         print("golden SLA digest matches; policy ordering preserved")
+    return 0
+
+
+def _cmd_index(args):
+    from repro.experiments.cost_index import check_index_digest, run_index
+    _results, digest = run_index(seed=args.seed, days=args.days,
+                                 vms=args.vms,
+                                 policies=tuple(args.policies))
+    if args.write_golden:
+        with open(args.write_golden, "w", encoding="utf-8") as handle:
+            json.dump(digest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote golden digest to {args.write_golden}")
+        return 0
+    if args.json:
+        print(json.dumps(digest, indent=2, default=float))
+    else:
+        print(f"cost-variance study ({args.days:.0f} days, {args.vms} VMs, "
+              f"seed {args.seed})")
+        for policy in args.policies:
+            entry = digest["policies"][policy]
+            line = (f"  {policy:9s} mean ${entry['cost_mean']:.5f}/VM-hr  "
+                    f"std ${entry['cost_std']:.5f}  "
+                    f"downtime {entry['unavailability_pct']:.3f}%  "
+                    f"migr {entry['migrations']:4d}  "
+                    f"drive {100 * entry['delivered_fraction']:.2f}%")
+            if "realized_per_vm_hour" in entry:
+                mark = "in" if entry["realized_in_band"] else "OUT OF"
+                line += (f"  realized ${entry['realized_per_vm_hour']:.5f} "
+                         f"({mark} band)")
+            print(line)
+        print(f"  ranking by cost variance: "
+              f"{' < '.join(digest['variance_order'])}")
+    if args.check_golden:
+        with open(args.check_golden, encoding="utf-8") as handle:
+            golden = json.load(handle)
+        problems = check_index_digest(digest, golden)
+        if problems:
+            for problem in problems:
+                print(f"GOLDEN MISMATCH {problem}", file=sys.stderr)
+            return 1
+        # stderr so that ``--json | tee`` captures pure JSON.
+        print("golden index digest matches; IT beats 4P-COST on variance",
+              file=sys.stderr)
     return 0
 
 
@@ -438,6 +487,22 @@ def build_parser():
     sla.add_argument("--check-golden", default=None, metavar="FILE",
                      help="fail (exit 1) unless the digest matches FILE")
     sla.set_defaults(func=_cmd_sla)
+
+    index = sub.add_parser(
+        "index", help="run the cost-variance study: classic policies vs "
+        "index-tracking / optimal-combination portfolios")
+    index.add_argument("--seed", type=int, default=11)
+    index.add_argument("--days", type=float, default=14.0)
+    index.add_argument("--vms", type=int, default=12)
+    index.add_argument("--policies", nargs="*",
+                       default=["1P-M", "4P-COST", "4P-ST", "IT-0.125",
+                                "IT-0.14", "OC-2"])
+    index.add_argument("--json", action="store_true")
+    index.add_argument("--write-golden", default=None, metavar="FILE",
+                       help="write the digest as the new golden and exit")
+    index.add_argument("--check-golden", default=None, metavar="FILE",
+                       help="compare the digest against a golden file")
+    index.set_defaults(func=_cmd_index)
     return parser
 
 

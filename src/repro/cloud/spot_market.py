@@ -70,6 +70,22 @@ class PriceWatch:
         #: Sorted trace indices matching the band, built on first use.
         self._match_cache = None
 
+    def retune(self, lo=None, hi=None):
+        """Move the band to ``(lo, hi]`` (None bounds stay unbounded).
+
+        Invalidates the cached match index.  The owning market's drive
+        loop replans after the current point is processed, so a watch
+        retuned from its own callback needs nothing further; retuning
+        from *outside* a delivery (or retuning watches on other
+        markets) requires :meth:`SpotMarket.rearm` on each affected
+        market, exactly like flipping an ``active`` gate open.
+        """
+        if lo is not None and hi is not None and hi <= lo:
+            raise ValueError(f"empty watch band ({lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+        self._match_cache = None
+
     def matches(self, price):
         """Whether one price lies in this watch's band."""
         if self.lo is not None and price <= self.lo:

@@ -24,6 +24,14 @@ class SpotCheckConfig:
         bids ``bid_multiple`` times it.
     bid_multiple:
         k for the k-times-on-demand bid policy.
+    knee_floor_fraction:
+        The ``"knee"`` bid policy's thrash floor: never bid below this
+        fraction of the on-demand price, even when the availability
+        knee of a quiet market sits lower.
+    portfolio:
+        Optional keyword overrides for the IT/OC portfolio allocation
+        family (``target_ratio``, ``band_fraction``, ``top_k``,
+        ``migration_budget``, ...); ignored for other policies.
     mechanism:
         Migration mechanism variant (the four bars of Figures 10-12).
     live_migration_only:
@@ -89,6 +97,8 @@ class SpotCheckConfig:
     allocation_policy: str = "1P-M"
     bid_policy: str = "on-demand"
     bid_multiple: float = 1.5
+    knee_floor_fraction: float = 0.3
+    portfolio: dict = None
     mechanism: BoundedMigrationConfig = field(
         default_factory=BoundedMigrationConfig.spotcheck_lazy)
     live_migration_only: bool = False
@@ -114,6 +124,8 @@ class SpotCheckConfig:
             raise ValueError(f"unknown bid policy {self.bid_policy!r}")
         if self.bid_multiple < 1.0:
             raise ValueError("bid_multiple must be at least 1")
+        if not 0 < self.knee_floor_fraction <= 1:
+            raise ValueError("knee_floor_fraction must lie in (0, 1]")
         if self.vms_per_backup < 1:
             raise ValueError("vms_per_backup must be at least 1")
         if self.hot_spares < 0:

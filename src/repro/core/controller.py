@@ -85,7 +85,8 @@ class SpotCheckController:
         self.pools = PoolManager()
         self.ledger = AccountingLedger(env)
         self.bid_policy = make_bid_policy(
-            self.config.bid_policy, self.config.bid_multiple)
+            self.config.bid_policy, self.config.bid_multiple,
+            floor_fraction=self.config.knee_floor_fraction)
         self.allocation = self._make_allocation()
         from repro.core.policies.spares import HotSparePolicy
         self.spares = HotSparePolicy(
@@ -120,10 +121,30 @@ class SpotCheckController:
         name = self.config.allocation_policy
         if name in ("greedy", "stability"):
             return None  # Placement policies are consulted per request.
-        policy = make_allocation_policy(name)
-        if hasattr(policy, "attach_clock"):
-            policy.attach_clock(lambda: self.env.now)
+        overrides = {}
+        if self.config.portfolio and (name.startswith("IT")
+                                      or name.startswith("OC")):
+            overrides = dict(self.config.portfolio)
+        policy = make_allocation_policy(
+            name, now=lambda: self.env.now, **overrides)
+        if hasattr(policy, "on_unclocked") and policy.on_unclocked is None:
+            policy.on_unclocked = \
+                lambda p=policy: self._note_unclocked_policy(p)
         return policy
+
+    def _note_unclocked_policy(self, policy):
+        """A time-windowed policy weighed pools without a clock.
+
+        Controller-built policies are always clocked; this fires only
+        when an externally constructed policy is grafted on, and turns
+        the historical silent all-time-window degradation into an
+        observable event.
+        """
+        obs = self.env.obs
+        if obs is not None:
+            obs.emit("policy.unclocked", policy=policy.name)
+            obs.metrics.counter("policy_unclocked_total",
+                                policy=policy.name).inc()
 
     # -- setup -----------------------------------------------------------
 
@@ -167,6 +188,11 @@ class SpotCheckController:
                 self._wire_pool_dynamics(market, pool)
             od_pool = OnDemandPool(self.slot_itype, one_zone, self.slot_itype)
             self.pools.add_on_demand_pool(od_pool)
+        if self.allocation is not None and \
+                hasattr(self.allocation, "install"):
+            # Portfolio policies register their crossing watches on the
+            # freshly created markets and solve the initial weights.
+            self.allocation.install(self)
         if self.config.hot_spares > 0:
             self.env.process(self._replenish_spares())
 
@@ -779,6 +805,87 @@ class SpotCheckController:
 
     def _parked_vms_of(self, pool):
         return [vm for vm, home in self._parked.values() if home is pool]
+
+    def is_parked(self, vm):
+        """Whether ``vm`` currently lives on the on-demand side."""
+        return vm.id in self._parked
+
+    def spot_residents(self, customer):
+        """``(vm, pool)`` for the customer's spot-hosted running VMs.
+
+        Parked VMs are excluded — they belong to the return-to-spot
+        path, not to portfolio rebalancing.
+        """
+        residents = []
+        for vm in customer.vms:
+            if not vm.is_running or vm.id in self._parked:
+                continue
+            host = vm.host
+            if host is None:
+                continue
+            pool = self.pools.pool_of_host(host)
+            if pool is not None and pool.market_kind == "spot":
+                residents.append((vm, pool))
+        return residents
+
+    def estimate_rebalance_seconds(self):
+        """Planning estimate: live-migration duration of one slot VM."""
+        bits = self.slot_itype.memory_gib * 8 * 2 ** 30
+        return bits / self.config.live_migration_bps
+
+    def execute_rebalance(self, moves):
+        """Process: live-migrate ``[(vm, dest_pool), ...]`` toward a
+        portfolio policy's new weights."""
+        return self.env.process(self._rebalance_spot_flow(moves))
+
+    def _rebalance_spot_flow(self, moves):
+        """Carry out planned portfolio moves, one bounded flow.
+
+        Each move mirrors the return-to-spot mechanics: a destination
+        slot is reserved (reusing free slots before launching a fresh
+        spot host), the VM live-migrates, and emptied source hosts are
+        garbage-collected.  A move whose VM meanwhile parked, died, or
+        already sits in the destination pool is skipped; a platform
+        refusal abandons the remaining moves — the next crossing
+        replans from current state.
+        """
+        obs = self.env.obs
+        if obs is not None:
+            obs.emit("pool.rebalance", moves=len(moves))
+            obs.metrics.counter("pool_moves_total", kind="pool.rebalance",
+                                cause="portfolio").inc()
+        for vm, dest_pool in moves:
+            if not vm.is_running or vm.id in self._parked:
+                continue
+            source_host = vm.host
+            if source_host is None or \
+                    self.pools.pool_of_host(source_host) is dest_pool:
+                continue
+            host = dest_pool.host_with_free_slot()
+            if host is None:
+                try:
+                    instance = yield from self._api_retry(
+                        lambda: self.api.run_instance(
+                            dest_pool.itype, dest_pool.zone, Market.SPOT,
+                            bid=dest_pool.bid),
+                        "start_spot_instance")
+                except (BidTooLow, CapacityError, ApiError) as exc:
+                    self._note_degraded("rebalance.start_spot", exc)
+                    return
+                host = HostVM(self.env, instance, self.slot_itype,
+                              slots=self._slots_per_host(dest_pool.itype))
+                dest_pool.add_host(host)
+                self.env.process(self._watch_spot_host(host, dest_pool))
+            host.hypervisor.reserve_slot()
+            moved = yield self.migrations.live_migrate(
+                vm, source_host, cause="rebalance", dest_host=host)
+            if moved is None:
+                host.hypervisor.cancel_reservation()
+                self._gc_host_if_empty(host)
+                continue
+            self._assign_backup(vm)
+            self.migrations.chase_if_doomed(vm, host)
+            self._gc_host_if_empty(source_host)
 
     def _proactive_drain(self, pool, cause="proactive"):
         """Live-migrate a pool to on-demand ahead of a revocation.

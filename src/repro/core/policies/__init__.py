@@ -3,6 +3,8 @@
 * :mod:`.bidding` — what to bid in each spot market (Section 4.3).
 * :mod:`.allocation` — which spot pool a new nested VM lands in
   (Table 2: 1P-M, 2P-ML, 4P-ED, 4P-COST, 4P-ST).
+* :mod:`.portfolio` — index-tracking / optimal-combination portfolios
+  over the spot pools with crossing-driven rebalancing (IT, OC).
 * :mod:`.placement` — which native server type backs a request, with
   slicing of larger types (greedy cheapest-first vs stability-first,
   Section 4.2).
@@ -20,6 +22,12 @@ from repro.core.policies.allocation import (
     make_allocation_policy,
 )
 from repro.core.policies.bidding import BidPolicy, make_bid_policy
+from repro.core.policies.portfolio import (
+    IndexTrackingPolicy,
+    OptimalCombinationPolicy,
+    PortfolioPolicy,
+    make_portfolio_policy,
+)
 from repro.core.policies.placement import (
     GreedyCheapestFirst,
     PlacementChoice,
@@ -35,10 +43,14 @@ __all__ = [
     "EqualSpreadPolicy",
     "GreedyCheapestFirst",
     "HotSparePolicy",
+    "IndexTrackingPolicy",
+    "OptimalCombinationPolicy",
     "PlacementChoice",
+    "PortfolioPolicy",
     "SinglePoolPolicy",
     "StabilityFirst",
     "StabilityWeightedPolicy",
     "make_allocation_policy",
     "make_bid_policy",
+    "make_portfolio_policy",
 ]

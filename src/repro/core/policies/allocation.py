@@ -13,6 +13,13 @@ always choosing the single cheapest pool.
 | 4P-ED   | spread equally over all four m3 pools                      |
 | 4P-COST | probability inversely weighted by historical pool cost    |
 | 4P-ST   | probability inversely weighted by historical migrations    |
+| IT[-r]  | index tracking: hold realized $/VM-hour on a target index |
+| OC[-k]  | optimal combination: score pools by price/risk/move cost  |
+
+``IT``/``OC`` live in :mod:`repro.core.policies.portfolio` (Cloud
+Index Tracking, Shastri & Irwin); parameterized spellings like
+``IT-0.125`` (target ratio) and ``OC-2`` (portfolio size) are parsed
+by :func:`make_allocation_policy`.
 """
 
 
@@ -106,13 +113,24 @@ class CostWeightedPolicy(_WeightedPolicy):
 
 class StabilityWeightedPolicy(_WeightedPolicy):
     """4P-ST: "the fewer the number of migrations over a period, the
-    higher the probability of mapping a VM into that pool"."""
+    higher the probability of mapping a VM into that pool".
+
+    The migration window only exists relative to a clock.  Without one
+    (``attach_clock`` never called), ``weight()`` silently degrades to
+    counting every revocation since t=0 — historically a latent bug
+    when the policy was built outside the controller — so an unclocked
+    weigh now reports through the optional ``on_unclocked`` hook
+    (fired once per instance; the controller wires it to an obs event).
+    """
 
     name = "4P-ST"
 
     def __init__(self, window_s=7 * 24 * 3600.0, now=None):
         self.window_s = window_s
         self._now = now or (lambda: None)
+        #: Zero-argument callable invoked on the first unclocked weigh.
+        self.on_unclocked = None
+        self._warned_unclocked = False
 
     def attach_clock(self, now):
         """Install a callable returning the current simulation time."""
@@ -120,6 +138,10 @@ class StabilityWeightedPolicy(_WeightedPolicy):
 
     def weight(self, pool):
         now = self._now()
+        if now is None and not self._warned_unclocked:
+            self._warned_unclocked = True
+            if self.on_unclocked is not None:
+                self.on_unclocked()
         since = None if now is None else now - self.window_s
         return 1.0 / (1.0 + pool.recent_migration_count(since))
 
@@ -152,6 +174,12 @@ class ZoneSpreadPolicy(AllocationPolicy):
         return eligible[cursor % len(eligible)]
 
 
+def _make_portfolio(name):
+    # Imported lazily: portfolio.py subclasses AllocationPolicy.
+    from repro.core.policies.portfolio import make_portfolio_policy
+    return make_portfolio_policy(name)
+
+
 #: Name -> zero-argument factory.
 ALLOCATION_POLICIES = {
     "1P-M": SinglePoolPolicy,
@@ -161,15 +189,40 @@ ALLOCATION_POLICIES = {
     "4P-COST": CostWeightedPolicy,
     "4P-ST": StabilityWeightedPolicy,
     "Z-M": ZoneSpreadPolicy,
+    "IT": lambda: _make_portfolio("IT"),
+    "OC": lambda: _make_portfolio("OC"),
 }
 
 
-def make_allocation_policy(name):
-    """Instantiate a Table 2 policy by name."""
-    try:
-        factory = ALLOCATION_POLICIES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown allocation policy {name!r}; choose from "
-            f"{sorted(ALLOCATION_POLICIES)}") from None
-    return factory()
+def make_allocation_policy(name, now=None, **overrides):
+    """Instantiate a Table 2 (or portfolio) policy by name.
+
+    ``now`` — an optional zero-argument simulation-clock callable —
+    is attached to any policy that supports one, so time-windowed
+    policies (4P-ST's 7-day migration window, the portfolio family's
+    realized-cost folds) are born clocked instead of relying on the
+    caller to remember :meth:`attach_clock`.
+
+    ``IT``/``OC`` names accept an inline parameter (``IT-0.125``,
+    ``OC-3``) and keyword ``overrides`` forwarded to the portfolio
+    constructor; overrides on any other policy are an error.
+    """
+    if name.startswith("IT") or name.startswith("OC"):
+        from repro.core.policies.portfolio import make_portfolio_policy
+        policy = make_portfolio_policy(name, **overrides)
+    else:
+        if overrides:
+            raise ValueError(
+                f"policy {name!r} accepts no overrides (got "
+                f"{sorted(overrides)}); only the IT/OC portfolio "
+                f"family is parameterizable")
+        try:
+            factory = ALLOCATION_POLICIES[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown allocation policy {name!r}; choose from "
+                f"{sorted(ALLOCATION_POLICIES)}") from None
+        policy = factory()
+    if now is not None and hasattr(policy, "attach_clock"):
+        policy.attach_clock(now)
+    return policy

@@ -87,12 +87,18 @@ class KneeBidPolicy(BidPolicy):
         return f"<KneeBidPolicy target={self.availability_target}>"
 
 
-def make_bid_policy(name, multiple=1.5, availability_target=0.995):
-    """Factory for the named bid policies."""
+def make_bid_policy(name, multiple=1.5, availability_target=0.995,
+                    floor_fraction=0.3):
+    """Factory for the named bid policies.
+
+    ``floor_fraction`` reaches the knee policy's thrash floor: the bid
+    never drops below that fraction of the on-demand price even when
+    the availability knee of a very quiet market sits lower.
+    """
     if name == "on-demand":
         return BidPolicy(1.0)
     if name == "multiple":
         return BidPolicy(multiple)
     if name == "knee":
-        return KneeBidPolicy(availability_target)
+        return KneeBidPolicy(availability_target, floor_fraction)
     raise ValueError(f"unknown bid policy {name!r}")

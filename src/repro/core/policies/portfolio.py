@@ -1,0 +1,721 @@
+"""Index-tracking spot portfolios with crossing-driven rebalancing.
+
+SpotCheck's Table 2 policies pick a *static* pool mapping; *Cloud
+Index Tracking* (Shastri & Irwin, see PAPERS.md) instead treats the
+spot pools as a financial portfolio and rebalances it so the realized
+cost tracks a target index with bounded variance.  Two policies live
+here:
+
+* :class:`IndexTrackingPolicy` (``IT`` / ``IT-<ratio>``) — holds each
+  customer's realized $/VM-hour inside a configurable band around a
+  target index (``target_ratio`` x the slot's on-demand price).  The
+  weight solver mixes the two pools whose per-slot prices straddle the
+  target, which tracks it exactly while prices hold; crossings retune
+  the mix and, subject to a migration budget, live-migrate VMs toward
+  the new weights.
+* :class:`OptimalCombinationPolicy` (``OC`` / ``OC-<k>``) — scores
+  every pool by ``f(recent price, eviction risk, migration cost)``
+  (risk folds :class:`~repro.core.policies.prediction
+  .RevocationPredictor` signals from the price series plus recorded
+  revocations) and spreads weight over the ``top_k`` best scores.
+
+Rebalancing is **crossing-driven**: :meth:`PortfolioPolicy.install`
+registers two :class:`~repro.cloud.spot_market.PriceWatch` bands per
+pool (price escaped above / below the last reweigh's allowed region),
+so the market drive wakes the policy only when a price move is large
+enough to matter and holding a portfolio adds zero per-point kernel
+events (``SpotMarket.drive_stats()`` asserts this in the bench's
+``index`` section).  Realized-cost drift checks are folded into
+wakeups that already exist — crossings and ``choose()`` calls — never
+into a poll.
+
+The weight vector is applied per customer with a deterministic
+largest-remainder apportionment (no RNG draw), so portfolio runs are
+bit-reproducible and a customer's fleet converges to the weights
+exactly.
+"""
+
+from collections import deque
+
+from repro.cloud.spot_market import PriceWatch
+from repro.core.policies.allocation import AllocationPolicy
+
+HOUR = 3600.0
+
+
+class RealizedCostTracker:
+    """Exponentially decayed realized $/VM-hour for one customer.
+
+    ``fold`` accrues a window's dollars and VM-hours after decaying the
+    running totals by ``0.5 ** (dt / half_life_s)``, so the reported
+    rate is a recency-weighted average: old spend fades, and a
+    rebalance shows up in the realized rate within a few half-lives.
+    """
+
+    __slots__ = ("half_life_s", "dollars", "vm_hours", "last",
+                 "in_band_s", "out_band_s")
+
+    def __init__(self, half_life_s):
+        self.half_life_s = half_life_s
+        self.dollars = 0.0
+        self.vm_hours = 0.0
+        self.last = None
+        self.in_band_s = 0.0
+        self.out_band_s = 0.0
+
+    def fold(self, now, dollars, vm_hours):
+        if self.last is not None and now > self.last and self.half_life_s > 0:
+            decay = 0.5 ** ((now - self.last) / self.half_life_s)
+            self.dollars *= decay
+            self.vm_hours *= decay
+        self.dollars += dollars
+        self.vm_hours += vm_hours
+        self.last = now if self.last is None else max(self.last, now)
+
+    def rate(self):
+        """Realized $/VM-hour, or None before any accrual."""
+        if self.vm_hours <= 0:
+            return None
+        return self.dollars / self.vm_hours
+
+    def note_band(self, elapsed, in_band):
+        if in_band:
+            self.in_band_s += elapsed
+        else:
+            self.out_band_s += elapsed
+
+    def in_band_fraction(self):
+        total = self.in_band_s + self.out_band_s
+        return self.in_band_s / total if total > 0 else None
+
+
+class PortfolioPolicy(AllocationPolicy):
+    """Base of the portfolio family: weights, watches, budget, folds.
+
+    Subclasses implement :meth:`_solve_weights` (per-slot prices ->
+    weight vector) and :meth:`_band_for` (the allowed per-slot price
+    region per pool; leaving it triggers a crossing).
+    """
+
+    pool_types = ("m3.medium", "m3.large", "m3.xlarge", "m3.2xlarge")
+
+    #: Minimum relative half-width every watch band keeps around the
+    #: current price.  Spot traces wiggle a few percent point-to-point
+    #: (median ~3-6% on the calibrated m3 markets), so a band edge
+    #: sitting on the price itself — e.g. a pool parked exactly on a
+    #: decision boundary — would otherwise refire on noise every point.
+    _min_gap = 0.05
+
+    def __init__(self, name, hysteresis=0.1, migration_budget=4,
+                 budget_window_s=24 * HOUR, half_life_s=6 * HOUR):
+        if hysteresis <= 0:
+            raise ValueError("hysteresis must be positive")
+        if migration_budget < 0:
+            raise ValueError("migration_budget must be non-negative")
+        self.name = name
+        self.hysteresis = hysteresis
+        #: Rebalance moves allowed per customer per budget window.
+        self.migration_budget = migration_budget
+        self.budget_window_s = budget_window_s
+        self.half_life_s = half_life_s
+        self._now = lambda: None
+        self._controller = None
+        self._pools = []
+        self._weights = {}
+        self._price_ref = {}
+        #: pool key -> (above, below) PriceWatch pair.
+        self._watches = {}
+        self._trackers = {}
+        #: customer id -> deque of rebalance-move timestamps (budget).
+        self._move_log = {}
+        #: customer id (or None) -> per-pool apportionment counts.
+        self._counts = {}
+        self.stats = {"reweighs": 0, "crossings": 0, "moves_planned": 0,
+                      "moves_denied": 0}
+
+    # -- wiring ------------------------------------------------------
+
+    def attach_clock(self, now):
+        """Install a callable returning the current simulation time."""
+        self._now = now
+
+    def install(self, controller, pools=None):
+        """Register crossing watches on the controller's spot markets.
+
+        After this, the markets wake the policy only when a pool's
+        price leaves the band the last reweigh computed; every wake
+        folds realized costs, re-solves the weights, retunes the
+        bands, and (budget permitting) asks the controller to
+        live-migrate VMs toward the new weights.
+        """
+        self._controller = controller
+        if pools is None:
+            pools = self.eligible(controller.pools.all_spot_pools())
+        self._pools = list(pools)
+        for pool in self._pools:
+            fire = (lambda mkt, price, p=pool: self._on_crossing(p, price))
+            # Born inert (empty bands); the first reweigh tunes them.
+            above = pool.market.add_watch(PriceWatch(fire, lo=float("inf")))
+            below = pool.market.add_watch(PriceWatch(fire, hi=0.0))
+            self._watches[pool.key] = (above, below)
+        self._reweigh()
+
+    # -- crossing machinery ------------------------------------------
+
+    def _on_crossing(self, pool, price):
+        self.stats["crossings"] += 1
+        now = self._now()
+        self._fold_all(now)
+        self._reweigh()
+        self._plan_rebalance(now)
+
+    def _reweigh(self):
+        self.stats["reweighs"] += 1
+        prices = {pool.key: pool.price_per_slot() for pool in self._pools}
+        self._price_ref = prices
+        self._weights = self._solve_weights(prices)
+        self._retune_watches(prices)
+
+    def _retune_watches(self, prices):
+        for pool in self._pools:
+            pair = self._watches.get(pool.key)
+            if pair is None:
+                continue
+            p = prices[pool.key]
+            lo, hi = self._band_for(pool, p)
+            # The band must straddle the current price with the noise
+            # dead zone: the next firing is then a genuine crossing,
+            # never a refire on the price the band was tuned at.
+            if hi is not None:
+                hi = max(hi, p * (1.0 + self._min_gap))
+            if lo is not None:
+                lo = min(lo, p * (1.0 - self._min_gap))
+            slots = pool.slots_per_host
+            above, below = pair
+            above.retune(lo=(hi * slots if hi is not None else float("inf")))
+            below.retune(hi=(lo * slots if lo is not None and lo > 0
+                             else 0.0))
+            # No-op on the market currently mid-delivery (its drive
+            # loop replans anyway); wakes the others' parked drivers.
+            pool.market.rearm()
+
+    # -- realized-cost folding ---------------------------------------
+
+    def _fold_all(self, now):
+        if now is None or self._controller is None:
+            return
+        for customer in self._controller.customers.values():
+            self._fold_customer(customer, now)
+
+    def _fold_customer(self, customer, now):
+        """Accrue one customer's spend since their last fold.
+
+        Spot residents accrue the *exact* trace integral of their
+        pool's per-slot price over the window (subdivision-invariant);
+        parked VMs accrue the on-demand price — the cost of instability
+        the tracker exists to expose.
+        """
+        if now is None or self._controller is None or customer is None:
+            return
+        tracker = self._trackers.get(customer.id)
+        if tracker is None:
+            tracker = RealizedCostTracker(self.half_life_s)
+            self._trackers[customer.id] = tracker
+        last = tracker.last
+        if last is None:
+            tracker.last = now
+            return
+        if now <= last:
+            return
+        elapsed = now - last
+        hours = elapsed / HOUR
+        dollars = 0.0
+        vm_hours = 0.0
+        for _vm, pool in self._controller.spot_residents(customer):
+            dollars += pool.slot_cost_between(last, now)
+            vm_hours += hours
+        for vm in customer.vms:
+            if vm.is_running and self._controller.is_parked(vm):
+                dollars += vm.itype.on_demand_price * hours
+                vm_hours += hours
+        if vm_hours <= 0:
+            tracker.last = now
+            return
+        tracker.fold(now, dollars, vm_hours)
+        in_band = self._rate_in_band(tracker.rate())
+        if in_band is not None:
+            tracker.note_band(elapsed, in_band)
+
+    def _rate_in_band(self, rate):
+        """Whether a realized rate is acceptable; None = no band."""
+        return None
+
+    def tracking_report(self):
+        """Per-customer realized-cost summary (study/report input)."""
+        report = {}
+        for cid, tracker in sorted(self._trackers.items()):
+            report[cid] = {
+                "realized_per_vm_hour": tracker.rate(),
+                "in_band_fraction": tracker.in_band_fraction(),
+                "vm_hours": tracker.vm_hours,
+            }
+        return report
+
+    # -- allocation --------------------------------------------------
+
+    def choose(self, pools, rng, customer=None):
+        """Deterministic largest-remainder apportionment of the weights.
+
+        Each customer's placements converge to the weight vector
+        exactly (no RNG draw); the call doubles as an existing wakeup
+        the customer's realized-cost fold rides on.
+        """
+        eligible = self.eligible(pools)
+        if not self._pools:
+            self._pools = list(eligible)
+        if not self._weights:
+            self._reweigh()
+        if customer is not None:
+            self._fold_customer(customer, self._now())
+        key = customer.id if customer is not None else None
+        counts = self._counts.setdefault(key, {})
+        total = sum(counts.values())
+        best = None
+        best_score = None
+        for pool in eligible:
+            weight = self._weights.get(pool.key, 0.0)
+            score = weight * (total + 1) - counts.get(pool.key, 0)
+            if best_score is None or score > best_score + 1e-12:
+                best, best_score = pool, score
+        counts[best.key] = counts.get(best.key, 0) + 1
+        return best
+
+    # -- rebalancing -------------------------------------------------
+
+    def _desired_counts(self, n):
+        """Largest-remainder integer apportionment of ``n`` VMs."""
+        order = [pool.key for pool in self._pools]
+        quotas = [(self._weights.get(key, 0.0) * n, key) for key in order]
+        floors = {key: int(quota) for quota, key in quotas}
+        assigned = sum(floors.values())
+        remainders = sorted(
+            ((quota - int(quota), key) for quota, key in quotas),
+            key=lambda pair: (-pair[0], order.index(pair[1])))
+        for _frac, key in remainders:
+            if assigned >= n:
+                break
+            floors[key] += 1
+            assigned += 1
+        return floors
+
+    def _budget_allows(self, customer_id, now):
+        log = self._move_log.setdefault(customer_id, deque())
+        cutoff = now - self.budget_window_s
+        while log and log[0] < cutoff:
+            log.popleft()
+        return len(log) < self.migration_budget
+
+    def _note_move(self, customer_id, now):
+        self._move_log.setdefault(customer_id, deque()).append(now)
+
+    def _should_rebalance(self, customer, residents, now):
+        return True
+
+    def _plan_rebalance(self, now):
+        """Plan budgeted moves toward the current weights, per customer."""
+        controller = self._controller
+        if controller is None or now is None or not self._weights:
+            return
+        by_key = {pool.key: pool for pool in self._pools}
+        for customer in controller.customers.values():
+            residents = [(vm, pool)
+                         for vm, pool in controller.spot_residents(customer)
+                         if pool.key in by_key]
+            n = len(residents)
+            if n == 0 or not self._should_rebalance(customer, residents, now):
+                continue
+            desired = self._desired_counts(n)
+            current = {}
+            for _vm, pool in residents:
+                current[pool.key] = current.get(pool.key, 0) + 1
+            surplus = []
+            for vm, pool in sorted(residents, key=lambda pair: pair[0].id):
+                if current.get(pool.key, 0) > desired.get(pool.key, 0):
+                    surplus.append(vm)
+                    current[pool.key] -= 1
+            moves = []
+            for key in [pool.key for pool in self._pools]:
+                need = desired.get(key, 0) - current.get(key, 0)
+                while need > 0 and surplus:
+                    if not self._budget_allows(customer.id, now):
+                        self.stats["moves_denied"] += len(surplus)
+                        surplus = []
+                        break
+                    vm = surplus.pop(0)
+                    moves.append((vm, by_key[key]))
+                    self._note_move(customer.id, now)
+                    current[key] = current.get(key, 0) + 1
+                    need -= 1
+            if moves:
+                self.stats["moves_planned"] += len(moves)
+                controller.execute_rebalance(moves)
+
+    # -- hooks for subclasses ----------------------------------------
+
+    def _solve_weights(self, prices):
+        raise NotImplementedError
+
+    def _band_for(self, pool, price_per_slot):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class IndexTrackingPolicy(PortfolioPolicy):
+    """IT: hold realized $/VM-hour on ``target_ratio`` x slot od price.
+
+    The act/hold gate is the *realized rate itself*, not the prices:
+    spot prices oscillate tens of percent on an hours timescale, but
+    the realized rate is a half-life-smoothed average, so reacting to
+    every price poke is churn (and churn means evictions, and
+    evictions mean on-demand parking at many times the index).  Each
+    crossing folds the realized trackers and, while the fleet's rate
+    sits inside the band, merely recenters the wake bands.  Only a
+    genuine breach re-solves the weights, direction-aware and over
+    *effective* prices — each pool's price risk-adjusted by its
+    measured eviction rate times ``eviction_penalty_hours`` of
+    on-demand parking, because a nominally in-band volatile pool
+    realizes far above its sticker price.  Realized too high anchors
+    the whole portfolio on the cheapest effective pool at or below the
+    target; realized too low pulls up via the closest-below pool,
+    mixing in the cheapest above-target pool (the classic
+    zero-tracking-error straddle, solved in effective prices so the
+    blend converges instead of oscillating) only when no single pool
+    can reach the band.
+
+    Watch bands are *decision boundaries*, not fixed corridors: while
+    anchored, every other pool's watch is dormant (nothing it does can
+    change the solution) and the anchor's band is the wide roam region
+    of :meth:`_anchor_watch_band`; in straddle mode an unheld pool
+    only fires when its move could change the solved pair (overtaking
+    the closest-below / closest-above pool, or flipping sides of the
+    target), while held pools additionally fire on a ±``hysteresis``
+    move so the straddle weights refresh.  The weight solution is
+    continuous across every boundary, so the ``_min_gap`` dead zone
+    can swallow small boundary flips without a tracking-error step.
+    """
+
+    def __init__(self, target_ratio=0.125, band_fraction=0.15,
+                 hysteresis=0.25, eviction_penalty_hours=1.0,
+                 migration_budget=4, budget_window_s=24 * HOUR,
+                 half_life_s=6 * HOUR):
+        super().__init__("IT", hysteresis=hysteresis,
+                         migration_budget=migration_budget,
+                         budget_window_s=budget_window_s,
+                         half_life_s=half_life_s)
+        if target_ratio <= 0:
+            raise ValueError("target_ratio must be positive")
+        if not 0 < band_fraction < 1:
+            raise ValueError("band_fraction must lie in (0, 1)")
+        if eviction_penalty_hours < 0:
+            raise ValueError("eviction_penalty_hours must be non-negative")
+        self.target_ratio = target_ratio
+        self.band_fraction = band_fraction
+        #: Hours of on-demand parking one eviction is charged with in
+        #: the solver's risk-adjusted effective prices.
+        self.eviction_penalty_hours = eviction_penalty_hours
+        #: Key of the pool carrying the whole portfolio, when anchored.
+        self._anchor = None
+        self.stats["holds"] = 0
+
+    def target(self):
+        """The index: target $/VM-hour (None before pools are bound)."""
+        if not self._pools:
+            return None
+        return self.target_ratio * self._pools[0].slot_itype.on_demand_price
+
+    def band(self):
+        """(floor, ceiling) the realized $/VM-hour must stay within."""
+        target = self.target()
+        if target is None:
+            return None
+        return (target * (1.0 - self.band_fraction),
+                target * (1.0 + self.band_fraction))
+
+    def _anchor_watch_band(self):
+        """Price region the anchor may roam without waking the policy.
+
+        Wider than the realized-rate band on purpose: the realized
+        rate is a half-life-smoothed average, so a brief price poke
+        cannot move it out of band — only deep (which for spot prices
+        means sustained) excursions can, and those warrant a
+        realized-rate check.  The asymmetry is deliberate: the ceiling
+        at ``target*(1 + band_fraction/2)`` checks overspend early,
+        while the floor at ``target*(1 - 2*band_fraction)`` tolerates
+        cheap dips (tracking from below costs nothing but tracking
+        error, and rebalancing on them is variance, not tracking).
+        """
+        target = self.target()
+        return (target * (1.0 - 2.0 * self.band_fraction),
+                target * (1.0 + self.band_fraction / 2.0))
+
+    def _fleet_rate(self):
+        """Mean realized $/VM-hour across customers (None before data)."""
+        rates = [tracker.rate() for tracker in self._trackers.values()]
+        rates = [rate for rate in rates if rate is not None]
+        if not rates:
+            return None
+        return sum(rates) / len(rates)
+
+    def _on_crossing(self, pool, price):
+        self.stats["crossings"] += 1
+        now = self._now()
+        self._fold_all(now)
+        fleet = self._fleet_rate()
+        if fleet is not None and self._rate_in_band(fleet):
+            # Tracking healthy: recenter the wake bands on the current
+            # prices and change nothing — acting on a price move while
+            # realized is in band trades tracking for churn.
+            self.stats["holds"] += 1
+            prices = {p.key: p.price_per_slot() for p in self._pools}
+            self._price_ref = prices
+            self._retune_watches(prices)
+            return
+        self._reweigh()
+        self._plan_rebalance(now)
+
+    def _effective_prices(self, prices):
+        """Per-slot prices risk-adjusted for expected eviction parking.
+
+        A pool evicting ``r`` times per hour parks its VMs on the
+        on-demand side roughly ``r * eviction_penalty_hours`` of every
+        hour, so its expected realized rate is the blend with the
+        on-demand price — which is what the solver must compare, or a
+        nominally in-band volatile pool wins seats it then realizes
+        far above.
+        """
+        now = self._now()
+        effective = {}
+        for pool in self._pools:
+            parked = min(1.0, pool.eviction_rate(now)
+                         * self.eviction_penalty_hours)
+            od = pool.slot_itype.on_demand_price
+            effective[pool.key] = \
+                prices[pool.key] * (1.0 - parked) + od * parked
+        return effective
+
+    def _solve_weights(self, prices):
+        target = self.target()
+        fleet = self._fleet_rate()
+        order = [pool.key for pool in self._pools]
+        effective = self._effective_prices(prices)
+        items = sorted((effective[key], key) for key in order)
+        below = [(p, key) for p, key in items if p <= target]
+        above = [(p, key) for p, key in items if p > target]
+        self._anchor = None
+        if not below:
+            return {items[0][1]: 1.0}  # Everything above: cheapest.
+        if fleet is None or fleet >= target:
+            # Initial solve, or overspending: the cheapest effective
+            # pool below the target pulls realized down fastest at
+            # risk-priced cost.
+            self._anchor = below[0][1]
+            return {self._anchor: 1.0}
+        # Realized slid under the band floor: pull up.
+        p_lo, k_lo = below[-1]
+        if p_lo >= target * (1.0 - self.band_fraction) or not above:
+            self._anchor = k_lo  # The closest-below reaches the band.
+            return {k_lo: 1.0}
+        p_hi, k_hi = above[0]
+        spread = p_hi - p_lo
+        w_hi = (target - p_lo) / spread if spread > 0 else 0.0
+        return {k_lo: 1.0 - w_hi, k_hi: w_hi}
+
+    def _band_for(self, pool, price_per_slot):
+        """Nearest decision boundaries around this pool's price."""
+        p = price_per_slot
+        target = self.target()
+        if self._anchor is not None:
+            if pool.key == self._anchor:
+                return self._anchor_watch_band()
+            return None, None  # Dormant while the anchor holds its seat.
+        others = [value for key, value in self._price_ref.items()
+                  if key != pool.key]
+        below = sorted(value for value in others if value <= target)
+        above = sorted(value for value in others if value > target)
+        if p <= target:
+            max_below = below[-1] if below else None
+            if max_below is not None and p < max_below:
+                # Overtaking the closest-below pool changes the pair;
+                # falling further is irrelevant while unheld there.
+                lo, hi = None, max_below
+            else:
+                # We are the closest-below: crossing the target flips
+                # the side; dropping under the runner-up hands over.
+                lo, hi = max_below, target
+        else:
+            min_above = above[0] if above else None
+            if min_above is not None and p > min_above:
+                lo, hi = min_above, None
+            else:
+                lo, hi = target, min_above
+        if self._weights.get(pool.key, 0.0) > 0.0:
+            # Held pools also refresh the straddle weights on material
+            # moves, not just on pair changes.
+            h = self.hysteresis
+            hi = p * (1 + h) if hi is None else min(hi, p * (1 + h))
+            lo = p * (1 - h) if lo is None else max(lo, p * (1 - h))
+        return lo, hi
+
+    def _rate_in_band(self, rate):
+        target = self.target()
+        if rate is None or target is None:
+            return None
+        return abs(rate - target) <= self.band_fraction * target
+
+    def _should_rebalance(self, customer, residents, now):
+        """Spend budget only when tracking is actually at risk."""
+        target = self.target()
+        if target is None:
+            return False
+        tracker = self._trackers.get(customer.id)
+        realized = tracker.rate() if tracker is not None else None
+        if realized is not None and not self._rate_in_band(realized):
+            return True
+        blend = sum(pool.price_per_slot()
+                    for _vm, pool in residents) / len(residents)
+        return abs(blend - target) > self.band_fraction * target
+
+
+class OptimalCombinationPolicy(PortfolioPolicy):
+    """OC: score pools by price, eviction risk, and migration cost.
+
+    ``score = price_per_slot + risk_per_hour * (risk_weight * slot_od
+    + migration_weight * move_dollars)`` — the price a slot costs now,
+    plus what the pool's instability is expected to cost per hour in
+    on-demand parking and rebalance migrations.  Risk folds the
+    market's price series through an owned
+    :class:`~repro.core.policies.prediction.RevocationPredictor`
+    (``observe_series`` over lazily delivered points: no kernel
+    events) and adds the pool's recorded revocation rate.  Weight
+    spreads over the ``top_k`` lowest scores, inverse-proportionally.
+    """
+
+    def __init__(self, top_k=2, risk_weight=1.0, migration_weight=0.5,
+                 risk_window_s=7 * 24 * HOUR, hysteresis=0.35,
+                 predictor=None, migration_budget=4,
+                 budget_window_s=24 * HOUR, half_life_s=6 * HOUR):
+        super().__init__("OC", hysteresis=hysteresis,
+                         migration_budget=migration_budget,
+                         budget_window_s=budget_window_s,
+                         half_life_s=half_life_s)
+        if top_k < 1:
+            raise ValueError("top_k must be at least 1")
+        self.top_k = top_k
+        self.risk_weight = risk_weight
+        self.migration_weight = migration_weight
+        self.risk_window_s = risk_window_s
+        if predictor is None:
+            from repro.core.policies.prediction import RevocationPredictor
+            predictor = RevocationPredictor()
+        self.predictor = predictor
+        self._fold_cursor = {}
+        self._signal_times = {}
+
+    def _solve_weights(self, prices):
+        now = self._now()
+        order = [pool.key for pool in self._pools]
+        scores = {pool.key: self._score(pool, prices[pool.key], now)
+                  for pool in self._pools}
+        ranked = sorted(order, key=lambda key: (scores[key],
+                                                order.index(key)))
+        chosen = ranked[:min(self.top_k, len(ranked))]
+        inverse = {key: 1.0 / max(scores[key], 1e-9) for key in chosen}
+        total = sum(inverse.values())
+        return {key: inverse[key] / total for key in chosen}
+
+    def _score(self, pool, price_per_slot, now):
+        risk = self._risk_per_hour(pool, now)
+        slot_od = pool.slot_itype.on_demand_price
+        move_dollars = (self._move_seconds() / HOUR) * slot_od
+        return price_per_slot + risk * (self.risk_weight * slot_od
+                                        + self.migration_weight
+                                        * move_dollars)
+
+    def _move_seconds(self):
+        controller = self._controller
+        if controller is not None and \
+                hasattr(controller, "estimate_rebalance_seconds"):
+            return controller.estimate_rebalance_seconds()
+        return 600.0
+
+    def _risk_per_hour(self, pool, now):
+        """Predictor signals + recorded revocations, events/hour."""
+        self._fold_series(pool)
+        window_h = self.risk_window_s / HOUR
+        signals = self._signal_times.get(pool.key)
+        count = 0
+        if signals:
+            if now is not None:
+                cutoff = now - self.risk_window_s
+                while signals and signals[0] < cutoff:
+                    signals.popleft()
+            count = len(signals)
+        return pool.eviction_rate(now, self.risk_window_s) + count / window_h
+
+    def _fold_series(self, pool):
+        """Feed newly delivered trace points into the predictor."""
+        counter = getattr(pool.market, "delivered_count", None)
+        if counter is None:
+            return
+        end = counter()
+        start = self._fold_cursor.get(pool.key,
+                                      getattr(pool, "_series_start", 0))
+        if end <= start:
+            self._fold_cursor.setdefault(pool.key, start)
+            return
+        times, prices = pool.market.trace.arrays()
+        fired = self.predictor.observe_series(
+            pool.key, times[start:end], prices[start:end], pool.bid)
+        log = self._signal_times.setdefault(pool.key, deque())
+        for index in fired:
+            log.append(float(times[start + index]))
+        self._fold_cursor[pool.key] = end
+
+    def _band_for(self, pool, price_per_slot):
+        return (price_per_slot * (1.0 - self.hysteresis),
+                price_per_slot * (1.0 + self.hysteresis))
+
+
+def make_portfolio_policy(name, **overrides):
+    """Parse ``IT`` / ``IT-<ratio>`` / ``OC`` / ``OC-<k>``.
+
+    The inline parameter wins over a conflicting keyword override, so
+    a grid of ``IT-0.12`` / ``IT-0.14`` cells sharing one override
+    dict behaves as the cell names say.
+    """
+    base, sep, param = name.partition("-")
+    kwargs = dict(overrides)
+    if base == "IT":
+        if sep:
+            try:
+                kwargs["target_ratio"] = float(param)
+            except ValueError:
+                raise ValueError(
+                    f"bad IT target ratio {param!r} in {name!r}") from None
+        policy = IndexTrackingPolicy(**kwargs)
+    elif base == "OC":
+        if sep:
+            try:
+                kwargs["top_k"] = int(param)
+            except ValueError:
+                raise ValueError(
+                    f"bad OC portfolio size {param!r} in {name!r}") from None
+        policy = OptimalCombinationPolicy(**kwargs)
+    else:
+        raise ValueError(
+            f"unknown portfolio policy {name!r}; use IT[-<target ratio>] "
+            f"or OC[-<top k>]")
+    policy.name = name
+    return policy

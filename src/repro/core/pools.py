@@ -223,10 +223,14 @@ class SpotPool(ServerPool):
     def record_price(self, when, price):
         self._price_samples.append((when, price))
 
+    @property
+    def slots_per_host(self):
+        """Nested-VM slots one host of this pool carries (memory-bound)."""
+        return max(int(self.itype.memory_gib // self.slot_itype.memory_gib), 1)
+
     def price_per_slot(self):
         """Current spot price divided by nested-VM slots per host."""
-        slots = max(int(self.itype.memory_gib // self.slot_itype.memory_gib), 1)
-        return self.market.current_price() / slots
+        return self.market.current_price() / self.slots_per_host
 
     def _market_price_window(self):
         """The last <= 512 prices the step drive would have fed us.
@@ -245,22 +249,79 @@ class SpotPool(ServerPool):
         _times, prices = self.market.trace.arrays()
         return prices[start:end].tolist()
 
+    def _last_market_sample_time(self):
+        """Timestamp of the newest lazily-delivered trace point, or None."""
+        counter = getattr(self.market, "delivered_count", None)
+        if counter is None:
+            return None
+        end = counter()
+        if end <= self._series_start:
+            return None
+        times, _prices = self.market.trace.arrays()
+        return float(times[end - 1])
+
     def recent_mean_price_per_slot(self):
-        """Historical mean price per slot (4P-COST's weight input)."""
-        if self._price_samples:
+        """Historical mean price per slot (4P-COST's weight input).
+
+        Two sample series can exist: explicitly recorded samples (the
+        predictive step-listener path) and the lazily reconstructed
+        market window.  Whichever series saw a price more recently
+        wins, so weights never freeze on stale manual samples after
+        manual recording stops; ties prefer the manual series, which
+        preserves the exact float sums of all-manual runs.
+        """
+        manual_t = self._price_samples[-1][0] if self._price_samples else None
+        market_t = self._last_market_sample_time()
+        if manual_t is not None and (market_t is None or manual_t >= market_t):
             prices = [price for _when, price in self._price_samples]
         else:
             prices = self._market_price_window()
+            if not prices and self._price_samples:
+                prices = [price for _when, price in self._price_samples]
         if not prices:
             return self.price_per_slot()
-        slots = max(int(self.itype.memory_gib // self.slot_itype.memory_gib), 1)
-        return (sum(prices) / len(prices)) / slots
+        return (sum(prices) / len(prices)) / self.slots_per_host
 
     def recent_migration_count(self, since=None):
         """Revocation events in the window (4P-ST's weight input)."""
         if since is None:
             return len(self.revocations)
         return sum(1 for when, _h, _v in self.revocations if when >= since)
+
+    # -- portfolio cost/risk accessors ---------------------------------
+
+    def mean_price_per_slot_between(self, start, end):
+        """Exact time-weighted per-slot price over ``[start, end)``.
+
+        Computed from the trace itself (not from delivered samples), so
+        realized-cost folds are subdivision-invariant: folding a window
+        in one call or in many yields the same integral.
+        """
+        if end <= start:
+            return self.price_per_slot()
+        window = self.market.trace.slice(start, end)
+        return window.time_weighted_mean(horizon=end) / self.slots_per_host
+
+    def slot_cost_between(self, start, end):
+        """Dollars one nested-VM slot costs over ``[start, end)``."""
+        if end <= start:
+            return 0.0
+        hours = (end - start) / 3600.0
+        return self.mean_price_per_slot_between(start, end) * hours
+
+    def eviction_rate(self, now=None, window_s=7 * 24 * 3600.0):
+        """Revocation events per hour over the trailing window.
+
+        The eviction-risk input of the optimal-combination scorer; with
+        ``now=None`` the whole recorded history counts (rate over the
+        series so far is then undefined, so the raw count over one
+        window is returned).
+        """
+        if now is None:
+            return len(self.revocations) / (window_s / 3600.0)
+        since = now - window_s
+        events = sum(1 for when, _h, _v in self.revocations if when >= since)
+        return events / (window_s / 3600.0)
 
 
 class OnDemandPool(ServerPool):

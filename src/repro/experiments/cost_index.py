@@ -1,0 +1,235 @@
+"""Cost-variance study: do index-tracking portfolios deliver a price?
+
+SpotCheck's Table 3 scores allocation policies by mean cost and
+downtime.  A derivative IaaS operator selling a flat $/VM-hour rate
+cares about a third axis the paper leaves implicit: **cost variance**.
+A policy whose realized cost swings with every spot spike forces the
+operator to price against the tail; one that tracks a target index
+lets them price against the mean.
+
+This study runs the classic single-minded policies (1P-M, 4P-COST,
+4P-ST) against the portfolio family (IT-*, OC-*) on one shared trace
+archive, samples each fleet's blended $/VM-hour on an hourly probe,
+and digests mean/variance, downtime, and the market-drive counters.
+Everything is seeded and closed-form, so the digest is bit-stable and
+CI pins it (``repro index --check-golden``) along with the study's
+three invariants:
+
+* every IT-* policy has strictly lower sampled cost variance than
+  4P-COST (the tentpole claim),
+* at comparable downtime (within two percentage points), and
+* the portfolio policies' crossing-driven rebalancing stays lazy —
+  the fraction of trace points delivered as kernel events remains a
+  small minority, i.e. no per-point drive sneaks back in.
+"""
+
+import statistics
+
+#: Classic policies vs the portfolio family.  IT-0.125 targets the
+#: calibrated medium-market ratio; IT-0.14 sits between medium and
+#: large, forcing the risk-adjusted straddle; OC-2 splits across the
+#: two best score-ranked pools.
+DEFAULT_POLICIES = ("1P-M", "4P-COST", "4P-ST", "IT-0.125", "IT-0.14",
+                    "OC-2")
+
+HOUR = 3600.0
+
+
+def fleet_rate(controller):
+    """The fleet's blended $/VM-hour at this instant.
+
+    Spot residents are priced at their pool's current per-slot rate;
+    everything else running (on-demand parking) at the VM's on-demand
+    price — the same convention the portfolio trackers accrue with.
+    Returns ``None`` while nothing is running.
+    """
+    total = 0.0
+    count = 0
+    for customer in controller.customers.values():
+        spot = {vm.id: pool
+                for vm, pool in controller.spot_residents(customer)}
+        for vm in customer.vms:
+            if not vm.is_running:
+                continue
+            pool = spot.get(vm.id)
+            if pool is not None:
+                total += pool.price_per_slot()
+            else:
+                total += vm.itype.on_demand_price
+            count += 1
+    if count == 0:
+        return None
+    return total / count
+
+
+def make_rate_sampler(samples, interval_s=HOUR):
+    """A ``probes=`` entry appending hourly blended rates to ``samples``."""
+    def probe(env, controller):
+        def _loop():
+            while True:
+                rate = fleet_rate(controller)
+                if rate is not None:
+                    samples.append(rate)
+                yield env.timeout(interval_s)
+        env.process(_loop())
+    return probe
+
+
+def _drive_totals(controller):
+    totals = {"points": 0, "wakes": 0, "delivered": 0}
+    for pool in controller.pools.all_spot_pools():
+        stats = pool.market.drive_stats()
+        for key in totals:
+            totals[key] += stats[key]
+    return totals
+
+
+def run_index(seed=11, days=14.0, vms=12, policies=DEFAULT_POLICIES,
+              interval_s=HOUR):
+    """Run the study; returns ``(results, digest)``.
+
+    ``results`` maps policy name to ``{"summary", "samples",
+    "tracking", "policy_stats", "drive"}``; ``digest`` is the
+    golden-comparable extract from :func:`index_digest`.
+    """
+    from repro.experiments.scenario import PolicySimulation, ScenarioConfig
+
+    results = {}
+    archive = None
+    for policy in policies:
+        config = ScenarioConfig(policy=policy, seed=seed, days=days,
+                                vms=vms)
+        simulation = PolicySimulation(config, archive=archive)
+        if archive is None:
+            # Every policy must see identical prices, as in the grid.
+            archive = simulation.build_archive(seed, config.duration_s,
+                                               config.market_params)
+            simulation = PolicySimulation(config, archive=archive)
+        samples = []
+        summary, controller = simulation.run(
+            return_controller=True,
+            probes=(make_rate_sampler(samples, interval_s),))
+        allocation = controller.allocation
+        results[policy] = {
+            "summary": summary,
+            "samples": samples,
+            "tracking": (allocation.tracking_report()
+                         if hasattr(allocation, "tracking_report") else None),
+            "policy_stats": (dict(allocation.stats)
+                             if hasattr(allocation, "stats") else None),
+            "band": (allocation.band() if hasattr(allocation, "band")
+                     else None),
+            "drive": _drive_totals(controller),
+        }
+    return results, index_digest(results)
+
+
+def index_digest(results):
+    """Golden-comparable extract: rounded per-policy cost statistics.
+
+    Floats are rounded (rates to 8 decimal places, percentages to 6)
+    so the digest survives platform libm differences while pinning
+    every meaningful drift.
+    """
+    digest = {"policies": {}}
+    for policy, row in sorted(results.items()):
+        summary = row["summary"]
+        samples = row["samples"]
+        entry = {
+            "cost_mean": round(statistics.fmean(samples), 8),
+            "cost_std": round(statistics.pstdev(samples), 8),
+            "samples": len(samples),
+            "cost_per_vm_hour": round(summary["cost_per_vm_hour"], 6),
+            "unavailability_pct": round(summary["unavailability_pct"], 6),
+            "migrations": int(summary["migrations"]),
+        }
+        drive = row["drive"]
+        entry["drive_points"] = drive["points"]
+        entry["drive_delivered"] = drive["delivered"]
+        entry["delivered_fraction"] = round(
+            drive["delivered"] / max(1, drive["points"]), 6)
+        stats = row["policy_stats"]
+        if stats is not None:
+            entry["crossings"] = stats.get("crossings", 0)
+            entry["reweighs"] = stats.get("reweighs", 0)
+            entry["rebalance_moves"] = stats.get("moves_planned", 0)
+        band = row["band"]
+        tracking = row["tracking"]
+        if band is not None and tracking is not None:
+            lo, hi = band
+            rates = [t["realized_per_vm_hour"] for t in tracking.values()
+                     if t["realized_per_vm_hour"] is not None]
+            realized = statistics.fmean(rates) if rates else None
+            entry["band_lo"] = round(lo, 8)
+            entry["band_hi"] = round(hi, 8)
+            entry["realized_per_vm_hour"] = (
+                None if realized is None else round(realized, 8))
+            entry["realized_in_band"] = (
+                realized is not None and lo <= realized <= hi)
+            entry["in_band_fraction"] = round(statistics.fmean(
+                [t["in_band_fraction"] for t in tracking.values()]), 6)
+        digest["policies"][policy] = entry
+    digest["variance_order"] = sorted(
+        digest["policies"],
+        key=lambda p: (digest["policies"][p]["cost_std"], p))
+    return digest
+
+
+#: Portfolio rebalancing must stay crossing-driven: across a run, the
+#: spot markets may deliver at most this fraction of their trace
+#: points as kernel events.  A per-point drive would sit at 1.0.
+MAX_DELIVERED_FRACTION = 0.25
+
+#: "Comparable downtime": IT-* may exceed 4P-COST's unavailability by
+#: at most this many percentage points.
+DOWNTIME_SLACK_PP = 2.0
+
+
+def check_index_digest(digest, golden):
+    """Compare against a golden digest; returns mismatch lines.
+
+    Beyond equality, asserts the study's invariants: IT-* tracks its
+    band and beats 4P-COST on cost variance at comparable downtime,
+    and the portfolio drive stays lazy.
+    """
+    problems = []
+
+    def walk(path, want, got):
+        if isinstance(want, dict) and isinstance(got, dict):
+            for key in sorted(set(want) | set(got)):
+                walk(f"{path}.{key}" if path else key,
+                     want.get(key), got.get(key))
+        elif want != got:
+            problems.append(f"{path}: golden {want!r} != observed {got!r}")
+
+    walk("", golden, digest)
+    policies = digest.get("policies", {})
+    baseline = policies.get("4P-COST")
+    for policy, entry in sorted(policies.items()):
+        if policy.startswith(("IT", "OC")):
+            fraction = entry.get("delivered_fraction", 1.0)
+            if fraction >= MAX_DELIVERED_FRACTION:
+                problems.append(
+                    f"{policy}: delivered_fraction {fraction} >= "
+                    f"{MAX_DELIVERED_FRACTION} — rebalancing is no longer "
+                    f"crossing-driven")
+        if not policy.startswith("IT"):
+            continue
+        if entry.get("realized_in_band") is not True:
+            problems.append(
+                f"{policy}: realized {entry.get('realized_per_vm_hour')} "
+                f"outside band [{entry.get('band_lo')}, "
+                f"{entry.get('band_hi')}]")
+        if baseline is None:
+            continue
+        if not entry["cost_std"] < baseline["cost_std"]:
+            problems.append(
+                f"{policy}: cost_std {entry['cost_std']} not strictly "
+                f"below 4P-COST's {baseline['cost_std']}")
+        slack = entry["unavailability_pct"] - baseline["unavailability_pct"]
+        if slack > DOWNTIME_SLACK_PP:
+            problems.append(
+                f"{policy}: unavailability {entry['unavailability_pct']} "
+                f"exceeds 4P-COST's {baseline['unavailability_pct']} by "
+                f"{slack:.3f}pp > {DOWNTIME_SLACK_PP}pp")
+    return problems

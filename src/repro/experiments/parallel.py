@@ -43,7 +43,7 @@ from repro.traces.model import MarketParams
 
 #: Bump when the summary contents change shape, so stale cache entries
 #: from an older code version are never returned.
-CACHE_VERSION = 4
+CACHE_VERSION = 5
 
 
 def config_canonical(config):

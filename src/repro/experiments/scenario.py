@@ -73,6 +73,10 @@ class ScenarioConfig:
     slicing: bool = True
     zones: int = 1
     vms_per_backup: int = 40
+    #: Optional keyword overrides for the IT/OC portfolio allocation
+    #: family (``target_ratio``, ``band_fraction``, ``top_k``, ...);
+    #: ignored for other policies.
+    portfolio: dict = None
     market_params: dict = field(default_factory=lambda: dict(M3_MARKET_PARAMS))
     #: Optional :class:`~repro.faults.FaultPlan`.  ``None`` (or a plan
     #: with everything zeroed) runs the platform fault-free and
@@ -119,7 +123,7 @@ class PolicySimulation:
                     type_name, zone.name, market, duration_s=duration_s))
         return archive
 
-    def run(self, return_controller=False, obs=None):
+    def run(self, return_controller=False, obs=None, probes=()):
         """Execute the scenario; returns the accounting summary dict.
 
         With ``return_controller=True``, returns
@@ -127,7 +131,11 @@ class PolicySimulation:
         (e.g. request-level SLA analysis over the VM state logs).
         With ``obs`` (a :class:`repro.obs.Observability`), the run is
         instrumented: events, metrics, and migration traces accumulate
-        on the facade for the caller to export.
+        on the facade for the caller to export.  ``probes`` are
+        callables ``probe(env, controller)`` invoked after the fleet
+        is up and before the main horizon runs — samplers register
+        their own processes there (the cost-variance study's hourly
+        fleet-rate sampler rides on this).
         """
         cfg = self.config
         env = Environment(seed=cfg.seed, obs=obs)
@@ -155,6 +163,7 @@ class PolicySimulation:
             predictive_migration=cfg.predictive,
             slicing=cfg.slicing,
             vms_per_backup=cfg.vms_per_backup,
+            portfolio=cfg.portfolio,
         ))
         controller.install_pools(archive, list(region.zones))
         if injector is not None:
@@ -186,6 +195,8 @@ class PolicySimulation:
             # SLA windows anchor at fleet-ready time: boot-time churn
             # is provisioning, not broken promises to live traffic.
             engine.start(until=cfg.duration_s)
+        for probe in probes:
+            probe(env, controller)
         env.run(until=cfg.duration_s)
         controller.finalize()
         summary = controller.summary(total_vms=cfg.vms)

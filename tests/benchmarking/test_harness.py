@@ -17,7 +17,7 @@ from repro.benchmarking.kernel import measure_kernel
 
 def _minimal_payload():
     return {
-        "schema": "repro-bench/4",
+        "schema": "repro-bench/5",
         "label": "unit",
         "smoke": True,
         "created_unix": 1.0,
@@ -55,6 +55,19 @@ def _minimal_payload():
                       "spare_wakes": 0, "spare_polls": 0},
             "event_ratio": 1.1, "wall_ratio": 1.2,
         },
+        "index": {
+            "days": 2.0, "seed": 11, "vms": 4,
+            "baseline": {"policy": "1P-M", "points": 400, "wakes": 2,
+                         "delivered": 2, "rearms": 1, "stale_skips": 0,
+                         "wall_s": 0.1, "migrations": 0,
+                         "delivered_fraction": 0.005},
+            "portfolio": {"policy": "IT-0.125", "points": 400, "wakes": 12,
+                          "delivered": 10, "rearms": 6, "stale_skips": 0,
+                          "wall_s": 0.12, "migrations": 4,
+                          "delivered_fraction": 0.025,
+                          "crossings": 10, "rebalance_moves": 4},
+            "extra_delivered": 8, "delivered_fraction": 0.025,
+        },
         "cell": {"policy": "1P-M", "mechanism": "spotcheck-lazy",
                  "seed": 11, "days": 1.0, "vms": 2, "wall_s": 0.5,
                  "market_drive": {"points": 100, "wakes": 5, "delivered": 5,
@@ -90,7 +103,8 @@ class TestValidation:
         "cell.market_drive.points", "grid.parallel_plan.planned",
         "traffic.low.wakes", "traffic.high.requests", "traffic.wake_ratio",
         "fleet.small.events", "fleet.large.events_per_vm_hour",
-        "fleet.event_ratio",
+        "fleet.event_ratio", "index.portfolio.delivered",
+        "index.portfolio.crossings", "index.delivered_fraction",
     ])
     def test_missing_field_rejected(self, dotted):
         payload = _minimal_payload()
@@ -174,6 +188,12 @@ class TestFloors:
         with pytest.raises(ValueError, match="did not amortize"):
             check_bench_floors(payload, kernel_floor=50.0, market_floor=50.0)
 
+    def test_index_delivered_fraction_ceiling(self):
+        payload = _minimal_payload()
+        payload["index"]["delivered_fraction"] = 0.9
+        with pytest.raises(ValueError, match="per-point market drive"):
+            check_bench_floors(payload, kernel_floor=50.0, market_floor=50.0)
+
 
 class TestArtifact:
     def test_write_and_validate_file(self, tmp_path):
@@ -207,3 +227,5 @@ class TestMeasurements:
         assert loaded["grid"]["cache"]["warm_disk_hits"] == 4.0
         assert loaded["fleet"]["large"]["vms"] == 400
         assert loaded["fleet"]["small"]["flush_cohorts"] == 1
+        assert loaded["index"]["portfolio"]["policy"] == "IT-0.125"
+        assert loaded["index"]["delivered_fraction"] < 0.25

@@ -1,0 +1,312 @@
+"""Unit tests for the IT/OC portfolio-allocation family."""
+
+import pytest
+
+from repro.cloud.instance_types import M3_CATALOG
+from repro.cloud.spot_market import SpotMarket
+from repro.core.policies.portfolio import (
+    IndexTrackingPolicy,
+    OptimalCombinationPolicy,
+    RealizedCostTracker,
+    make_portfolio_policy,
+)
+from repro.core.pools import SpotPool
+
+from tests.conftest import flat_trace
+
+HOUR = 3600.0
+MEDIUM = M3_CATALOG.get("m3.medium")
+
+
+def make_pools(env, zone, ratios=None):
+    """The four m3 pools at flat per-type price ratios."""
+    ratios = ratios or {}
+    pools = []
+    for itype in M3_CATALOG:
+        ratio = ratios.get(itype.name, 0.12)
+        trace = flat_trace(ratio * itype.on_demand_price,
+                           type_name=itype.name,
+                           on_demand_price=itype.on_demand_price)
+        market = SpotMarket(env, itype, zone, trace)
+        pools.append(SpotPool(itype, zone, MEDIUM, market,
+                              bid=itype.on_demand_price))
+    return pools
+
+
+class TestFactoryParsing:
+    def test_plain_names(self):
+        assert isinstance(make_portfolio_policy("IT"), IndexTrackingPolicy)
+        assert isinstance(make_portfolio_policy("OC"),
+                          OptimalCombinationPolicy)
+
+    def test_inline_target_ratio(self):
+        policy = make_portfolio_policy("IT-0.15")
+        assert policy.target_ratio == pytest.approx(0.15)
+        assert policy.name == "IT-0.15"
+
+    def test_inline_top_k(self):
+        policy = make_portfolio_policy("OC-3")
+        assert policy.top_k == 3
+        assert policy.name == "OC-3"
+
+    def test_inline_parameter_beats_override(self):
+        policy = make_portfolio_policy("IT-0.2", target_ratio=0.5)
+        assert policy.target_ratio == pytest.approx(0.2)
+
+    def test_other_overrides_pass_through(self):
+        policy = make_portfolio_policy("IT", band_fraction=0.25,
+                                       migration_budget=2)
+        assert policy.band_fraction == pytest.approx(0.25)
+        assert policy.migration_budget == 2
+
+    @pytest.mark.parametrize("bad", ["IT-x", "OC-1.5", "XX", "OC-"])
+    def test_bad_names_rejected(self, bad):
+        with pytest.raises(ValueError):
+            make_portfolio_policy(bad)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"target_ratio": 0.0}, {"target_ratio": -1.0},
+        {"band_fraction": 0.0}, {"band_fraction": 1.0},
+        {"hysteresis": 0.0}, {"migration_budget": -1},
+        {"eviction_penalty_hours": -0.5},
+    ])
+    def test_it_constructor_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            IndexTrackingPolicy(**kwargs)
+
+    def test_oc_constructor_validation(self):
+        with pytest.raises(ValueError):
+            OptimalCombinationPolicy(top_k=0)
+
+
+class TestRealizedCostTracker:
+    def test_rate_none_before_accrual(self):
+        assert RealizedCostTracker(6 * HOUR).rate() is None
+
+    def test_simple_rate(self):
+        tracker = RealizedCostTracker(6 * HOUR)
+        tracker.fold(0.0, 0.05, 2.0)
+        assert tracker.rate() == pytest.approx(0.025)
+
+    def test_half_life_decay(self):
+        tracker = RealizedCostTracker(6 * HOUR)
+        tracker.fold(0.0, 1.0, 1.0)
+        # One full half-life later: the old window carries half weight.
+        tracker.fold(6 * HOUR, 1.0, 1.0)
+        assert tracker.dollars == pytest.approx(1.5)
+        assert tracker.vm_hours == pytest.approx(1.5)
+        assert tracker.rate() == pytest.approx(1.0)
+
+    def test_recent_rate_dominates_after_many_half_lives(self):
+        tracker = RealizedCostTracker(1 * HOUR)
+        tracker.fold(0.0, 10.0, 1.0)  # $10/VM-hour, long ago.
+        for step in range(1, 25):
+            tracker.fold(step * HOUR, 1.0, 1.0)  # $1/VM-hour since.
+        assert tracker.rate() == pytest.approx(1.0, rel=0.01)
+
+    def test_in_band_fraction(self):
+        tracker = RealizedCostTracker(HOUR)
+        assert tracker.in_band_fraction() is None
+        tracker.note_band(300.0, True)
+        tracker.note_band(100.0, False)
+        assert tracker.in_band_fraction() == pytest.approx(0.75)
+
+
+class TestApportionment:
+    def _policy(self, pools, weights):
+        policy = IndexTrackingPolicy()
+        policy._pools = list(pools)
+        policy._weights = weights
+        return policy
+
+    def test_choose_converges_to_weights(self, env, zone):
+        pools = make_pools(env, zone)
+        by_name = {pool.itype.name: pool for pool in pools}
+        policy = self._policy(pools, {
+            by_name["m3.medium"].key: 0.75,
+            by_name["m3.large"].key: 0.25})
+        chosen = [policy.choose(pools, rng=None).itype.name
+                  for _ in range(8)]
+        assert chosen.count("m3.medium") == 6
+        assert chosen.count("m3.large") == 2
+
+    def test_choose_is_deterministic(self, env, zone):
+        pools = make_pools(env, zone)
+        by_name = {pool.itype.name: pool for pool in pools}
+        weights = {by_name["m3.medium"].key: 0.6,
+                   by_name["m3.xlarge"].key: 0.4}
+        first = [self._policy(pools, weights).choose(pools, None).itype.name
+                 for _ in range(1)]
+        # A fresh policy with the same weights makes the same choices.
+        a = self._policy(pools, weights)
+        b = self._policy(pools, weights)
+        seq_a = [a.choose(pools, None).itype.name for _ in range(10)]
+        seq_b = [b.choose(pools, None).itype.name for _ in range(10)]
+        assert seq_a == seq_b
+        assert first[0] == seq_a[0]
+
+    def test_desired_counts_largest_remainder(self, env, zone):
+        pools = make_pools(env, zone)
+        by_name = {pool.itype.name: pool for pool in pools}
+        policy = self._policy(pools, {
+            by_name["m3.medium"].key: 0.5,
+            by_name["m3.large"].key: 0.3,
+            by_name["m3.xlarge"].key: 0.2})
+        counts = policy._desired_counts(7)
+        assert sum(counts.values()) == 7
+        assert counts[by_name["m3.medium"].key] == 4
+        assert counts[by_name["m3.large"].key] == 2
+        assert counts[by_name["m3.xlarge"].key] == 1
+
+
+class TestMigrationBudget:
+    def test_budget_window_slides(self):
+        policy = IndexTrackingPolicy(migration_budget=2,
+                                     budget_window_s=24 * HOUR)
+        assert policy._budget_allows("c1", 0.0)
+        policy._note_move("c1", 0.0)
+        policy._note_move("c1", 1.0)
+        assert not policy._budget_allows("c1", 2.0)
+        # A day later the early moves age out of the window.
+        assert policy._budget_allows("c1", 25 * HOUR)
+
+    def test_budget_is_per_customer(self):
+        policy = IndexTrackingPolicy(migration_budget=1)
+        policy._note_move("c1", 0.0)
+        assert not policy._budget_allows("c1", 1.0)
+        assert policy._budget_allows("c2", 1.0)
+
+
+class TestIndexTrackingSolver:
+    def _policy(self, pools, **kwargs):
+        policy = IndexTrackingPolicy(**kwargs)
+        policy._pools = list(pools)
+        policy.attach_clock(lambda: 0.0)
+        return policy
+
+    def _prices(self, pools):
+        return {pool.key: pool.price_per_slot() for pool in pools}
+
+    def test_initial_solve_anchors_cheapest_below_target(self, env, zone):
+        # medium 0.115x, large 0.135x of a $0.07 slot; target 0.125x.
+        pools = make_pools(env, zone, ratios={
+            "m3.medium": 0.115, "m3.large": 0.135,
+            "m3.xlarge": 0.155, "m3.2xlarge": 0.175})
+        policy = self._policy(pools)
+        weights = policy._solve_weights(self._prices(pools))
+        medium = next(p for p in pools if p.itype.name == "m3.medium")
+        assert weights == {medium.key: 1.0}
+        assert policy._anchor == medium.key
+
+    def test_overspend_pulls_down_to_cheapest_effective(self, env, zone):
+        pools = make_pools(env, zone, ratios={
+            "m3.medium": 0.115, "m3.large": 0.12,
+            "m3.xlarge": 0.155, "m3.2xlarge": 0.175})
+        policy = self._policy(pools)
+        # Fleet realized far above the band ceiling.
+        tracker = RealizedCostTracker(policy.half_life_s)
+        tracker.fold(0.0, 1.0, 10.0)  # $0.10/VM-hour >> 0.00875 target
+        policy._trackers["c1"] = tracker
+        weights = policy._solve_weights(self._prices(pools))
+        medium = next(p for p in pools if p.itype.name == "m3.medium")
+        assert weights == {medium.key: 1.0}
+
+    def test_underspend_straddles_to_target(self, env, zone):
+        # Only one pool below target, and deep below the band floor:
+        # the solver must mix in the cheapest above-target pool.
+        pools = make_pools(env, zone, ratios={
+            "m3.medium": 0.05, "m3.large": 0.14,
+            "m3.xlarge": 0.155, "m3.2xlarge": 0.175})
+        policy = self._policy(pools)
+        tracker = RealizedCostTracker(policy.half_life_s)
+        tracker.fold(0.0, 0.004 * 10, 10.0)  # Realized under the floor.
+        policy._trackers["c1"] = tracker
+        prices = self._prices(pools)
+        weights = policy._solve_weights(prices)
+        assert len(weights) == 2
+        assert sum(weights.values()) == pytest.approx(1.0)
+        blend = sum(prices[key] * w for key, w in weights.items())
+        assert blend == pytest.approx(policy.target())
+
+    def test_risk_adjustment_prices_out_volatile_pool(self, env, zone):
+        # large is nominally in band, but a high measured eviction rate
+        # makes its *effective* price (eviction_penalty_hours of
+        # on-demand parking per eviction) land above the target.
+        pools = make_pools(env, zone, ratios={
+            "m3.medium": 0.115, "m3.large": 0.124,
+            "m3.xlarge": 0.155, "m3.2xlarge": 0.175})
+        large = next(p for p in pools if p.itype.name == "m3.large")
+        for i in range(30):
+            large.record_revocation(i * HOUR, 1, 2)
+        policy = self._policy(pools)
+        policy.attach_clock(lambda: 30 * HOUR)
+        prices = self._prices(pools)
+        effective = policy._effective_prices(prices)
+        assert effective[large.key] > policy.target()
+        weights = policy._solve_weights(prices)
+        assert large.key not in weights
+
+    def test_all_above_target_picks_cheapest(self, env, zone):
+        pools = make_pools(env, zone, ratios={
+            "m3.medium": 0.2, "m3.large": 0.3,
+            "m3.xlarge": 0.4, "m3.2xlarge": 0.5})
+        policy = self._policy(pools)
+        weights = policy._solve_weights(self._prices(pools))
+        medium = next(p for p in pools if p.itype.name == "m3.medium")
+        assert weights == {medium.key: 1.0}
+
+    def test_band_accessor(self, env, zone):
+        pools = make_pools(env, zone)
+        policy = self._policy(pools, target_ratio=0.125, band_fraction=0.2)
+        assert IndexTrackingPolicy().band() is None  # Unbound: no pools.
+        lo, hi = policy.band()
+        target = 0.125 * MEDIUM.on_demand_price
+        assert lo == pytest.approx(0.8 * target)
+        assert hi == pytest.approx(1.2 * target)
+
+    def test_rate_in_band(self, env, zone):
+        pools = make_pools(env, zone)
+        policy = self._policy(pools, band_fraction=0.15)
+        target = policy.target()
+        assert policy._rate_in_band(target)
+        assert policy._rate_in_band(target * 1.14)
+        assert not policy._rate_in_band(target * 1.2)
+        assert policy._rate_in_band(None) is None
+
+
+class TestOptimalCombinationSolver:
+    def _policy(self, pools, **kwargs):
+        policy = OptimalCombinationPolicy(**kwargs)
+        policy._pools = list(pools)
+        policy.attach_clock(lambda: 0.0)
+        return policy
+
+    def test_top_k_pools_weighted_inverse_to_score(self, env, zone):
+        pools = make_pools(env, zone, ratios={
+            "m3.medium": 0.10, "m3.large": 0.12,
+            "m3.xlarge": 0.155, "m3.2xlarge": 0.175})
+        policy = self._policy(pools, top_k=2)
+        prices = {pool.key: pool.price_per_slot() for pool in pools}
+        weights = policy._solve_weights(prices)
+        names = {key.split(":")[0] if ":" in str(key) else key
+                 for key in weights}
+        assert len(weights) == 2
+        assert sum(weights.values()) == pytest.approx(1.0)
+        medium = next(p for p in pools if p.itype.name == "m3.medium")
+        large = next(p for p in pools if p.itype.name == "m3.large")
+        assert set(weights) == {medium.key, large.key}
+        # Cheaper (lower-score) pool carries more weight.
+        assert weights[medium.key] > weights[large.key]
+
+    def test_eviction_risk_displaces_cheap_pool(self, env, zone):
+        pools = make_pools(env, zone, ratios={
+            "m3.medium": 0.12, "m3.large": 0.10,
+            "m3.xlarge": 0.13, "m3.2xlarge": 0.175})
+        large = next(p for p in pools if p.itype.name == "m3.large")
+        for i in range(50):
+            large.record_revocation(i * HOUR, 1, 2)
+        policy = self._policy(pools, top_k=2)
+        policy.attach_clock(lambda: 50 * HOUR)
+        prices = {pool.key: pool.price_per_slot() for pool in pools}
+        weights = policy._solve_weights(prices)
+        assert large.key not in weights

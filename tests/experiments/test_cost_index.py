@@ -1,0 +1,132 @@
+"""Cost-variance study: determinism, digest pinning, drive laziness."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.cost_index import (
+    DEFAULT_POLICIES,
+    MAX_DELIVERED_FRACTION,
+    check_index_digest,
+    fleet_rate,
+    index_digest,
+    run_index,
+)
+
+SMALL = dict(seed=5, days=4.0, vms=4,
+             policies=("4P-COST", "IT-0.125", "OC-2"))
+
+GOLDEN_PATH = (Path(__file__).resolve().parents[2]
+               / "src" / "repro" / "experiments" / "index_golden.json")
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    return run_index(**SMALL)
+
+
+class TestRun:
+    def test_every_policy_sampled_hourly(self, small_run):
+        results, digest = small_run
+        expected = int(SMALL["days"] * 24)
+        for policy in SMALL["policies"]:
+            assert digest["policies"][policy]["samples"] == expected
+            assert len(results[policy]["samples"]) == expected
+
+    def test_deterministic_across_runs(self, small_run):
+        _, first = small_run
+        _, second = run_index(**SMALL)
+        assert first == second
+
+    def test_digest_is_json_stable(self, small_run):
+        _, digest = small_run
+        assert json.loads(json.dumps(digest)) == digest
+
+    def test_shared_archive_means_identical_points(self, small_run):
+        _, digest = small_run
+        points = {entry["drive_points"]
+                  for entry in digest["policies"].values()}
+        assert len(points) == 1
+
+    def test_portfolio_drive_stays_lazy(self, small_run):
+        _, digest = small_run
+        for policy, entry in digest["policies"].items():
+            assert entry["delivered_fraction"] < MAX_DELIVERED_FRACTION, \
+                policy
+
+    def test_it_tracks_its_band(self, small_run):
+        _, digest = small_run
+        entry = digest["policies"]["IT-0.125"]
+        assert entry["band_lo"] < entry["band_hi"]
+        assert entry["realized_in_band"] is True
+        assert entry["band_lo"] <= entry["realized_per_vm_hour"] \
+            <= entry["band_hi"]
+        assert 0.0 < entry["in_band_fraction"] <= 1.0
+
+    def test_it_beats_cost_policy_on_variance(self, small_run):
+        _, digest = small_run
+        policies = digest["policies"]
+        assert policies["IT-0.125"]["cost_std"] < \
+            policies["4P-COST"]["cost_std"]
+        order = digest["variance_order"]
+        assert order.index("IT-0.125") < order.index("4P-COST")
+
+    def test_self_check_is_clean(self, small_run):
+        _, digest = small_run
+        assert check_index_digest(digest, digest) == []
+
+
+class TestCheck:
+    def test_flags_value_drift(self, small_run):
+        _, digest = small_run
+        golden = json.loads(json.dumps(digest))
+        golden["policies"]["4P-COST"]["cost_std"] += 1.0
+        problems = check_index_digest(digest, golden)
+        assert any("cost_std" in p for p in problems)
+
+    def test_flags_per_point_drive(self, small_run):
+        _, digest = small_run
+        broken = json.loads(json.dumps(digest))
+        broken["policies"]["IT-0.125"]["delivered_fraction"] = 1.0
+        problems = check_index_digest(broken, broken)
+        assert any("crossing-driven" in p for p in problems)
+
+    def test_flags_band_escape(self, small_run):
+        _, digest = small_run
+        broken = json.loads(json.dumps(digest))
+        broken["policies"]["IT-0.125"]["realized_in_band"] = False
+        problems = check_index_digest(broken, broken)
+        assert any("outside band" in p for p in problems)
+
+    def test_flags_lost_variance_edge(self, small_run):
+        _, digest = small_run
+        broken = json.loads(json.dumps(digest))
+        broken["policies"]["IT-0.125"]["cost_std"] = \
+            broken["policies"]["4P-COST"]["cost_std"] + 1.0
+        problems = check_index_digest(broken, broken)
+        assert any("not strictly below" in p for p in problems)
+
+
+class TestGolden:
+    def test_golden_file_parses_with_default_policies(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        assert set(golden["policies"]) == set(DEFAULT_POLICIES)
+        assert set(golden["variance_order"]) == set(DEFAULT_POLICIES)
+        for entry in golden["policies"].values():
+            assert entry["delivered_fraction"] < MAX_DELIVERED_FRACTION
+
+    def test_golden_pins_it_variance_win(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        policies = golden["policies"]
+        for name in ("IT-0.125", "IT-0.14"):
+            assert policies[name]["cost_std"] < \
+                policies["4P-COST"]["cost_std"]
+            assert policies[name]["realized_in_band"] is True
+
+
+class TestFleetRate:
+    def test_none_when_nothing_runs(self, small_run):
+        class Empty:
+            customers = {}
+        assert fleet_rate(Empty()) is None
