@@ -32,6 +32,16 @@ index-tracking portfolio.  ``check_bench_floors`` holds the portfolio
 cell's ``delivered_fraction`` under
 :data:`INDEX_DELIVERED_FRACTION_CEILING` — portfolio rebalancing must
 ride price crossings, not reintroduce the per-point market drive.
+
+Schema 6 adds the ``shard`` section: the sharded fleet cell
+(``repro.core.shard``), the same total fleet spread over (type, zone)
+market shards and run once per shard count.  ``check_bench_floors``
+requires ``shard.bit_identical`` — every shard count must produce the
+same ``FleetResult.digest()``, the subsystem's determinism contract.
+Schema 6 also splits the fleet cells' wall clock into ``boot_wall_s``
+(provisioning, honestly O(N) in VM construction) and
+``steady_wall_s``; ``fleet.wall_ratio`` ratchets the steady-state
+portion, which is what must stay flat as the fleet grows to 1M VMs.
 """
 
 import json
@@ -39,7 +49,10 @@ import os
 import sys
 import time
 
-from repro.benchmarking.fleet import measure_fleet_scaling
+from repro.benchmarking.fleet import (
+    measure_fleet_scaling,
+    measure_sharded_fleet,
+)
 from repro.benchmarking.grid import measure_cell, measure_grid
 from repro.benchmarking.index import measure_index_drive
 from repro.benchmarking.kernel import measure_kernel
@@ -48,7 +61,7 @@ from repro.benchmarking.traffic import measure_traffic_scaling
 from repro.experiments.scenario import MECHANISMS, POLICIES
 
 #: Current artifact schema identifier.
-BENCH_SCHEMA = "repro-bench/5"
+BENCH_SCHEMA = "repro-bench/6"
 
 #: Floors for :func:`check_bench_floors`, far below what any healthy
 #: host measures (a laptop does ~1M kernel events/sec and ~300k stepped
@@ -89,6 +102,10 @@ SMOKE_PRESET = {
     "fleet_scales": (10, 10_000),
     "index_days": 2.0,
     "index_vms": 4,
+    "shard_vms": 2_000,
+    "shard_days": 2.0,
+    "shard_markets": 4,
+    "shard_counts": (1, 2),
 }
 
 #: Preset for a full local benchmark run.
@@ -109,12 +126,16 @@ FULL_PRESET = {
     "fleet_scales": (10, 100_000),
     "index_days": 14.0,
     "index_vms": 10,
+    "shard_vms": 100_000,
+    "shard_days": 14.0,
+    "shard_markets": 4,
+    "shard_counts": (1, 2, 4),
 }
 
 
 def run_bench(label="local", smoke=False, seed=11, workers=None, days=None,
               vms=None, kernel_events=None, fleet_vms=None, fleet_days=None,
-              echo=None):
+              shards=None, echo=None):
     """Run the kernel, cell, and grid benchmarks; returns the payload."""
     preset = dict(SMOKE_PRESET if smoke else FULL_PRESET)
     if workers is not None:
@@ -127,8 +148,14 @@ def run_bench(label="local", smoke=False, seed=11, workers=None, days=None,
         preset["kernel_events"] = kernel_events
     if fleet_vms is not None:
         preset["fleet_scales"] = (preset["fleet_scales"][0], fleet_vms)
+        preset["shard_vms"] = fleet_vms
     if fleet_days is not None:
-        preset["fleet_days"] = fleet_days
+        preset["fleet_days"] = preset["shard_days"] = fleet_days
+    if shards is not None:
+        if shards < 2:
+            raise ValueError("--shards must be at least 2 (the "
+                             "single-process reference always runs)")
+        preset["shard_counts"] = (1, shards)
 
     def say(message):
         if echo is not None:
@@ -168,6 +195,19 @@ def run_bench(label="local", smoke=False, seed=11, workers=None, days=None,
     say(f"  {fleet['large']['events']} events at {large_fleet} VMs "
         f"(event ratio {fleet['event_ratio']:.2f}, wall "
         f"x{fleet['wall_ratio']:.2f})")
+
+    say(f"sharded fleet: {preset['shard_vms']} VMs over "
+        f"{preset['shard_markets']} markets, shards "
+        f"{preset['shard_counts']} ...")
+    shard = measure_sharded_fleet(vms=preset["shard_vms"],
+                                  days=preset["shard_days"], seed=seed,
+                                  markets=preset["shard_markets"],
+                                  shard_counts=preset["shard_counts"],
+                                  echo=say)
+    say(f"  single {shard['single']['wall_s']:.2f}s vs "
+        f"{shard['sharded']['shards']} shards "
+        f"{shard['sharded']['wall_s']:.2f}s (x{shard['speedup']:.2f}), "
+        f"bit-identical: {shard['bit_identical']}")
 
     say(f"portfolio drive: {preset['index_days']:.0f} days, "
         f"{preset['index_vms']} VMs, 1P-M vs IT-0.125 ...")
@@ -209,6 +249,7 @@ def run_bench(label="local", smoke=False, seed=11, workers=None, days=None,
         "market": market,
         "traffic": traffic,
         "fleet": fleet,
+        "shard": shard,
         "index": index,
         "cell": cell,
         "grid": grid,
@@ -245,7 +286,7 @@ def _require(payload, dotted, kinds):
 
 
 def validate_bench(payload):
-    """Check a payload against the ``repro-bench/5`` schema.
+    """Check a payload against the ``repro-bench/6`` schema.
 
     Raises ``ValueError`` on any missing field, wrong type, or
     non-positive timing; returns the payload for chaining.
@@ -275,12 +316,19 @@ def validate_bench(payload):
                   "traffic.high.wall_s",
                   "fleet.small.vms", "fleet.small.events",
                   "fleet.small.events_per_vm_hour", "fleet.small.wall_s",
+                  "fleet.small.boot_wall_s", "fleet.small.steady_wall_s",
                   "fleet.small.flush_cohorts", "fleet.small.flush_flows",
                   "fleet.small.spare_wakes", "fleet.small.spare_polls",
                   "fleet.large.vms", "fleet.large.events",
                   "fleet.large.events_per_vm_hour", "fleet.large.wall_s",
+                  "fleet.large.boot_wall_s", "fleet.large.steady_wall_s",
                   "fleet.large.flush_cohorts", "fleet.large.flush_flows",
                   "fleet.large.spare_wakes", "fleet.large.spare_polls",
+                  "shard.vms", "shard.markets", "shard.days",
+                  "shard.single.shards", "shard.single.wall_s",
+                  "shard.single.events",
+                  "shard.sharded.shards", "shard.sharded.wall_s",
+                  "shard.sharded.events",
                   "index.baseline.points", "index.baseline.delivered",
                   "index.baseline.wall_s",
                   "index.portfolio.points", "index.portfolio.delivered",
@@ -310,9 +358,14 @@ def validate_bench(payload):
                   "market.stepped.events_per_sec",
                   "market.indexed.events_per_sec",
                   "traffic.request_ratio", "traffic.wake_ratio",
-                  "fleet.event_ratio", "fleet.wall_ratio"):
+                  "fleet.event_ratio", "fleet.wall_ratio",
+                  "shard.speedup"):
         if _require(payload, field, (int, float)) <= 0:
             raise ValueError(f"bench payload field {field!r} must be > 0")
+    _require(payload, "shard.digest", str)
+    if not isinstance(payload["shard"].get("bit_identical"), bool):
+        raise ValueError(
+            "bench payload field 'shard.bit_identical' must be a bool")
     return payload
 
 
@@ -384,6 +437,19 @@ def check_bench_floors(payload,
             f"{fleet['large']['vms']} VMs >= "
             f"{fleet['small']['events_per_vm_hour']:.3f} at "
             f"{fleet['small']['vms']}")
+    shard = payload["shard"]
+    if shard["bit_identical"] is not True:
+        problems.append(
+            f"sharded fleet cell is not bit-identical to the "
+            f"single-process cell at {shard['sharded']['shards']} shards "
+            f"({shard['vms']} VMs over {shard['markets']} markets) — the "
+            f"mailbox merge or a per-market seed leaked process identity")
+    if shard["single"]["events"] != shard["sharded"]["events"]:
+        problems.append(
+            f"sharded fleet cell event totals diverge: "
+            f"{shard['single']['events']} single-process vs "
+            f"{shard['sharded']['events']} at "
+            f"{shard['sharded']['shards']} shards")
     index = payload["index"]
     if index["delivered_fraction"] >= index_ceiling:
         problems.append(

@@ -314,7 +314,7 @@ def _cmd_bench(args):
                         workers=args.workers, days=args.days, vms=args.vms,
                         kernel_events=args.kernel_events,
                         fleet_vms=fleet_vms, fleet_days=fleet_days,
-                        echo=print)
+                        shards=args.shards, echo=print)
     path = write_bench(payload, out_dir=args.out_dir)
     kernel = payload["kernel"]
     market = payload["market"]
@@ -335,6 +335,11 @@ def _cmd_bench(args):
           f"({fleet['large']['events_per_vm_hour']:.3f}/VM-hour, event "
           f"ratio {fleet['event_ratio']:.2f}, wall "
           f"x{fleet['wall_ratio']:.2f})")
+    shard = payload["shard"]
+    print(f"sharded fleet .... {shard['vms']} VMs / {shard['markets']} "
+          f"markets at {shard['sharded']['shards']} shards: "
+          f"x{shard['speedup']:.2f} vs single-process, bit-identical: "
+          f"{shard['bit_identical']}")
     print(f"grid serial ...... {grid['serial_wall_s']:.2f}s "
           f"({grid['cells']} cells)")
     print(f"grid parallel .... {grid['parallel_wall_s']:.2f}s "
@@ -447,7 +452,11 @@ def build_parser():
     bench.add_argument("--fleet-vms", type=int, default=None,
                        help="override the fleet cell's large VM count")
     bench.add_argument("--fleet-days", type=float, default=None,
-                       help="override the fleet cell's duration")
+                       help="override the fleet cell's duration "
+                            "(also the sharded cell's)")
+    bench.add_argument("--shards", type=int, default=None,
+                       help="widest shard count for the sharded fleet "
+                            "cell (runs shards=1 and shards=N; N >= 2)")
     bench.add_argument("--out-dir", default=".",
                        help="directory for BENCH_<label>.json")
     bench.set_defaults(func=_cmd_bench)

@@ -132,6 +132,7 @@ class SpotMarket:
         self._instances = {}
         self._price_listeners = []
         self._watches = []
+        self._warning_listeners = []
         self._revoke_callback = None
         self._times, self._prices = trace.arrays()
         if len(self._times) == 0:
@@ -219,6 +220,17 @@ class SpotMarket:
         self._watches.append(watch)
         self.rearm()
         return watch
+
+    def on_warning(self, callback):
+        """Call ``callback(market, instance, deadline)`` at each warning.
+
+        A passive tap on the warning path: unlike step listeners it
+        does not change the drive's wake planning, so shard event taps
+        can observe revocation warnings without altering when (or how
+        often) the market wakes — which would break bit-identity with
+        an untapped run.
+        """
+        self._warning_listeners.append(callback)
 
     def set_revoke_callback(self, callback):
         """Install the platform hook run at each forced termination.
@@ -463,6 +475,8 @@ class SpotMarket:
             obs.metrics.counter("spot_warnings_total",
                                 type=self.itype.name,
                                 zone=self.zone.name).inc()
+        for listener in list(self._warning_listeners):
+            listener(self, instance, deadline)
         if not instance.termination_notice.triggered:
             instance.termination_notice.succeed(deadline)
         self.env.process(self._terminate_after_warning(instance))

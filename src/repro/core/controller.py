@@ -108,6 +108,11 @@ class SpotCheckController:
         self._rng = env.rng.stream("controller")
         self._finalized = False
         self.backup_failures = 0
+        #: Optional hook ``on_storm(pool, storm)`` fired once per
+        #: finalized revocation storm — shard event taps ride on this
+        #: instead of the obs bus (which would pin markets to the
+        #: per-point step drive).
+        self.on_storm = None
         #: Optional :class:`~repro.traffic.engine.TrafficEngine`.
         self.traffic = None
         self.predictor = None
@@ -689,6 +694,8 @@ class SpotCheckController:
             self.ledger.record_revocation(
                 pool_key=pool.key, hosts_lost=len(storm.hosts),
                 vms_displaced=len(storm.vms), backup_load=storm.backup_load)
+            if self.on_storm is not None:
+                self.on_storm(pool, storm)
             obs = self.env.obs
             if obs is not None:
                 obs.emit("storm.finalized",

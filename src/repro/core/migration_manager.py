@@ -357,10 +357,12 @@ class MigrationManager:
         # 7. Reattach at the destination and move the private IP.  The
         #    VM's state is safe on the backup server, so persistence
         #    beats failure here: the attaches retry until they land.
-        clock.begin("ebs-attach")
-        yield from self._insist(
-            lambda: self.api.attach_volume(vm.volume, dest_host.instance),
-            "attach_volume", "revocation.attach")
+        if vm.volume is not None:
+            clock.begin("ebs-attach")
+            yield from self._insist(
+                lambda: self.api.attach_volume(vm.volume,
+                                               dest_host.instance),
+                "attach_volume", "revocation.attach")
         if vm.eni is not None:
             clock.begin("vpc-attach")
             yield from self._insist(
@@ -462,10 +464,11 @@ class MigrationManager:
         """
         policy = self.config.retry
         try:
-            clock.begin("ebs-detach")
-            yield from retry_call(
-                self.env, lambda: self.api.detach_volume(vm.volume),
-                policy, "detach_volume", deadline=deadline)
+            if vm.volume is not None:
+                clock.begin("ebs-detach")
+                yield from retry_call(
+                    self.env, lambda: self.api.detach_volume(vm.volume),
+                    policy, "detach_volume", deadline=deadline)
             if vm.eni is not None:
                 clock.begin("vpc-detach")
                 yield from retry_call(

@@ -1,0 +1,104 @@
+"""Deterministic message transport between shards and the coordinator.
+
+The determinism problem: N shard processes emit event messages
+concurrently, and the order they *arrive* in depends on scheduling —
+which worker replied first, how the pipe buffered.  If the coordinator
+acted on arrival order, a 2-shard run and a 4-shard run would diverge.
+
+The fix is a logical-clock total order.  Every message is stamped
+``(time, market, seq)`` — the emitting market's simulated time, the
+market's index in the coordinator's *sorted* market list, and a
+per-market emission counter.  Two messages from one market are ordered
+by emission; messages from different markets are ordered by simulated
+time, ties broken by market index.  None of those three components
+depends on which process hosted the market, so merging any partition
+of the markets yields the same sequence — the coordinator always
+replays one canonical stream.
+"""
+
+from repro.core.shard.messages import Stamp
+
+
+class Outbox:
+    """Per-market event buffer with monotone stamp enforcement.
+
+    A market's own event sequence is totally ordered by construction
+    (one simulation, one thread); the outbox asserts it — a
+    non-monotone stamp means a tap fired outside the simulation's
+    clock, which would silently break the merge rule.
+    """
+
+    def __init__(self, market_index):
+        self.market_index = market_index
+        self._seq = 0
+        self._last = None
+        self._messages = []
+
+    def stamp(self, time):
+        """Mint the next stamp for an event at simulated ``time``."""
+        stamp = Stamp(time=time, market=self.market_index, seq=self._seq)
+        self._seq += 1
+        if self._last is not None and stamp < self._last:
+            raise AssertionError(
+                f"non-monotone stamp {stamp} after {self._last} "
+                f"in market {self.market_index}")
+        self._last = stamp
+        return stamp
+
+    def put(self, message):
+        self._messages.append(message)
+
+    def drain(self):
+        """Take every buffered message, oldest first."""
+        messages, self._messages = self._messages, []
+        return messages
+
+    def __len__(self):
+        return len(self._messages)
+
+
+def merge_messages(streams):
+    """Merge per-market event streams into the canonical total order.
+
+    ``streams`` is an iterable of message lists (each already ordered
+    by its market's emission sequence).  The result is sorted by
+    ``Stamp`` — ``(time, market, seq)`` — and therefore independent of
+    how the markets were partitioned into processes and of the order
+    the partitions replied in.
+    """
+    merged = [message for stream in streams for message in stream]
+    merged.sort(key=lambda message: message.stamp)
+    return merged
+
+
+class Mailbox:
+    """Coordinator-side accumulator over one run's event messages."""
+
+    def __init__(self):
+        self._messages = []
+
+    def deliver(self, streams):
+        """Merge one epoch's per-shard streams into the history.
+
+        Returns the epoch's merged batch (what a rebalance policy sees).
+        """
+        batch = merge_messages(streams)
+        self._messages.extend(batch)
+        return batch
+
+    @property
+    def messages(self):
+        """The full history in canonical stamp order.
+
+        Batches arrive round by round, and one market's Apply flow can
+        outrun another market's Run window, so concatenation order is
+        not stamp order; the global re-sort restores the one canonical
+        stream regardless of round boundaries.
+        """
+        return sorted(self._messages, key=lambda message: message.stamp)
+
+    def __len__(self):
+        return len(self._messages)
+
+
+__all__ = ["Mailbox", "Outbox", "merge_messages"]

@@ -30,11 +30,14 @@ identical to serial ones — ``run_grid(workers=4)`` must and does equal
 ``run_grid(workers=1)``.
 """
 
+import dataclasses
+import enum
 import hashlib
 import json
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import re
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import asdict
 
 from repro.experiments.scenario import PolicySimulation, ScenarioConfig
@@ -43,14 +46,48 @@ from repro.traces.model import MarketParams
 
 #: Bump when the summary contents change shape, so stale cache entries
 #: from an older code version are never returned.
-CACHE_VERSION = 5
+CACHE_VERSION = 6
+
+#: Reprs like ``<object object at 0x7f3a2c1b9e40>`` embed ``id()``, which
+#: differs per process — hashing one silently defeats the cache.
+_ADDRESS_REPR = re.compile(r"0x[0-9a-fA-F]{6,}")
+
+
+def _canonical_default(value):
+    """Canonicalize config values ``json.dumps`` can't handle natively.
+
+    Known container/scalar types get a stable, process-independent form.
+    Anything else falls back to ``repr`` — but an address-bearing repr
+    (the ``id()``-embedding kind) is rejected loudly instead of
+    poisoning the cache key with a per-process value.
+    """
+    if isinstance(value, (set, frozenset)):
+        return sorted(value, key=repr)
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value).hex()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return asdict(value)
+    if hasattr(value, "item") and hasattr(value, "dtype"):
+        # numpy scalar: unwrap to the native Python value.
+        return value.item()
+    if hasattr(value, "tolist") and hasattr(value, "dtype"):
+        return value.tolist()
+    text = repr(value)
+    if _ADDRESS_REPR.search(text):
+        raise ValueError(
+            f"config field of type {type(value).__name__} has an "
+            f"address-bearing repr ({text!r}); its cache key would "
+            "differ per process. Give it a stable canonical form.")
+    return text
 
 
 def config_canonical(config):
     """The canonical JSON text a config is hashed from."""
     payload = asdict(config)
     payload["__cache_version__"] = CACHE_VERSION
-    return json.dumps(payload, sort_keys=True, default=repr)
+    return json.dumps(payload, sort_keys=True, default=_canonical_default)
 
 
 def config_hash(config):
@@ -65,7 +102,7 @@ def archive_hash(seed, days, zones, market_params):
         {"seed": seed, "days": days, "zones": zones,
          "market_params": {name: asdict(params) for name, params
                            in sorted(market_params.items())}},
-        sort_keys=True, default=repr)
+        sort_keys=True, default=_canonical_default)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
@@ -75,6 +112,35 @@ class CellDiskCache:
     def __init__(self, directory):
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
+        self._sweep_orphans()
+
+    def _sweep_orphans(self):
+        """Remove ``*.tmp.<pid>`` files left behind by killed writers.
+
+        ``put`` stages through a pid-suffixed temp file before the
+        atomic rename; a run killed mid-write leaves the temp behind
+        forever.  Only files whose writer pid is provably dead are
+        removed — a live writer's staging file must not be yanked.
+        """
+        for name in os.listdir(self.directory):
+            base, sep, pid_text = name.rpartition(".tmp.")
+            if not sep or not pid_text.isdigit():
+                continue
+            pid = int(pid_text)
+            if pid == os.getpid():
+                continue
+            try:
+                os.kill(pid, 0)
+            except (ProcessLookupError, OverflowError):
+                pass  # dead writer (or pid beyond pid_t): safe to sweep
+            except PermissionError:
+                continue  # alive, just not ours
+            else:
+                continue  # alive
+            try:
+                os.unlink(os.path.join(self.directory, name))
+            except OSError:
+                pass
 
     def _path(self, config):
         return os.path.join(self.directory, f"{config_hash(config)}.pkl")
@@ -87,9 +153,16 @@ class CellDiskCache:
                 return pickle.load(handle)
         except FileNotFoundError:
             return None
-        except (pickle.UnpicklingError, EOFError):
-            # A truncated entry (e.g. a killed run) is a miss, not an
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError):
+            # A truncated entry (a killed run) or a stale entry pickled
+            # against a since-renamed class/module is a miss, not an
             # error; the cell just re-runs and overwrites it.
+            # ``ModuleNotFoundError`` is an ``ImportError`` subclass.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             return None
 
     def put(self, config, summary):
@@ -122,6 +195,18 @@ def _run_cell_worker(config, archive_path):
     return PolicySimulation(config, archive=archive).run()
 
 
+class CellExecutionError(RuntimeError):
+    """One grid cell failed; names the config so the culprit is obvious."""
+
+    def __init__(self, config, cause):
+        self.config = config
+        self.cause = cause
+        super().__init__(
+            f"cell policy={config.policy!r} mechanism={config.mechanism!r} "
+            f"seed={config.seed} (hash {config_hash(config)[:12]}) failed: "
+            f"{type(cause).__name__}: {cause}")
+
+
 def run_cells_parallel(configs, workers, archive_path=None):
     """Run ``configs`` across ``workers`` processes.
 
@@ -129,6 +214,11 @@ def run_cells_parallel(configs, workers, archive_path=None):
     is an ``.npz`` written by :meth:`TraceArchive.save_npz`; when
     ``None`` each worker regenerates traces from its config (correct,
     but slower).
+
+    Fails fast: the first cell to raise cancels every not-yet-started
+    future and surfaces as :class:`CellExecutionError` naming the
+    failing config — instead of silently finishing (and discarding)
+    the rest of the grid first.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -139,12 +229,19 @@ def run_cells_parallel(configs, workers, archive_path=None):
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(_run_cell_worker, config, archive_path)
                    for config in configs]
+        wait(futures, return_when=FIRST_EXCEPTION)
+        for future, config in zip(futures, configs):
+            if future.done() and future.exception() is not None:
+                for other in futures:
+                    other.cancel()
+                raise CellExecutionError(config, future.exception())
         return [future.result() for future in futures]
 
 
 __all__ = [
     "CACHE_VERSION",
     "CellDiskCache",
+    "CellExecutionError",
     "MarketParams",
     "ScenarioConfig",
     "archive_hash",

@@ -2,7 +2,10 @@
 
 import pytest
 
-from repro.benchmarking.fleet import measure_fleet_scaling
+from repro.benchmarking.fleet import (
+    measure_fleet_scaling,
+    measure_sharded_fleet,
+)
 
 
 class TestFleetScaling:
@@ -19,6 +22,11 @@ class TestFleetScaling:
         assert large["flush_flows"] == small["flush_flows"]
         assert result["event_ratio"] < 2.0
         assert large["events_per_vm_hour"] < small["events_per_vm_hour"]
+        for cell in (small, large):
+            assert cell["boot_wall_s"] > 0
+            assert cell["steady_wall_s"] >= 0
+            assert cell["wall_s"] == pytest.approx(
+                cell["boot_wall_s"] + cell["steady_wall_s"])
 
     def test_spares_never_poll_on_calm_market(self):
         result = measure_fleet_scaling(small_vms=5, large_vms=40,
@@ -30,3 +38,21 @@ class TestFleetScaling:
     def test_cell_sizes_validated(self):
         with pytest.raises(ValueError):
             measure_fleet_scaling(small_vms=10, large_vms=10)
+
+
+class TestShardedFleet:
+    def test_sharded_bench_is_bit_identical(self):
+        result = measure_sharded_fleet(vms=40, days=0.25, markets=4,
+                                       shard_counts=(1, 2))
+        assert result["bit_identical"] is True
+        assert result["single"]["shards"] == 1
+        assert result["sharded"]["shards"] == 2
+        assert result["single"]["events"] == result["sharded"]["events"]
+        assert result["speedup"] > 0
+        assert len(result["digest"]) == 64
+
+    def test_shard_counts_validated(self):
+        with pytest.raises(ValueError, match="single-process"):
+            measure_sharded_fleet(vms=40, days=0.25, shard_counts=(2, 4))
+        with pytest.raises(ValueError, match="one VM per market"):
+            measure_sharded_fleet(vms=2, days=0.25, markets=4)

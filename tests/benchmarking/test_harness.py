@@ -17,7 +17,7 @@ from repro.benchmarking.kernel import measure_kernel
 
 def _minimal_payload():
     return {
-        "schema": "repro-bench/5",
+        "schema": "repro-bench/6",
         "label": "unit",
         "smoke": True,
         "created_unix": 1.0,
@@ -46,14 +46,22 @@ def _minimal_payload():
             "small": {"vms": 10, "hosts": 2, "days": 2.0,
                       "backup_shards": 1, "events": 1000,
                       "events_per_vm_hour": 2.0, "wall_s": 0.1,
+                      "boot_wall_s": 0.01, "steady_wall_s": 0.09,
                       "flush_cohorts": 1, "flush_flows": 100,
                       "spare_wakes": 0, "spare_polls": 0},
             "large": {"vms": 10000, "hosts": 1250, "days": 2.0,
                       "backup_shards": 826, "events": 1100,
                       "events_per_vm_hour": 0.002, "wall_s": 0.12,
+                      "boot_wall_s": 0.02, "steady_wall_s": 0.1,
                       "flush_cohorts": 1, "flush_flows": 100,
                       "spare_wakes": 0, "spare_polls": 0},
             "event_ratio": 1.1, "wall_ratio": 1.2,
+        },
+        "shard": {
+            "vms": 2000, "markets": 4, "days": 2.0, "seed": 11,
+            "single": {"shards": 1, "wall_s": 1.0, "events": 5000},
+            "sharded": {"shards": 2, "wall_s": 0.6, "events": 5000},
+            "speedup": 1.7, "digest": "ab" * 32, "bit_identical": True,
         },
         "index": {
             "days": 2.0, "seed": 11, "vms": 4,
@@ -103,7 +111,10 @@ class TestValidation:
         "cell.market_drive.points", "grid.parallel_plan.planned",
         "traffic.low.wakes", "traffic.high.requests", "traffic.wake_ratio",
         "fleet.small.events", "fleet.large.events_per_vm_hour",
-        "fleet.event_ratio", "index.portfolio.delivered",
+        "fleet.large.steady_wall_s",
+        "fleet.event_ratio", "shard.vms", "shard.single.events",
+        "shard.sharded.shards", "shard.speedup", "shard.digest",
+        "index.portfolio.delivered",
         "index.portfolio.crossings", "index.delivered_fraction",
     ])
     def test_missing_field_rejected(self, dotted):
@@ -132,6 +143,12 @@ class TestValidation:
         payload = _minimal_payload()
         payload["grid"]["parallel_plan"]["reason"] = 3
         with pytest.raises(ValueError, match="reason"):
+            validate_bench(payload)
+
+    def test_non_bool_bit_identical_rejected(self):
+        payload = _minimal_payload()
+        payload["shard"]["bit_identical"] = "yes"
+        with pytest.raises(ValueError, match="bit_identical"):
             validate_bench(payload)
 
 
@@ -188,6 +205,18 @@ class TestFloors:
         with pytest.raises(ValueError, match="did not amortize"):
             check_bench_floors(payload, kernel_floor=50.0, market_floor=50.0)
 
+    def test_shard_bit_identity_required(self):
+        payload = _minimal_payload()
+        payload["shard"]["bit_identical"] = False
+        with pytest.raises(ValueError, match="not bit-identical"):
+            check_bench_floors(payload, kernel_floor=50.0, market_floor=50.0)
+
+    def test_shard_event_totals_must_match(self):
+        payload = _minimal_payload()
+        payload["shard"]["sharded"]["events"] = 5001
+        with pytest.raises(ValueError, match="event totals diverge"):
+            check_bench_floors(payload, kernel_floor=50.0, market_floor=50.0)
+
     def test_index_delivered_fraction_ceiling(self):
         payload = _minimal_payload()
         payload["index"]["delivered_fraction"] = 0.9
@@ -227,5 +256,8 @@ class TestMeasurements:
         assert loaded["grid"]["cache"]["warm_disk_hits"] == 4.0
         assert loaded["fleet"]["large"]["vms"] == 400
         assert loaded["fleet"]["small"]["flush_cohorts"] == 1
+        assert loaded["shard"]["vms"] == 400
+        assert loaded["shard"]["bit_identical"] is True
+        assert loaded["shard"]["sharded"]["shards"] == 2
         assert loaded["index"]["portfolio"]["policy"] == "IT-0.125"
         assert loaded["index"]["delivered_fraction"] < 0.25

@@ -8,14 +8,18 @@ which JSON-based caches would mangle — hence pickle).
 """
 
 import dataclasses
+import enum
+import os
 
 import pytest
 
 from repro.experiments import policy_grid
 from repro.experiments.parallel import (
     CellDiskCache,
+    CellExecutionError,
     config_canonical,
     config_hash,
+    run_cells_parallel,
 )
 from repro.experiments.policy_grid import (
     cell_key,
@@ -77,6 +81,31 @@ class TestDiskCache:
         path.write_bytes(b"\x80")
         assert cache.get(config) is None
 
+    def test_stale_pickle_against_renamed_class_is_a_miss(self, tmp_path):
+        # Protocol-0 pickles referencing a module/attribute that no
+        # longer exists — the "renamed class between versions" failure.
+        config = ScenarioConfig(seed=4)
+        cache = CellDiskCache(str(tmp_path))
+        path = tmp_path / f"{config_hash(config)}.pkl"
+        path.write_bytes(b"cno_such_module_xyz\nNoSuchClass\n.")
+        assert cache.get(config) is None  # ModuleNotFoundError -> miss
+        assert not path.exists()  # and the dead entry was evicted
+        path.write_bytes(b"crepro.experiments.parallel\nNoSuchName\n.")
+        assert cache.get(config) is None  # AttributeError -> miss
+        assert not path.exists()
+
+    def test_orphaned_tmp_files_are_swept(self, tmp_path):
+        # A writer killed mid-put leaves <hash>.pkl.tmp.<pid> behind.
+        # Use a pid that provably cannot be alive on Linux.
+        dead = tmp_path / "deadbeef.pkl.tmp.4000000000"
+        dead.write_bytes(b"partial")
+        # Our own staging files and live writers' files must survive.
+        own = tmp_path / f"cafef00d.pkl.tmp.{os.getpid()}"
+        own.write_bytes(b"in-flight")
+        CellDiskCache(str(tmp_path))
+        assert not dead.exists()
+        assert own.exists()
+
     def test_run_cell_uses_disk_cache(self, tmp_path):
         kw = dict(seed=9, days=2.0, vms=3, cache_dir=str(tmp_path))
         first = run_cell("1P-M", "spotcheck-lazy", **kw)
@@ -108,6 +137,53 @@ class TestConfigHash:
         import json
         payload = json.loads(text)
         assert list(payload) == sorted(payload)
+
+    def test_address_bearing_repr_is_rejected(self):
+        # ``default=repr`` used to serialize this to
+        # ``<object object at 0x...>`` — a per-process cache key that
+        # silently never hits.  Now it is a loud error.
+        config = ScenarioConfig(portfolio={"scorer": object()})
+        with pytest.raises(ValueError, match="address-bearing repr"):
+            config_canonical(config)
+        with pytest.raises(ValueError):
+            config_canonical(ScenarioConfig(traffic=lambda: None))
+
+    def test_known_types_canonicalize_stably(self):
+        class Tier(enum.Enum):
+            HOT = 1
+            COLD = 2
+
+        config = ScenarioConfig(portfolio={
+            "zones": {"us-east-1a", "us-east-1c", "us-east-1b"},
+            "tier": Tier.HOT,
+            "salt": b"\x00\xff",
+        })
+        one = config_canonical(config)
+        assert one == config_canonical(ScenarioConfig(portfolio={
+            "salt": b"\x00\xff",
+            "tier": Tier.HOT,
+            "zones": {"us-east-1b", "us-east-1a", "us-east-1c"},
+        }))
+        assert "Tier.HOT" in one and "00ff" in one
+        assert "0x" not in one
+
+
+class TestParallelFailFast:
+    def test_failed_cell_names_its_config(self):
+        good = ScenarioConfig(seed=3, days=0.5, vms=2)
+        bad = ScenarioConfig(seed=3, days=0.5, vms=2, mechanism="bogus")
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_cells_parallel([good, bad, good], workers=2)
+        assert "bogus" in str(excinfo.value)
+        assert excinfo.value.config is bad
+        assert config_hash(bad)[:12] in str(excinfo.value)
+
+    def test_all_good_cells_return_in_config_order(self):
+        configs = [ScenarioConfig(seed=s, days=0.5, vms=2)
+                   for s in (1, 2)]
+        results = run_cells_parallel(configs, workers=2)
+        serial = [run_cells_parallel([c], workers=1)[0] for c in configs]
+        assert results == serial
 
 
 class TestCellKeyRobustness:
