@@ -42,6 +42,7 @@ from repro.core.shard import (
 from repro.core.shard.market import CALM_PRICE
 from repro.sim.kernel import Environment
 from repro.traces.archive import PriceTrace, TraceArchive
+from repro.workloads import default_fleet_mix
 
 #: Calm-market spot price for the fleet cell, far under the m3.2xlarge
 #: on-demand bid, so no revocation machinery ever wakes.  The sizing
@@ -53,8 +54,17 @@ _steady_rate_bps = steady_rate_bps
 _fleet_backup_spec = fleet_backup_spec
 
 
-def _drive_cell(n_vms, days, seed):
-    """Run one calm-market fleet cell; returns its measurement dict."""
+def _drive_cell(n_vms, days, seed, mix=None, soa=False):
+    """Run one calm-market fleet cell; returns its measurement dict.
+
+    ``mix`` (a :class:`~repro.workloads.mix.FleetMix`) provisions the
+    fleet as a heterogeneous population of write-scaled workload
+    classes instead of the homogeneous default — the same code path
+    either way, the homogeneous cell simply being the single-class
+    mix.  ``soa`` serves the steady flushes from the struct-of-arrays
+    cohort core.  The backup tier is sized from the default workload
+    probe, an upper bound for any mix whose factors stay <= 1.
+    """
     env = Environment(seed=seed)
     region = default_region(1)
     zone = region.zones[0]
@@ -70,6 +80,7 @@ def _drive_cell(n_vms, days, seed):
         vms_per_backup=n_vms,
         steady_checkpoint_flush=True,
         defer_flush_accounting=True,
+        soa_checkpoint_flush=soa,
     )
     rate_bps = _steady_rate_bps(env, config)
     spec, shards = _fleet_backup_spec(n_vms, rate_bps)
@@ -80,9 +91,11 @@ def _drive_cell(n_vms, days, seed):
     customer = controller.start_customer("fleet")
     pool = controller.pools.spot_pool(itype.name, zone.name)
 
+    workload_factory = (mix.workload_factory(n_vms)
+                        if mix is not None else None)
     started = time.perf_counter()
-    vms = env.run(until=controller.provision_fleet(customer, n_vms,
-                                                   pool=pool))
+    vms = env.run(until=controller.provision_fleet(
+        customer, n_vms, pool=pool, workload_factory=workload_factory))
     boot_wall = time.perf_counter() - started
     env.run(until=duration_s)
     controller.finalize()
@@ -98,6 +111,7 @@ def _drive_cell(n_vms, days, seed):
         "vms": n_vms,
         "hosts": pool.host_count,
         "days": days,
+        "classes": len(mix) if mix is not None else 1,
         "backup_shards": shards,
         "events": env.events_processed,
         "events_per_vm_hour": env.events_processed / vm_hours,
@@ -145,6 +159,78 @@ def measure_fleet_scaling(small_vms=10, large_vms=100_000, days=14.0,
         "event_ratio": large["events"] / max(small["events"], 1),
         "wall_ratio": max(large["steady_wall_s"], 0.05)
         / max(small["steady_wall_s"], 0.05),
+    }
+
+
+def measure_fleet_mix(vms=100_000, days=14.0, seed=11, classes=8,
+                      baseline=None, digest_vms=2_000, digest_markets=4,
+                      shard_counts=(1, 2), echo=None):
+    """Benchmark the heterogeneous fleet cell; assert SoA bit-identity.
+
+    Drives the calm fleet cell once as a ``classes``-way heterogeneous
+    population (:func:`~repro.workloads.mix.default_fleet_mix`) with
+    the struct-of-arrays cohort core serving the flushes, and compares
+    it against the homogeneous cell of the same size — pass the fleet
+    benchmark's large cell as ``baseline`` to reuse its measurement.
+    The heterogeneity ratchet holds the ``event_ratio`` near the mix's
+    summed round rate (~1.5x for the default geometric mix) instead of
+    the ``classes``-fold blowup per-plan wakeups would cost.
+
+    Also runs the mixed cell through the sharded fleet (SoA core, one
+    run per entry in ``shard_counts``) and reports ``bit_identical``:
+    every shard count must produce the same ``FleetResult.digest()``.
+    """
+    if not shard_counts or shard_counts[0] != 1:
+        raise ValueError("shard_counts must start with the single-process"
+                         " reference (1)")
+    mix = default_fleet_mix(classes=classes)
+    if baseline is None:
+        if echo is not None:
+            echo(f"  homogeneous cell: {vms} VMs, {days:.0f} days ...")
+        baseline = _drive_cell(vms, days, seed)
+    elif baseline["vms"] != vms or baseline["days"] != days:
+        raise ValueError("baseline cell shape does not match "
+                         f"({baseline['vms']} VMs / {baseline['days']} "
+                         f"days, want {vms} / {days})")
+    if echo is not None:
+        echo(f"  mixed cell: {vms} VMs, {len(mix)} classes, "
+             f"{days:.0f} days ...")
+    mixed = _drive_cell(vms, days, seed, mix=mix, soa=True)
+    if echo is not None:
+        echo(f"    {mixed['events']} events, {mixed['flush_cohorts']} "
+             f"plan-groups, {mixed['wall_s']:.2f}s")
+
+    zone_letters = "abcdefghijklmnopqrstuvwxyz"[:digest_markets]
+    specs = [MarketSpec(type_name="m3.2xlarge",
+                        zone_name=f"us-east-1{letter}")
+             for letter in zone_letters]
+    config = ShardConfig(seed=seed, days=days, workload_mix=mix,
+                         soa_checkpoint_flush=True)
+    runs = []
+    for shards in shard_counts:
+        if echo is not None:
+            echo(f"  mixed sharded cell: {digest_vms} VMs / "
+                 f"{digest_markets} markets, shards={shards} ...")
+        run = _drive_sharded(digest_vms, specs, config, shards)
+        runs.append(run)
+        if echo is not None:
+            echo(f"    {run['events']} events, {run['wall_s']:.2f}s, "
+                 f"digest {run['digest'][:12]}")
+    single, widest = runs[0], runs[-1]
+    return {
+        "classes": len(mix),
+        "vms": vms,
+        "days": days,
+        "seed": seed,
+        "homogeneous": baseline,
+        "mixed": mixed,
+        "event_ratio": mixed["events"] / max(baseline["events"], 1),
+        "wall_ratio": max(mixed["steady_wall_s"], 0.05)
+        / max(baseline["steady_wall_s"], 0.05),
+        "single": {k: single[k] for k in ("shards", "wall_s", "events")},
+        "sharded": {k: widest[k] for k in ("shards", "wall_s", "events")},
+        "digest": single["digest"],
+        "bit_identical": len({run["digest"] for run in runs}) == 1,
     }
 
 

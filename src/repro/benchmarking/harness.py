@@ -42,6 +42,18 @@ Schema 6 also splits the fleet cells' wall clock into ``boot_wall_s``
 (provisioning, honestly O(N) in VM construction) and
 ``steady_wall_s``; ``fleet.wall_ratio`` ratchets the steady-state
 portion, which is what must stay flat as the fleet grows to 1M VMs.
+
+Schema 7 adds the ``fleet_mix`` section: the heterogeneous fleet cell
+(``measure_fleet_mix``) — the same calm cell provisioned as a
+geometric mix of distinct workload classes, its steady flushes served
+by the struct-of-arrays cohort core.  ``check_bench_floors`` holds the
+mixed cell within :data:`FLEET_MIX_EVENT_RATIO_CEILING` times the
+homogeneous cell's kernel events and
+:data:`FLEET_MIX_WALL_RATIO_CEILING` times its steady wall clock (a
+per-plan wakeup loop costs the class count instead), requires at least
+as many plan-groups as classes, and requires
+``fleet_mix.bit_identical`` — the mixed cell under the SoA core must
+produce the same ``FleetResult.digest()`` at every shard count.
 """
 
 import json
@@ -50,6 +62,7 @@ import sys
 import time
 
 from repro.benchmarking.fleet import (
+    measure_fleet_mix,
     measure_fleet_scaling,
     measure_sharded_fleet,
 )
@@ -61,7 +74,7 @@ from repro.benchmarking.traffic import measure_traffic_scaling
 from repro.experiments.scenario import MECHANISMS, POLICIES
 
 #: Current artifact schema identifier.
-BENCH_SCHEMA = "repro-bench/6"
+BENCH_SCHEMA = "repro-bench/7"
 
 #: Floors for :func:`check_bench_floors`, far below what any healthy
 #: host measures (a laptop does ~1M kernel events/sec and ~300k stepped
@@ -77,6 +90,15 @@ MARKET_EVENTS_PER_SEC_FLOOR = 20_000.0
 #: ceilings still catch any real regression without flaking on noise.
 FLEET_EVENT_RATIO_CEILING = 20.0
 FLEET_WALL_RATIO_CEILING = 10.0
+
+#: Heterogeneity ratchet.  The mixed cell's kernel events are
+#: deterministic and land near 1.6x the homogeneous cell's (the
+#: default geometric mix's summed checkpoint-round rate); a per-plan
+#: wakeup loop costs the full class count (8x+), so 2x catches it with
+#: headroom.  The wall ceiling is looser because wall clock is noisy —
+#: measured runs sit near 2x, a per-VM regression sits at fleet scale.
+FLEET_MIX_EVENT_RATIO_CEILING = 2.0
+FLEET_MIX_WALL_RATIO_CEILING = 4.0
 
 #: Ceiling on the portfolio cell's delivered-events-per-trace-point
 #: fraction.  Measured runs sit under 0.02 (a couple hundred crossings
@@ -100,6 +122,7 @@ SMOKE_PRESET = {
     "traffic_scales": (1_000, 1_000_000),
     "fleet_days": 2.0,
     "fleet_scales": (10, 10_000),
+    "fleet_mix_classes": 8,
     "index_days": 2.0,
     "index_vms": 4,
     "shard_vms": 2_000,
@@ -124,6 +147,7 @@ FULL_PRESET = {
     "traffic_scales": (1_000, 1_000_000),
     "fleet_days": 14.0,
     "fleet_scales": (10, 100_000),
+    "fleet_mix_classes": 8,
     "index_days": 14.0,
     "index_vms": 10,
     "shard_vms": 100_000,
@@ -135,7 +159,7 @@ FULL_PRESET = {
 
 def run_bench(label="local", smoke=False, seed=11, workers=None, days=None,
               vms=None, kernel_events=None, fleet_vms=None, fleet_days=None,
-              shards=None, echo=None):
+              shards=None, fleet_mix_classes=None, echo=None):
     """Run the kernel, cell, and grid benchmarks; returns the payload."""
     preset = dict(SMOKE_PRESET if smoke else FULL_PRESET)
     if workers is not None:
@@ -156,6 +180,10 @@ def run_bench(label="local", smoke=False, seed=11, workers=None, days=None,
             raise ValueError("--shards must be at least 2 (the "
                              "single-process reference always runs)")
         preset["shard_counts"] = (1, shards)
+    if fleet_mix_classes is not None:
+        if fleet_mix_classes < 1:
+            raise ValueError("--fleet-mix needs at least one class")
+        preset["fleet_mix_classes"] = fleet_mix_classes
 
     def say(message):
         if echo is not None:
@@ -209,6 +237,20 @@ def run_bench(label="local", smoke=False, seed=11, workers=None, days=None,
         f"{shard['sharded']['wall_s']:.2f}s (x{shard['speedup']:.2f}), "
         f"bit-identical: {shard['bit_identical']}")
 
+    say(f"fleet mix: {preset['fleet_mix_classes']} classes at "
+        f"{large_fleet} VMs, {preset['fleet_days']:.0f} days ...")
+    fleet_mix = measure_fleet_mix(
+        vms=large_fleet, days=preset["fleet_days"], seed=seed,
+        classes=preset["fleet_mix_classes"], baseline=fleet["large"],
+        digest_vms=preset["shard_vms"],
+        digest_markets=preset["shard_markets"],
+        shard_counts=preset["shard_counts"], echo=say)
+    say(f"  {fleet_mix['mixed']['events']} events over "
+        f"{fleet_mix['mixed']['flush_cohorts']} plan-groups (event ratio "
+        f"{fleet_mix['event_ratio']:.2f}, wall "
+        f"x{fleet_mix['wall_ratio']:.2f}), bit-identical: "
+        f"{fleet_mix['bit_identical']}")
+
     say(f"portfolio drive: {preset['index_days']:.0f} days, "
         f"{preset['index_vms']} VMs, 1P-M vs IT-0.125 ...")
     index = measure_index_drive(days=preset["index_days"], seed=seed,
@@ -249,6 +291,7 @@ def run_bench(label="local", smoke=False, seed=11, workers=None, days=None,
         "market": market,
         "traffic": traffic,
         "fleet": fleet,
+        "fleet_mix": fleet_mix,
         "shard": shard,
         "index": index,
         "cell": cell,
@@ -286,7 +329,7 @@ def _require(payload, dotted, kinds):
 
 
 def validate_bench(payload):
-    """Check a payload against the ``repro-bench/6`` schema.
+    """Check a payload against the ``repro-bench/7`` schema.
 
     Raises ``ValueError`` on any missing field, wrong type, or
     non-positive timing; returns the payload for chaining.
@@ -324,6 +367,15 @@ def validate_bench(payload):
                   "fleet.large.boot_wall_s", "fleet.large.steady_wall_s",
                   "fleet.large.flush_cohorts", "fleet.large.flush_flows",
                   "fleet.large.spare_wakes", "fleet.large.spare_polls",
+                  "fleet_mix.classes", "fleet_mix.vms", "fleet_mix.days",
+                  "fleet_mix.homogeneous.events",
+                  "fleet_mix.homogeneous.steady_wall_s",
+                  "fleet_mix.mixed.events", "fleet_mix.mixed.classes",
+                  "fleet_mix.mixed.steady_wall_s",
+                  "fleet_mix.mixed.flush_cohorts",
+                  "fleet_mix.mixed.flush_flows",
+                  "fleet_mix.single.shards", "fleet_mix.single.events",
+                  "fleet_mix.sharded.shards", "fleet_mix.sharded.events",
                   "shard.vms", "shard.markets", "shard.days",
                   "shard.single.shards", "shard.single.wall_s",
                   "shard.single.events",
@@ -359,6 +411,7 @@ def validate_bench(payload):
                   "market.indexed.events_per_sec",
                   "traffic.request_ratio", "traffic.wake_ratio",
                   "fleet.event_ratio", "fleet.wall_ratio",
+                  "fleet_mix.event_ratio", "fleet_mix.wall_ratio",
                   "shard.speedup"):
         if _require(payload, field, (int, float)) <= 0:
             raise ValueError(f"bench payload field {field!r} must be > 0")
@@ -366,6 +419,10 @@ def validate_bench(payload):
     if not isinstance(payload["shard"].get("bit_identical"), bool):
         raise ValueError(
             "bench payload field 'shard.bit_identical' must be a bool")
+    _require(payload, "fleet_mix.digest", str)
+    if not isinstance(payload["fleet_mix"].get("bit_identical"), bool):
+        raise ValueError(
+            "bench payload field 'fleet_mix.bit_identical' must be a bool")
     return payload
 
 
@@ -374,6 +431,8 @@ def check_bench_floors(payload,
                        market_floor=MARKET_EVENTS_PER_SEC_FLOOR,
                        fleet_event_ceiling=FLEET_EVENT_RATIO_CEILING,
                        fleet_wall_ceiling=FLEET_WALL_RATIO_CEILING,
+                       mix_event_ceiling=FLEET_MIX_EVENT_RATIO_CEILING,
+                       mix_wall_ceiling=FLEET_MIX_WALL_RATIO_CEILING,
                        index_ceiling=INDEX_DELIVERED_FRACTION_CEILING):
     """Hold kernel and market-drive throughput above absolute floors.
 
@@ -437,6 +496,39 @@ def check_bench_floors(payload,
             f"{fleet['large']['vms']} VMs >= "
             f"{fleet['small']['events_per_vm_hour']:.3f} at "
             f"{fleet['small']['vms']}")
+    fleet_mix = payload["fleet_mix"]
+    if fleet_mix["mixed"]["flush_cohorts"] < fleet_mix["classes"]:
+        problems.append(
+            f"fleet mix cell formed only "
+            f"{fleet_mix['mixed']['flush_cohorts']} plan-groups for "
+            f"{fleet_mix['classes']} workload classes — the population "
+            f"is not heterogeneous, so the ratchet proves nothing")
+    if fleet_mix["event_ratio"] > mix_event_ceiling:
+        problems.append(
+            f"heterogeneous fleet cell events scale with plan count: "
+            f"{fleet_mix['mixed']['events']} events over "
+            f"{fleet_mix['classes']} classes vs "
+            f"{fleet_mix['homogeneous']['events']} homogeneous "
+            f"(ratio {fleet_mix['event_ratio']:.2f} > ceiling "
+            f"{mix_event_ceiling:.1f})")
+    if fleet_mix["wall_ratio"] > mix_wall_ceiling:
+        problems.append(
+            f"heterogeneous fleet cell wall clock scales with plan "
+            f"count: x{fleet_mix['wall_ratio']:.1f} over "
+            f"{fleet_mix['classes']} classes (ceiling "
+            f"x{mix_wall_ceiling:.0f})")
+    if fleet_mix["bit_identical"] is not True:
+        problems.append(
+            f"mixed fleet cell under the SoA core is not bit-identical "
+            f"across shard counts ({fleet_mix['sharded']['shards']} "
+            f"shards) — the struct-of-arrays runner leaked host or "
+            f"shard identity into the simulation")
+    if fleet_mix["single"]["events"] != fleet_mix["sharded"]["events"]:
+        problems.append(
+            f"mixed sharded cell event totals diverge: "
+            f"{fleet_mix['single']['events']} single-process vs "
+            f"{fleet_mix['sharded']['events']} at "
+            f"{fleet_mix['sharded']['shards']} shards")
     shard = payload["shard"]
     if shard["bit_identical"] is not True:
         problems.append(

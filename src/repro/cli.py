@@ -314,7 +314,8 @@ def _cmd_bench(args):
                         workers=args.workers, days=args.days, vms=args.vms,
                         kernel_events=args.kernel_events,
                         fleet_vms=fleet_vms, fleet_days=fleet_days,
-                        shards=args.shards, echo=print)
+                        shards=args.shards,
+                        fleet_mix_classes=args.fleet_mix, echo=print)
     path = write_bench(payload, out_dir=args.out_dir)
     kernel = payload["kernel"]
     market = payload["market"]
@@ -335,6 +336,13 @@ def _cmd_bench(args):
           f"({fleet['large']['events_per_vm_hour']:.3f}/VM-hour, event "
           f"ratio {fleet['event_ratio']:.2f}, wall "
           f"x{fleet['wall_ratio']:.2f})")
+    fleet_mix = payload["fleet_mix"]
+    print(f"fleet mix ........ {fleet_mix['classes']} classes at "
+          f"{fleet_mix['vms']} VMs: {fleet_mix['mixed']['events']} events "
+          f"over {fleet_mix['mixed']['flush_cohorts']} plan-groups (event "
+          f"ratio {fleet_mix['event_ratio']:.2f}, wall "
+          f"x{fleet_mix['wall_ratio']:.2f}), bit-identical: "
+          f"{fleet_mix['bit_identical']}")
     shard = payload["shard"]
     print(f"sharded fleet .... {shard['vms']} VMs / {shard['markets']} "
           f"markets at {shard['sharded']['shards']} shards: "
@@ -457,6 +465,9 @@ def build_parser():
     bench.add_argument("--shards", type=int, default=None,
                        help="widest shard count for the sharded fleet "
                             "cell (runs shards=1 and shards=N; N >= 2)")
+    bench.add_argument("--fleet-mix", type=int, default=None,
+                       help="workload classes in the heterogeneous "
+                            "fleet cell (default: the preset's 8)")
     bench.add_argument("--out-dir", default=".",
                        help="directory for BENCH_<label>.json")
     bench.set_defaults(func=_cmd_bench)

@@ -92,6 +92,15 @@ class SpotCheckConfig:
         With ``steady_checkpoint_flush``, credit members O(1) per
         round and settle per-VM totals at finalize (fleet mode)
         instead of eagerly every round.
+    soa_checkpoint_flush:
+        With ``steady_checkpoint_flush``, run the steady flushes
+        through the struct-of-arrays cohort core
+        (:class:`~repro.virt.migration.soa.SoaCheckpointScheduler`):
+        one vectorized runner per backup datapath batching every
+        plan-group's wakeups, sized for heterogeneous fleets where
+        distinct workload classes would otherwise each cost their own
+        cohort process.  Bit-identical to the per-cohort scheduler and
+        the per-VM streams.
     """
 
     allocation_policy: str = "1P-M"
@@ -118,8 +127,13 @@ class SpotCheckConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     steady_checkpoint_flush: bool = False
     defer_flush_accounting: bool = False
+    soa_checkpoint_flush: bool = False
 
     def __post_init__(self):
+        if self.soa_checkpoint_flush and not self.steady_checkpoint_flush:
+            raise ValueError(
+                "soa_checkpoint_flush batches the steady checkpoint "
+                "flushes and so requires steady_checkpoint_flush")
         if self.bid_policy not in ("on-demand", "multiple", "knee"):
             raise ValueError(f"unknown bid policy {self.bid_policy!r}")
         if self.bid_multiple < 1.0:

@@ -481,9 +481,11 @@ class SpotCheckController:
             hosts.append(host)
 
         warning = self.api.marketplace.warning_period
-        #: Per-workload-class plan cache: every VM of one class shares
-        #: identical memory parameters, so the planner verdict and
-        #: stream rate are class-level facts.
+        #: Per-workload-class plan cache keyed by the VM's memory model
+        #: (a frozen dataclass): the planner verdict and stream rate
+        #: are pure functions of the dirtying profile, and distinct
+        #: workload classes may share one python type (write-scaled
+        #: fleet mixes), so the type name is not a safe key.
         class_plans = {}
         vms = []
         booted = 0
@@ -498,7 +500,7 @@ class SpotCheckController:
                               customer=customer)
                 vm.checkpoint_stream = CheckpointStream(
                     vm.memory, self.config.mechanism.checkpoint)
-                key = type(vm.workload).__name__
+                key = vm.memory
                 plan = class_plans.get(key)
                 if plan is None:
                     plan = {

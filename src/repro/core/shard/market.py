@@ -117,6 +117,16 @@ class ShardConfig:
     vms_per_backup: int = None
     steady_checkpoint_flush: bool = True
     defer_flush_accounting: bool = True
+    #: Serve steady flushes from the struct-of-arrays cohort core (one
+    #: vectorized runner per backup datapath) — the heterogeneous-fleet
+    #: path, bit-identical to the per-cohort scheduler.
+    soa_checkpoint_flush: bool = False
+    #: Optional :class:`~repro.workloads.mix.FleetMix`: provision each
+    #: market's fleet as that deterministic population of workload
+    #: classes instead of the homogeneous default.  Applied per market
+    #: (blocks of each class in boot order), so the population is
+    #: independent of the shard count.
+    workload_mix: object = None
     #: Optional :class:`~repro.faults.FaultPlan` applied inside every
     #: market (its injector draws from the market's own kernel RNG, so
     #: chaos runs stay per-market deterministic).
@@ -169,6 +179,7 @@ class MarketSimulation:
                             else max(n_vms, 1)),
             steady_checkpoint_flush=config.steady_checkpoint_flush,
             defer_flush_accounting=config.defer_flush_accounting,
+            soa_checkpoint_flush=config.soa_checkpoint_flush,
         )
         rate_bps = steady_rate_bps(env, controller_config)
         spec_backup, self.backup_shards = fleet_backup_spec(
@@ -182,6 +193,12 @@ class MarketSimulation:
             injector.install_backup_crashes(self.controller)
         self.pool = self.controller.pools.spot_pool(
             spec.type_name, spec.zone_name)
+        #: The market's workload factory: one deterministic block
+        #: schedule over this market's whole fleet (class populations
+        #: must not depend on how provisioning requests are batched).
+        self._workload_factory = (
+            config.workload_mix.workload_factory(max(n_vms, 1))
+            if config.workload_mix is not None else None)
         self.customers = {}
         self._parked_total = 0
         self._finalized = False
@@ -247,7 +264,8 @@ class MarketSimulation:
             if request.count > 0:
                 customer = self._customer(request.customer)
                 self.env.run(until=self.controller.provision_fleet(
-                    customer, request.count, pool=self.pool))
+                    customer, request.count, pool=self.pool,
+                    workload_factory=self._workload_factory))
             return None
         if isinstance(request, ParkRequest):
             self.env.run(until=self.env.process(

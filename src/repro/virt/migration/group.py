@@ -150,7 +150,11 @@ class _Cohort:
         sched.flows_issued += 1
         if sched.defer:
             self.flags.append(False)
-        if len(self.in_flight) > 64:
+        # Prune completed flows on every arm: a healthy cohort keeps at
+        # most a flush or two in flight (flush time < interval), and a
+        # dead process reference would otherwise pin its frame for the
+        # cohort's whole life — a slow leak under fleet-length runs.
+        if self.in_flight:
             self.in_flight = [p for p in self.in_flight if p.is_alive]
 
         def _flush():

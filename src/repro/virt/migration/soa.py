@@ -1,0 +1,476 @@
+"""Struct-of-arrays cohort core: heterogeneous plans, one runner.
+
+The :class:`~repro.virt.migration.group.GroupCheckpointScheduler`
+batches *identical* checkpoint plans into cohorts, each with its own
+kernel process.  That is the right shape for SpotCheck's homogeneous
+pools, but a realistic multi-tenant market shard mixes workload
+classes: every distinct (interval, dirty, cap) plan costs one more
+cohort process, and a plan divergence costs a cohort split plus a
+rejoin — at the limit the scheduler degenerates back toward per-VM
+wakeups.  Spot-on-style derivative clouds (long-running jobs with
+application-specific checkpoint cadences) make heterogeneous plans the
+common case, not the fallback.
+
+:class:`SoaCheckpointScheduler` replaces one-process-per-cohort with
+one vectorized runner per (pool, mechanism) datapath:
+
+* **member state lives in parallel numpy arrays** — interval, dirty
+  bytes per round, stream rate cap, and plan-group id, indexed by a
+  free-listed member slot;
+* **plan-groups live in parallel arrays too** — interval, dirty, cap,
+  member count, and the group's *next due time* (``inf`` marks a dead
+  group), alongside python-side dicts for the per-member callbacks the
+  flush credits must invoke;
+* **one runner process** serves every group: the next wakeup is the
+  vectorized ``min`` over the due-time array, the runner sleeps on an
+  absolute-time event (``timeout_at``), and each wakeup flushes *all*
+  due plan-groups — ``due == now`` over the array — as aggregated
+  fair-share flows (``n x dirty`` bytes at ``n x cap``), then advances
+  their due times by one interval;
+* **plan divergence is an O(1) regroup** — the member's array row is
+  rewritten to point at the (possibly fresh) group matching its new
+  plan at the current round boundary, instead of tearing down and
+  restarting cohort processes.
+
+Equivalence with the per-VM streams (and hence with the group
+scheduler) is exact by construction, and the test suite asserts it
+bit-for-bit:
+
+* group due times accumulate ``due += interval`` from the join
+  instant — the same repeated float addition a per-VM stream's
+  ``timeout(interval)`` loop performs, released through ``timeout_at``
+  at exactly those instants;
+* members only share a group when they enroll at the same instant with
+  the same plan (the key is ``(join_time, plan)``), mirroring the
+  group scheduler's cohort key, so defer-mode round flags always apply
+  to every member of the group;
+* each completed round credits each member ``flushed += dirty`` in
+  enrollment order (eager mode), or flips one completion flag and
+  reconstructs totals at :meth:`settle` through the same shared float
+  fold the group scheduler uses (defer mode);
+* a parked member (infinite interval) rides an hourly recheck, exactly
+  like the per-VM stream's 3600 s liveness sleep.
+
+The aggregated flow carries one fair-share weight instead of ``n``
+under mixed contention with unrelated flows — the same deliberate
+modelling trade the group scheduler documents in docs/performance.md.
+"""
+
+import numpy as np
+
+from repro.virt.migration.group import _INF, _plan_of
+
+__all__ = ["SoaCheckpointScheduler"]
+
+#: Liveness recheck period for parked (infinite-interval) groups,
+#: matching the per-VM stream's hourly sleep.
+_PARK_RECHECK_S = 3600.0
+
+#: Initial capacity of the member/group arrays (doubled on demand).
+_MIN_CAPACITY = 16
+
+
+def _grown(array, capacity):
+    fresh = np.empty(capacity, dtype=array.dtype)
+    fresh[:len(array)] = array
+    return fresh
+
+
+class SoaCheckpointScheduler:
+    """Batched steady-state checkpointing, struct-of-arrays core.
+
+    Drop-in for :class:`GroupCheckpointScheduler`: same constructor
+    shape, same ``join`` / ``leave`` / ``settle`` / ``settle_now`` /
+    ``stats`` surface, same eager/defer accounting contract.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    backup_link:
+        Transfer facade (``.transfer(nbytes, rate_cap=...)`` returning
+        a completion event).
+    defer_accounting:
+        When True, rounds cost O(1) regardless of group size and
+        per-member totals are settled once at :meth:`settle` (fleet
+        mode); plans are pinned at join, as in the group scheduler.
+        When False (default), every round credits every member eagerly
+        and divergent members regroup at round boundaries.
+    """
+
+    def __init__(self, env, backup_link, defer_accounting=False):
+        self.env = env
+        self.link = backup_link
+        self.defer = defer_accounting
+        #: member_id -> cumulative flushed bytes.
+        self.flushed = {}
+
+        # -- member arrays (slot-indexed) --
+        self._m_interval = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._m_dirty = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._m_cap = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._m_group = np.full(_MIN_CAPACITY, -1, dtype=np.int64)
+        self._m_slot = {}     # member_id -> slot
+        self._free_slots = []
+        self._slot_high = 0
+
+        # -- plan-group arrays (gid-indexed, append-only) --
+        self._g_interval = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._g_dirty = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._g_cap = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._g_due = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._g_count = np.zeros(_MIN_CAPACITY, dtype=np.int64)
+        self._n_groups = 0
+        self._alive_groups = 0
+        #: gid -> plan tuple / member dicts / defer bookkeeping.
+        self._g_plan = []
+        self._g_members = []   # gid -> {member_id: on_flush} (ordered)
+        self._g_streams = []   # gid -> {member_id: stream}
+        self._g_rounds = []    # gid -> rounds armed (dirty > 0)
+        self._g_flags = []     # gid -> per-round completion flags (defer)
+        self._g_left = []      # gid -> {member_id: rounds at departure}
+
+        #: (join_time, plan) -> gid, mirroring the group scheduler's
+        #: cohort key: sharing requires the same instant AND plan, so
+        #: defer-mode flags always cover a member's full tenure.
+        self._open = {}
+        self._members = {}     # member_id -> gid
+
+        self._proc = None
+        self._stop = env.event()
+        self._nudge = None
+        self._wake_at = _INF
+        self._in_flight = []
+        self._settled = False
+        self.groups_created = 0
+        self.flows_issued = 0
+        self.splits = 0
+
+    # -- enrollment -----------------------------------------------------
+
+    def join(self, member_id, stream, on_flush=None):
+        """Enroll a stream; returns the plan-group id it landed in.
+
+        Members with identical plans joining at the same instant share
+        a group; everyone else gets their own (exact per-VM mode).
+        """
+        if member_id in self._members:
+            raise ValueError(f"{member_id} already enrolled")
+        plan = _plan_of(stream)
+        slot = self._new_slot(member_id)
+        gid = self._enroll(member_id, stream, on_flush, plan, slot)
+        self._ensure_runner()
+        return gid
+
+    def leave(self, member_id):
+        """Drop a member from future rounds.
+
+        Rounds already in flight still credit it (matching a per-VM
+        stream draining its in-flight flushes after its stop event).
+        """
+        gid = self._members.pop(member_id, None)
+        if gid is None:
+            return
+        self._g_members[gid].pop(member_id, None)
+        self._g_streams[gid].pop(member_id, None)
+        if self.defer:
+            self._g_left[gid][member_id] = self._g_rounds[gid]
+        self._count_down(gid)
+        slot = self._m_slot.pop(member_id)
+        self._m_group[slot] = -1
+        self._free_slots.append(slot)
+
+    def member_count(self):
+        return len(self._members)
+
+    def group_of(self, member_id):
+        """The plan-group id currently serving ``member_id``."""
+        return self._members.get(member_id)
+
+    def group_plan(self, gid):
+        """The (interval, dirty, cap) plan of group ``gid``."""
+        return self._g_plan[gid]
+
+    def member_plan(self, member_id):
+        """The member's plan as stored in the parallel arrays."""
+        slot = self._m_slot[member_id]
+        return (float(self._m_interval[slot]), float(self._m_dirty[slot]),
+                float(self._m_cap[slot]))
+
+    # -- internals ------------------------------------------------------
+
+    def _new_slot(self, member_id):
+        if self._free_slots:
+            slot = self._free_slots.pop()
+        else:
+            slot = self._slot_high
+            if slot == len(self._m_interval):
+                capacity = 2 * slot
+                self._m_interval = _grown(self._m_interval, capacity)
+                self._m_dirty = _grown(self._m_dirty, capacity)
+                self._m_cap = _grown(self._m_cap, capacity)
+                self._m_group = _grown(self._m_group, capacity)
+            self._slot_high += 1
+        self._m_slot[member_id] = slot
+        return slot
+
+    def _new_group(self, plan):
+        gid = self._n_groups
+        if gid == len(self._g_due):
+            capacity = 2 * gid
+            self._g_interval = _grown(self._g_interval, capacity)
+            self._g_dirty = _grown(self._g_dirty, capacity)
+            self._g_cap = _grown(self._g_cap, capacity)
+            self._g_due = _grown(self._g_due, capacity)
+            self._g_count = _grown(self._g_count, capacity)
+        self._n_groups += 1
+        interval, dirty, cap = plan
+        self._g_interval[gid] = interval
+        self._g_dirty[gid] = dirty
+        self._g_cap[gid] = cap
+        # A parked group (infinite interval) wakes for an hourly
+        # liveness recheck; a live group wakes one interval from its
+        # creation — both exactly as a fresh per-VM stream would.
+        if interval == _INF:
+            self._g_due[gid] = self.env.now + _PARK_RECHECK_S
+        else:
+            self._g_due[gid] = self.env.now + interval
+        self._g_count[gid] = 0
+        self._g_plan.append(plan)
+        self._g_members.append({})
+        self._g_streams.append({})
+        self._g_rounds.append(0)
+        self._g_flags.append([])
+        self._g_left.append({})
+        self._alive_groups += 1
+        self.groups_created += 1
+        return gid
+
+    def _enroll(self, member_id, stream, on_flush, plan, slot):
+        key = (self.env.now, plan)
+        gid = self._open.get(key)
+        if gid is None or self._g_count[gid] == 0:
+            gid = self._new_group(plan)
+            self._open[key] = gid
+        self._g_members[gid][member_id] = on_flush
+        self._g_streams[gid][member_id] = stream
+        self._g_count[gid] += 1
+        interval, dirty, cap = plan
+        self._m_interval[slot] = interval
+        self._m_dirty[slot] = dirty
+        self._m_cap[slot] = cap
+        self._m_group[slot] = gid
+        self._members[member_id] = gid
+        # Re-aim a sleeping runner whose target postdates the new
+        # group's first due time.
+        nudge = self._nudge
+        if nudge is not None and not nudge.triggered \
+                and self._g_due[gid] < self._wake_at:
+            nudge.succeed()
+        return gid
+
+    def _count_down(self, gid):
+        self._g_count[gid] -= 1
+        if self._g_count[gid] == 0:
+            # Event elision: a dead group never wakes the runner again.
+            self._g_due[gid] = _INF
+            self._alive_groups -= 1
+
+    def _ensure_runner(self):
+        if self._proc is None or not self._proc.is_alive:
+            self._proc = self.env.process(self._run())
+
+    def _run(self):
+        env = self.env
+        while self._alive_groups > 0 and not self._stop.triggered:
+            dues = self._g_due[:self._n_groups]
+            target = float(dues.min())
+            if target == _INF:
+                break
+            self._wake_at = target
+            nudge = env.event()
+            self._nudge = nudge
+            yield env.any_of([self._stop, nudge,
+                              env.timeout_at(target)])
+            self._nudge = None
+            if self._stop.triggered:
+                break
+            if env.now < target:
+                # Nudged awake by a join with an earlier due time:
+                # re-aim (the abandoned timeout fires into an already
+                # settled condition and is defused).
+                continue
+            now = env.now
+            due = np.nonzero(
+                self._g_due[:self._n_groups] == now)[0]
+            for gid in due:
+                self._fire(int(gid))
+            if self._in_flight:
+                self._in_flight = [p for p in self._in_flight
+                                   if p.is_alive]
+        pending = [p for p in self._in_flight if p.is_alive]
+        if pending:
+            yield env.all_of(pending)
+        self._in_flight = []
+
+    def _fire(self, gid):
+        interval = float(self._g_interval[gid])
+        if interval == _INF:
+            self._g_due[gid] = self.env.now + _PARK_RECHECK_S
+            if not self.defer:
+                self._regroup_divergent(gid)
+            return
+        dirty = float(self._g_dirty[gid])
+        if dirty > 0:
+            self._arm_flush(gid, dirty)
+        # The same float accumulation as the per-VM stream's repeated
+        # ``timeout(interval)``: now == due exactly at this instant.
+        self._g_due[gid] = float(self._g_due[gid]) + interval
+        # Regroup *after* arming: this round's flush used the plan the
+        # members slept under, exactly as the per-VM loop flushes the
+        # interval it just waited out.  Defer mode pins plans at join.
+        if not self.defer:
+            self._regroup_divergent(gid)
+
+    def _arm_flush(self, gid, dirty):
+        env = self.env
+        members = self._g_members[gid]
+        n = len(members)
+        cap = float(self._g_cap[gid])
+        round_index = self._g_rounds[gid]
+        self._g_rounds[gid] += 1
+        self.flows_issued += 1
+        if self.defer:
+            snapshot = None
+            flags = self._g_flags[gid]
+            flags.append(False)
+        else:
+            snapshot = list(members.items())
+            flags = None
+
+        def _flush():
+            yield self.link.transfer(dirty * n, rate_cap=cap * n)
+            if flags is not None:
+                flags[round_index] = True
+            else:
+                flushed = self.flushed
+                for member_id, on_flush in snapshot:
+                    flushed[member_id] = \
+                        flushed.get(member_id, 0.0) + dirty
+                    if on_flush is not None:
+                        on_flush(dirty)
+            obs = getattr(env, "obs", None)
+            if obs is not None:
+                obs.emit("checkpoint.group_flush", members=n,
+                         bytes=dirty * n, round=round_index + 1)
+                obs.metrics.counter("checkpoint_flushes_total").inc(n)
+                obs.metrics.counter(
+                    "checkpoint_bytes_total").inc(dirty * n)
+
+        self._in_flight.append(env.process(_flush()))
+
+    def _regroup_divergent(self, gid):
+        """Recompute member plans; regroup divergent members in O(1).
+
+        A divergent member's array row is rewritten to point at the
+        plan-group matching its new plan at the current round boundary
+        — the instant a per-VM stream would have started sleeping under
+        its new interval — so no processes are torn down or created.
+        """
+        plan = self._g_plan[gid]
+        streams = self._g_streams[gid]
+        divergent = []
+        for member_id, stream in streams.items():
+            new_plan = _plan_of(stream)
+            if new_plan != plan:
+                divergent.append((member_id, stream, new_plan))
+        for member_id, stream, new_plan in divergent:
+            on_flush = self._g_members[gid].pop(member_id)
+            streams.pop(member_id)
+            self._count_down(gid)
+            del self._members[member_id]
+            self.splits += 1
+            self._enroll(member_id, stream, on_flush, new_plan,
+                         self._m_slot[member_id])
+
+    # -- settlement -----------------------------------------------------
+
+    def settle(self):
+        """Process: stop the runner, drain flows, finalize credits.
+
+        Returns the ``{member_id: flushed_bytes}`` dict (also available
+        as :attr:`flushed` afterwards).
+        """
+        if self._settled:
+            return self.flushed
+        self._settled = True
+        if not self._stop.triggered:
+            self._stop.succeed()
+        if self._proc is not None and self._proc.is_alive:
+            yield self.env.all_of([self._proc])
+        if self.defer:
+            self._settle_credits()
+        return self.flushed
+
+    def settle_now(self):
+        """Synchronous settle for non-process callers (finalize).
+
+        Credits only the rounds that have already completed —
+        in-flight flows stay uncredited, exactly as a per-VM stream's
+        in-flight flush is uncredited at the measurement horizon.
+        """
+        if self._settled:
+            return self.flushed
+        self._settled = True
+        if not self._stop.triggered:
+            self._stop.succeed()
+        if self.defer:
+            self._settle_credits()
+        return self.flushed
+
+    def _settle_credits(self):
+        """Defer mode: reconstruct per-member totals from round flags.
+
+        Per group, the same shared float fold the group scheduler (and
+        eager crediting) performs: ``F[k] = F[k-1] + dirty``.
+        """
+        for gid in range(self._n_groups):
+            flags = self._g_flags[gid]
+            dirty = self._g_plan[gid][1]
+            completed_prefix = [0]
+            for flag in flags:
+                completed_prefix.append(
+                    completed_prefix[-1] + (1 if flag else 0))
+            fold = [0.0]
+            for _ in range(completed_prefix[-1]):
+                fold.append(fold[-1] + dirty)
+            rounds = self._g_rounds[gid]
+            for member_id, on_flush in self._g_members[gid].items():
+                total = fold[completed_prefix[rounds]]
+                self.flushed[member_id] = \
+                    self.flushed.get(member_id, 0.0) + total
+                if on_flush is not None and total > 0:
+                    on_flush(total)
+            for member_id, last_round in self._g_left[gid].items():
+                total = fold[completed_prefix[last_round]]
+                self.flushed[member_id] = \
+                    self.flushed.get(member_id, 0.0) + total
+
+    # -- introspection --------------------------------------------------
+
+    def stats(self):
+        """Counters shaped like ``GroupCheckpointScheduler.stats``.
+
+        Plan-groups report as cohorts so the migration manager's
+        aggregation (and the fleet bench) read both cores uniformly;
+        regroups report as splits (each is one member leaving its plan
+        peer set at a round boundary).
+        """
+        dues = self._g_due[:self._n_groups]
+        return {
+            "cohorts_created": self.groups_created,
+            "cohorts_active": int(np.count_nonzero(dues < _INF)),
+            "members": len(self._members),
+            "flows_issued": self.flows_issued,
+            "splits": self.splits,
+        }

@@ -20,8 +20,8 @@ from repro.backup.store import CheckpointStore
 from repro.cloud.instance_types import M3_CATALOG
 from repro.virt.migration.checkpoint import CheckpointConfig, CheckpointStream
 from repro.virt.migration.group import GroupCheckpointScheduler
+from repro.virt.migration.soa import SoaCheckpointScheduler
 from repro.virt.vm import NestedVM, VMState
-from repro.workloads import TpcwWorkload
 
 
 class MicroTestbed:
@@ -39,14 +39,27 @@ class MicroTestbed:
         Capacity/parameter overrides.
     """
 
-    def __init__(self, env, vm_count=1, workload_factory=TpcwWorkload,
-                 backup_spec=None, checkpoint_config=None, grouped=False):
+    def __init__(self, env, vm_count=1, workload_factory=None,
+                 backup_spec=None, checkpoint_config=None, grouped=False,
+                 scheduler=None):
+        if workload_factory is None:
+            # Deferred: repro.workloads imports repro.virt.memory at
+            # module scope, so a top-level import here would close an
+            # import cycle through the virt package __init__.
+            from repro.workloads import TpcwWorkload
+            workload_factory = TpcwWorkload
         self.env = env
-        #: When True, steady-state streaming runs through one
-        #: :class:`GroupCheckpointScheduler` cohort instead of per-VM
-        #: processes — the fleet-scale path, which the equivalence
-        #: tests hold bit-identical to per-VM mode.
-        self.grouped = grouped
+        #: Steady-state streaming mode: ``"per-vm"`` (one process per
+        #: stream), ``"group"`` (cohort scheduler), or ``"soa"``
+        #: (struct-of-arrays core) — the batched paths, which the
+        #: equivalence tests hold bit-identical to per-VM mode.
+        #: ``grouped=True`` is the legacy spelling of ``"group"``.
+        if scheduler is None:
+            scheduler = "group" if grouped else "per-vm"
+        if scheduler not in ("per-vm", "group", "soa"):
+            raise ValueError(f"unknown scheduler mode {scheduler!r}")
+        self.scheduler = scheduler
+        self.grouped = scheduler != "per-vm"
         self._group = None
         self.server = BackupServer(env, backup_spec)
         self.server.store = CheckpointStore(env)
@@ -76,7 +89,9 @@ class MicroTestbed:
     def start_streams(self):
         """Begin steady checkpointing (per-VM processes or one cohort)."""
         if self.grouped:
-            self._group = GroupCheckpointScheduler(self.env, self.ingest)
+            core = (SoaCheckpointScheduler if self.scheduler == "soa"
+                    else GroupCheckpointScheduler)
+            self._group = core(self.env, self.ingest)
             for vm in self.vms:
                 def _account(flushed, vm_id=vm.id):
                     self.flushed_bytes[vm_id] += flushed

@@ -13,17 +13,27 @@ throughput benchmark).  Both models expose:
 
 from repro.workloads.base import Conditions, Workload
 from repro.workloads.memory_profiles import MEMORY_PROFILES, profile_for
+from repro.workloads.mix import (
+    FleetMix,
+    MixClass,
+    WriteScaledWorkload,
+    default_fleet_mix,
+)
 from repro.workloads.requests import RequestAnalyzer, RequestStats
 from repro.workloads.specjbb import SpecJbbWorkload
 from repro.workloads.tpcw import TpcwWorkload
 
 __all__ = [
     "Conditions",
+    "FleetMix",
     "MEMORY_PROFILES",
+    "MixClass",
     "RequestAnalyzer",
     "RequestStats",
     "SpecJbbWorkload",
     "TpcwWorkload",
     "Workload",
+    "WriteScaledWorkload",
+    "default_fleet_mix",
     "profile_for",
 ]

@@ -3,9 +3,12 @@
 import pytest
 
 from repro.benchmarking.fleet import (
+    _drive_cell,
+    measure_fleet_mix,
     measure_fleet_scaling,
     measure_sharded_fleet,
 )
+from repro.workloads import default_fleet_mix
 
 
 class TestFleetScaling:
@@ -56,3 +59,49 @@ class TestShardedFleet:
             measure_sharded_fleet(vms=40, days=0.25, shard_counts=(2, 4))
         with pytest.raises(ValueError, match="one VM per market"):
             measure_sharded_fleet(vms=2, days=0.25, markets=4)
+
+
+class TestFleetMix:
+    def test_single_class_mix_reproduces_homogeneous_cell(self):
+        """The base mix class IS the homogeneous cell: same memory
+        model, same plan, same deterministic event total."""
+        homogeneous = _drive_cell(40, 0.25, seed=11)
+        mixed = _drive_cell(40, 0.25, seed=11,
+                            mix=default_fleet_mix(classes=1))
+        assert mixed["events"] == homogeneous["events"]
+        assert mixed["flush_flows"] == homogeneous["flush_flows"]
+        assert mixed["flush_cohorts"] == 1
+
+    def test_soa_core_matches_group_core_flows(self):
+        """Same fleet, same mix: the SoA core must arm exactly the
+        flows the per-cohort core arms (the bit-identity contract at
+        the flow level; stream-level identity lives in tests/virt)."""
+        mix = default_fleet_mix(classes=4)
+        group = _drive_cell(40, 0.25, seed=11, mix=mix, soa=False)
+        soa = _drive_cell(40, 0.25, seed=11, mix=mix, soa=True)
+        assert soa["flush_flows"] == group["flush_flows"]
+        assert soa["flush_cohorts"] == group["flush_cohorts"] == 4
+
+    def test_mix_bench_holds_the_ratchet(self):
+        result = measure_fleet_mix(vms=200, days=0.25, classes=8,
+                                   digest_vms=40, digest_markets=4,
+                                   shard_counts=(1, 2))
+        assert result["classes"] == 8
+        assert result["mixed"]["flush_cohorts"] == 8
+        # Geometric write factors: the mixed cell's summed round rate
+        # stays near 1.5x the base class, nowhere near the 8x a
+        # per-plan wakeup loop would cost.
+        assert result["event_ratio"] < 2.0
+        assert result["bit_identical"] is True
+        assert result["single"]["events"] == result["sharded"]["events"]
+        assert len(result["digest"]) == 64
+
+    def test_mix_bench_reuses_matching_baseline(self):
+        baseline = _drive_cell(40, 0.25, seed=11)
+        result = measure_fleet_mix(vms=40, days=0.25, classes=2,
+                                   baseline=baseline, digest_vms=40,
+                                   digest_markets=4, shard_counts=(1, 2))
+        assert result["homogeneous"] is baseline
+        with pytest.raises(ValueError, match="baseline cell shape"):
+            measure_fleet_mix(vms=80, days=0.25, classes=2,
+                              baseline=baseline)

@@ -17,7 +17,7 @@ from repro.benchmarking.kernel import measure_kernel
 
 def _minimal_payload():
     return {
-        "schema": "repro-bench/6",
+        "schema": "repro-bench/7",
         "label": "unit",
         "smoke": True,
         "created_unix": 1.0,
@@ -56,6 +56,19 @@ def _minimal_payload():
                       "flush_cohorts": 1, "flush_flows": 100,
                       "spare_wakes": 0, "spare_polls": 0},
             "event_ratio": 1.1, "wall_ratio": 1.2,
+        },
+        "fleet_mix": {
+            "classes": 8, "vms": 10000, "days": 2.0, "seed": 11,
+            "homogeneous": {"vms": 10000, "days": 2.0, "classes": 1,
+                            "events": 1100, "steady_wall_s": 0.1,
+                            "flush_cohorts": 1, "flush_flows": 100},
+            "mixed": {"vms": 10000, "days": 2.0, "classes": 8,
+                      "events": 1800, "steady_wall_s": 0.2,
+                      "flush_cohorts": 8, "flush_flows": 150},
+            "event_ratio": 1.6, "wall_ratio": 2.0,
+            "single": {"shards": 1, "wall_s": 1.0, "events": 5000},
+            "sharded": {"shards": 2, "wall_s": 0.6, "events": 5000},
+            "digest": "cd" * 32, "bit_identical": True,
         },
         "shard": {
             "vms": 2000, "markets": 4, "days": 2.0, "seed": 11,
@@ -114,6 +127,10 @@ class TestValidation:
         "fleet.large.steady_wall_s",
         "fleet.event_ratio", "shard.vms", "shard.single.events",
         "shard.sharded.shards", "shard.speedup", "shard.digest",
+        "fleet_mix.classes", "fleet_mix.mixed.events",
+        "fleet_mix.mixed.flush_cohorts", "fleet_mix.homogeneous.events",
+        "fleet_mix.event_ratio", "fleet_mix.sharded.events",
+        "fleet_mix.digest",
         "index.portfolio.delivered",
         "index.portfolio.crossings", "index.delivered_fraction",
     ])
@@ -148,6 +165,12 @@ class TestValidation:
     def test_non_bool_bit_identical_rejected(self):
         payload = _minimal_payload()
         payload["shard"]["bit_identical"] = "yes"
+        with pytest.raises(ValueError, match="bit_identical"):
+            validate_bench(payload)
+
+    def test_non_bool_mix_bit_identical_rejected(self):
+        payload = _minimal_payload()
+        payload["fleet_mix"]["bit_identical"] = "yes"
         with pytest.raises(ValueError, match="bit_identical"):
             validate_bench(payload)
 
@@ -217,6 +240,36 @@ class TestFloors:
         with pytest.raises(ValueError, match="event totals diverge"):
             check_bench_floors(payload, kernel_floor=50.0, market_floor=50.0)
 
+    def test_mix_event_ratio_ceiling(self):
+        payload = _minimal_payload()
+        payload["fleet_mix"]["event_ratio"] = 8.0
+        with pytest.raises(ValueError, match="scale with plan count"):
+            check_bench_floors(payload, kernel_floor=50.0, market_floor=50.0)
+
+    def test_mix_wall_ratio_ceiling(self):
+        payload = _minimal_payload()
+        payload["fleet_mix"]["wall_ratio"] = 9.0
+        with pytest.raises(ValueError, match="wall clock scales with plan"):
+            check_bench_floors(payload, kernel_floor=50.0, market_floor=50.0)
+
+    def test_mix_must_form_one_group_per_class(self):
+        payload = _minimal_payload()
+        payload["fleet_mix"]["mixed"]["flush_cohorts"] = 1
+        with pytest.raises(ValueError, match="not heterogeneous"):
+            check_bench_floors(payload, kernel_floor=50.0, market_floor=50.0)
+
+    def test_mix_bit_identity_required(self):
+        payload = _minimal_payload()
+        payload["fleet_mix"]["bit_identical"] = False
+        with pytest.raises(ValueError, match="struct-of-arrays"):
+            check_bench_floors(payload, kernel_floor=50.0, market_floor=50.0)
+
+    def test_mix_event_totals_must_match(self):
+        payload = _minimal_payload()
+        payload["fleet_mix"]["sharded"]["events"] = 4999
+        with pytest.raises(ValueError, match="mixed sharded cell event"):
+            check_bench_floors(payload, kernel_floor=50.0, market_floor=50.0)
+
     def test_index_delivered_fraction_ceiling(self):
         payload = _minimal_payload()
         payload["index"]["delivered_fraction"] = 0.9
@@ -259,5 +312,9 @@ class TestMeasurements:
         assert loaded["shard"]["vms"] == 400
         assert loaded["shard"]["bit_identical"] is True
         assert loaded["shard"]["sharded"]["shards"] == 2
+        assert loaded["fleet_mix"]["classes"] == 8
+        assert loaded["fleet_mix"]["mixed"]["flush_cohorts"] >= 8
+        assert loaded["fleet_mix"]["bit_identical"] is True
+        assert loaded["fleet_mix"]["event_ratio"] < 2.0
         assert loaded["index"]["portfolio"]["policy"] == "IT-0.125"
         assert loaded["index"]["delivered_fraction"] < 0.25

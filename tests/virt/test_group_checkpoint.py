@@ -188,17 +188,19 @@ class _SteppedMemory:
     """
 
     def __init__(self, env, rate_bps=2e6, base_interval_s=20.0,
-                 switch_t=100.0):
+                 switch_t=100.0, new_interval_s=None):
         self.env = env
         self.rate_bps = rate_bps
         self.base_interval_s = base_interval_s
         self.switch_t = switch_t
+        self.new_interval_s = (new_interval_s if new_interval_s is not None
+                               else 2 * base_interval_s)
         self.total_bytes = 4e9
 
     def interval_for_dirty_bytes(self, budget_bytes):
         if self.env.now < self.switch_t:
             return self.base_interval_s
-        return 2 * self.base_interval_s
+        return self.new_interval_s
 
     def dirty_bytes(self, interval_s):
         return self.rate_bps * min(interval_s, 3600.0)
@@ -249,3 +251,43 @@ class TestDivergenceFallback:
         # one fresh cohort (same instant, same new plan).
         assert sched.splits == 3
         assert sched.cohorts_created == 2
+
+    def test_cross_cohort_divergence_to_one_plan_shares_cohort(self):
+        """Members of *different* cohorts converging on one new plan at
+        the same round boundary must land in one shared cohort, not one
+        fresh singleton per origin cohort."""
+        env = Environment(seed=9)
+        server = BackupServer(env)
+        sched = GroupCheckpointScheduler(env, server.ingest)
+        # Base intervals 20 and 25 both hit a round boundary at t=100,
+        # where every member switches to the same interval (60) at the
+        # same dirty rate — i.e. the identical new plan.
+        for index, base in enumerate((20.0, 20.0, 25.0, 25.0)):
+            memory = _SteppedMemory(env, base_interval_s=base,
+                                    switch_t=100.0, new_interval_s=60.0)
+            sched.join(f"vm{index}", CheckpointStream(memory,
+                                                      CheckpointConfig()))
+        assert sched.cohorts_created == 2
+        env.run(until=130.0)
+        cohorts = {sched.cohort_of(f"vm{index}") for index in range(4)}
+        assert len(cohorts) == 1
+        assert sched.splits == 4
+        assert sched.cohorts_created == 3
+        env.run(until=env.process(sched.settle()))
+
+
+class TestInFlightHygiene:
+    def test_long_lived_cohort_sheds_dead_flows(self):
+        """A cohort must not accumulate references to completed flush
+        processes — under fleet-length runs that is a slow leak."""
+        env = Environment(seed=5)
+        sched = make_scheduler(env)
+        _, stream_a = make_stream(env)
+        _, stream_b = make_stream(env)
+        cohort = sched.join("a", stream_a)
+        sched.join("b", stream_b)
+        interval = cohort.plan[0]
+        env.run(until=12.5 * interval)
+        dead = [p for p in cohort.in_flight if not p.is_alive]
+        assert len(dead) <= 1
+        assert len(cohort.in_flight) < 5

@@ -1,0 +1,424 @@
+"""SoA cohort core: struct-of-arrays scheduling vs per-VM streams.
+
+The heterogeneous-fleet contract: the struct-of-arrays scheduler must
+reproduce the per-VM steady-state streams bit-for-bit — same wake
+times, same credited flush totals, including churn, parked members,
+plan divergence, and defer-mode settlement — while serving every
+plan-group from one vectorized runner.
+"""
+
+import pytest
+
+from repro.backup.server import BackupServer
+from repro.cloud.instance_types import M3_CATALOG
+from repro.sim.kernel import Environment
+from repro.virt.migration.checkpoint import CheckpointConfig, CheckpointStream
+from repro.virt.migration.soa import SoaCheckpointScheduler
+from repro.virt.testbed import MicroTestbed
+from repro.virt.vm import NestedVM
+from repro.workloads import SpecJbbWorkload, TpcwWorkload
+
+MEDIUM = M3_CATALOG.get("m3.medium")
+
+
+def run_testbed(vm_count, scheduler, duration_s=1800.0,
+                workload=TpcwWorkload, checkpoint_config=None):
+    env = Environment(seed=3)
+    testbed = MicroTestbed(env, vm_count=vm_count,
+                           workload_factory=workload,
+                           checkpoint_config=checkpoint_config,
+                           scheduler=scheduler)
+    result = testbed.run_steady(duration_s)
+    return env, testbed, result
+
+
+def per_vm_rates(testbed, result):
+    """Flush rates in VM creation order (ids are process-global, so
+    the two testbeds' VMs must be matched positionally)."""
+    return [result["per_vm_bps"][vm.id] for vm in testbed.vms]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("vm_count", [1, 10, 40])
+    def test_bit_identical_to_per_vm_streams(self, vm_count):
+        _, bed_a, per_vm = run_testbed(vm_count, scheduler="per-vm")
+        _, bed_b, soa = run_testbed(vm_count, scheduler="soa")
+        assert per_vm_rates(bed_b, soa) == per_vm_rates(bed_a, per_vm)
+        assert soa["aggregate_bps"] == per_vm["aggregate_bps"]
+
+    @pytest.mark.parametrize("vm_count", [10, 40])
+    def test_bit_identical_to_group_scheduler(self, vm_count):
+        _, bed_a, grouped = run_testbed(vm_count, scheduler="group")
+        _, bed_b, soa = run_testbed(vm_count, scheduler="soa")
+        assert per_vm_rates(bed_b, soa) == per_vm_rates(bed_a, grouped)
+
+    @pytest.mark.parametrize("workload", [TpcwWorkload, SpecJbbWorkload])
+    def test_bit_identical_across_workloads(self, workload):
+        _, bed_a, per_vm = run_testbed(10, scheduler="per-vm",
+                                       workload=workload)
+        _, bed_b, soa = run_testbed(10, scheduler="soa", workload=workload)
+        assert per_vm_rates(bed_b, soa) == per_vm_rates(bed_a, per_vm)
+
+    def test_bit_identical_under_tight_throttle(self):
+        config = CheckpointConfig(stream_bandwidth_bps=6e6,
+                                  commit_bandwidth_bps=1.5e6)
+        _, bed_a, per_vm = run_testbed(10, scheduler="per-vm",
+                                       checkpoint_config=config)
+        _, bed_b, soa = run_testbed(10, scheduler="soa",
+                                    checkpoint_config=config)
+        assert per_vm_rates(bed_b, soa) == per_vm_rates(bed_a, per_vm)
+
+    def test_store_commits_match_per_vm_mode(self):
+        _, per_vm_bed, _ = run_testbed(5, scheduler="per-vm")
+        _, soa_bed, _ = run_testbed(5, scheduler="soa")
+        for vm_a, vm_b in zip(per_vm_bed.vms, soa_bed.vms):
+            expected = per_vm_bed.server.store.image(vm_a.id)
+            actual = soa_bed.server.store.image(vm_b.id)
+            assert actual.commits == expected.commits
+
+    def test_batching_elides_kernel_events(self):
+        env_per_vm, _, _ = run_testbed(40, scheduler="per-vm")
+        env_soa, _, _ = run_testbed(40, scheduler="soa")
+        assert env_soa.events_processed * 5 < env_per_vm.events_processed
+
+
+def make_scheduler(env, defer=False):
+    server = BackupServer(env)
+    return SoaCheckpointScheduler(env, server.ingest,
+                                  defer_accounting=defer)
+
+
+def make_stream(env, workload=TpcwWorkload):
+    vm = NestedVM(env, MEDIUM, workload=workload())
+    return vm, CheckpointStream(vm.memory, CheckpointConfig())
+
+
+class _RatedMemory:
+    """Pure-rate test double: dirty is linear in the interval.
+
+    ``dirty_bytes`` is a pure function of the interval, so per-VM
+    streams (wake-time evaluation) and plan capture (sleep-time) agree
+    exactly.  Deliberately not a ``MemoryModel`` so the plan cache is
+    bypassed.
+    """
+
+    def __init__(self, rate_bps=2e6, interval_s=20.0):
+        self.rate_bps = rate_bps
+        self.base_interval_s = interval_s
+        self.total_bytes = 4e9
+
+    def interval_for_dirty_bytes(self, budget_bytes):
+        return self.base_interval_s
+
+    def dirty_bytes(self, interval_s):
+        return self.rate_bps * min(interval_s, 3600.0)
+
+
+class _SteppedMemory(_RatedMemory):
+    """The steady interval jumps to ``new_interval_s`` at ``switch_t``."""
+
+    def __init__(self, env, rate_bps=2e6, base_interval_s=20.0,
+                 switch_t=100.0, new_interval_s=None):
+        super().__init__(rate_bps=rate_bps, interval_s=base_interval_s)
+        self.env = env
+        self.switch_t = switch_t
+        self.new_interval_s = (new_interval_s if new_interval_s is not None
+                               else 2 * base_interval_s)
+
+    def interval_for_dirty_bytes(self, budget_bytes):
+        if self.env.now < self.switch_t:
+            return self.base_interval_s
+        return self.new_interval_s
+
+
+class _ParkingMemory(_RatedMemory):
+    """Parked (infinite interval) inside [park_t, unpark_t)."""
+
+    def __init__(self, env, rate_bps=2e6, interval_s=20.0,
+                 park_t=50.0, unpark_t=4000.0):
+        super().__init__(rate_bps=rate_bps, interval_s=interval_s)
+        self.env = env
+        self.park_t = park_t
+        self.unpark_t = unpark_t
+
+    def interval_for_dirty_bytes(self, budget_bytes):
+        if self.park_t <= self.env.now < self.unpark_t:
+            return float("inf")
+        return self.base_interval_s
+
+
+def run_per_vm(env, memories, duration_s, drain_s=30.0):
+    """Reference: one CheckpointStream process per memory double."""
+    server = BackupServer(env)
+    flushed = {}
+    stops = []
+    for index, memory in enumerate(memories):
+        stream = CheckpointStream(memory, CheckpointConfig())
+        stop = env.event()
+        stops.append(stop)
+        member = f"vm{index}"
+        flushed[member] = 0.0
+
+        def _account(nbytes, member=member):
+            flushed[member] += nbytes
+
+        stream.run(env, server.ingest, stop, on_flush=_account)
+    env.run(until=duration_s)
+    for stop in stops:
+        stop.succeed()
+    env.run(until=duration_s + drain_s)
+    return flushed
+
+
+def run_soa(env, memories, duration_s, drain_s=30.0):
+    server = BackupServer(env)
+    sched = SoaCheckpointScheduler(env, server.ingest)
+    for index, memory in enumerate(memories):
+        stream = CheckpointStream(memory, CheckpointConfig())
+        sched.join(f"vm{index}", stream)
+    env.run(until=duration_s)
+    env.run(until=env.process(sched.settle()))
+    env.run(until=duration_s + drain_s)
+    return sched, dict(sched.flushed)
+
+
+class TestMixedPlans:
+    def _memories(self, env):
+        # Two plan classes enrolled at the same instant: aggregated
+        # caps stay under the ingest capacity, so equivalence is exact
+        # even when the classes' flows overlap (cap-bound individually).
+        return [_RatedMemory(rate_bps=2e6, interval_s=20.0),
+                _RatedMemory(rate_bps=2e6, interval_s=20.0),
+                _RatedMemory(rate_bps=1.5e6, interval_s=30.0),
+                _RatedMemory(rate_bps=1.5e6, interval_s=30.0)]
+
+    def test_mixed_plans_match_per_vm(self):
+        env_a = Environment(seed=9)
+        per_vm = run_per_vm(env_a, self._memories(env_a), 310.0)
+        env_b = Environment(seed=9)
+        sched, soa = run_soa(env_b, self._memories(env_b), 310.0)
+        assert soa == per_vm
+        # One group per plan class, not per member.
+        assert sched.groups_created == 2
+        assert sched.stats()["flows_issued"] > 0
+
+    def test_one_wakeup_flushes_all_due_groups(self):
+        env = Environment(seed=9)
+        server = BackupServer(env)
+        sched = SoaCheckpointScheduler(env, server.ingest)
+        # Same interval, different dirty volume: distinct plans whose
+        # due times always coincide.
+        for index, rate in enumerate((1e6, 2e6)):
+            memory = _RatedMemory(rate_bps=rate, interval_s=20.0)
+            sched.join(f"vm{index}", CheckpointStream(memory,
+                                                      CheckpointConfig()))
+        assert sched.groups_created == 2
+        env.run(until=20.0 + 1.0)
+        # Both groups fired on the single shared wakeup at t=20.
+        assert sched.flows_issued == 2
+
+    def test_divergence_regroups_without_new_processes(self):
+        env_a = Environment(seed=9)
+        per_vm = run_per_vm(
+            env_a, [_SteppedMemory(env_a) for _ in range(3)], 310.0)
+        env_b = Environment(seed=9)
+        sched, soa = run_soa(
+            env_b, [_SteppedMemory(env_b) for _ in range(3)], 310.0)
+        assert soa == per_vm
+        # All three members diverged at the t=100 round boundary and
+        # were regrouped into one fresh plan-group (same instant, same
+        # new plan).
+        assert sched.splits == 3
+        assert sched.groups_created == 2
+        members = [f"vm{index}" for index in range(3)]
+        gids = {sched.group_of(member) for member in members}
+        assert len(gids) == 1
+
+    def test_park_unpark_matches_per_vm(self):
+        def doubles(env):
+            return [_ParkingMemory(env, park_t=50.0, unpark_t=4000.0)
+                    for _ in range(2)]
+
+        env_a = Environment(seed=9)
+        per_vm = run_per_vm(env_a, doubles(env_a), 9010.0)
+        env_b = Environment(seed=9)
+        sched, soa = run_soa(env_b, doubles(env_b), 9010.0)
+        # Rounds before the park, none while parked (hourly rechecks
+        # only), rounds again after the 4000 s unpark is noticed.
+        assert soa == per_vm
+        assert all(total > 0 for total in soa.values())
+
+
+class TestChurn:
+    def test_later_join_starts_fresh_group(self):
+        env = Environment(seed=5)
+        sched = make_scheduler(env)
+        _, stream_a = make_stream(env)
+        _, stream_b = make_stream(env)
+        sched.join("a", stream_a)
+        env.run(until=1.0)  # mid-interval
+        sched.join("b", stream_b)
+        assert sched.group_of("b") != sched.group_of("a")
+        assert sched.groups_created == 2
+
+    def test_same_instant_same_plan_shares_group(self):
+        env = Environment(seed=5)
+        sched = make_scheduler(env)
+        _, stream_a = make_stream(env)
+        _, stream_b = make_stream(env)
+        sched.join("a", stream_a)
+        sched.join("b", stream_b)
+        assert sched.group_of("a") == sched.group_of("b")
+        assert sched.groups_created == 1
+        assert sched.member_count() == 2
+        assert sched.member_plan("a") == sched.member_plan("b")
+
+    def test_duplicate_join_rejected(self):
+        env = Environment(seed=5)
+        sched = make_scheduler(env)
+        _, stream = make_stream(env)
+        sched.join("a", stream)
+        with pytest.raises(ValueError, match="already enrolled"):
+            sched.join("a", stream)
+
+    def test_leaver_misses_rounds_after_departure(self):
+        env = Environment(seed=5)
+        sched = make_scheduler(env)
+        _, stream_a = make_stream(env)
+        _, stream_b = make_stream(env)
+        gid = sched.join("a", stream_a)
+        sched.join("b", stream_b)
+        interval, dirty, _cap = sched.group_plan(gid)
+        env.run(until=2.5 * interval)
+        sched.leave("a")
+        env.run(until=6.5 * interval)
+        sched.settle_now()
+        assert sched.flushed["a"] == pytest.approx(2 * dirty)
+        assert sched.flushed["b"] == pytest.approx(6 * dirty)
+
+    def test_churned_equals_per_vm_with_matching_lifetimes(self):
+        """A member that leaves matches a per-VM stream stopped then."""
+        def drive(env, soa):
+            server = BackupServer(env)
+            memory = _RatedMemory(rate_bps=2e6, interval_s=20.0)
+            stream = CheckpointStream(memory, CheckpointConfig())
+            if soa:
+                sched = SoaCheckpointScheduler(env, server.ingest)
+                sched.join("a", stream)
+                env.run(until=130.0)
+                sched.leave("a")
+                # Re-enrollment mid-run (fresh group at the new time).
+                memory_b = _RatedMemory(rate_bps=2e6, interval_s=20.0)
+                sched.join("b", CheckpointStream(memory_b,
+                                                 CheckpointConfig()))
+                env.run(until=310.0)
+                env.run(until=env.process(sched.settle()))
+                return dict(sched.flushed)
+            flushed = {}
+            stop_a = env.event()
+
+            def _acc(nbytes, member="a"):
+                flushed[member] = flushed.get(member, 0.0) + nbytes
+
+            stream.run(env, server.ingest, stop_a, on_flush=_acc)
+            env.run(until=130.0)
+            stop_a.succeed()
+            memory_b = _RatedMemory(rate_bps=2e6, interval_s=20.0)
+            stream_b = CheckpointStream(memory_b, CheckpointConfig())
+            stop_b = env.event()
+
+            def _acc_b(nbytes, member="b"):
+                flushed[member] = flushed.get(member, 0.0) + nbytes
+
+            stream_b.run(env, server.ingest, stop_b, on_flush=_acc_b)
+            env.run(until=310.0)
+            stop_b.succeed()
+            env.run(until=340.0)
+            return flushed
+
+        per_vm = drive(Environment(seed=5), soa=False)
+        soa = drive(Environment(seed=5), soa=True)
+        assert soa == per_vm
+
+    def test_dead_group_is_elided(self):
+        env = Environment(seed=5)
+        sched = make_scheduler(env)
+        _, stream = make_stream(env)
+        sched.join("a", stream)
+        env.run(until=1.0)
+        sched.leave("a")
+        assert sched.stats()["cohorts_active"] == 0
+        assert sched.member_count() == 0
+
+    def test_in_flight_never_retains_dead_processes(self):
+        env = Environment(seed=5)
+        sched = make_scheduler(env)
+        _, stream_a = make_stream(env)
+        _, stream_b = make_stream(env)
+        gid = sched.join("a", stream_a)
+        sched.join("b", stream_b)
+        interval = sched.group_plan(gid)[0]
+        env.run(until=12.5 * interval)
+        dead = [p for p in sched._in_flight if not p.is_alive]
+        assert len(dead) <= 1
+        assert len(sched._in_flight) < 5
+
+
+class TestAccounting:
+    def test_defer_mode_matches_eager_totals(self):
+        results = {}
+        for defer in (False, True):
+            env = Environment(seed=7)
+            sched = make_scheduler(env, defer=defer)
+            for index in range(5):
+                _, stream = make_stream(env)
+                sched.join(f"vm{index}", stream)
+            interval = sched.group_plan(sched.group_of("vm0"))[0]
+            env.run(until=3.5 * interval)
+            sched.leave("vm4")
+            env.run(until=10.5 * interval)
+            env.run(until=env.process(sched.settle()))
+            results[defer] = dict(sched.flushed)
+        assert results[True] == results[False]
+
+    def test_defer_matches_group_scheduler_settlement(self):
+        from repro.virt.migration.group import GroupCheckpointScheduler
+
+        results = {}
+        for core in (GroupCheckpointScheduler, SoaCheckpointScheduler):
+            env = Environment(seed=7)
+            server = BackupServer(env)
+            sched = core(env, server.ingest, defer_accounting=True)
+            for index in range(5):
+                _, stream = make_stream(env)
+                sched.join(f"vm{index}", stream)
+            env.run(until=400.0)
+            sched.leave("vm2")
+            env.run(until=700.0)
+            env.run(until=env.process(sched.settle()))
+            results[core.__name__] = dict(sched.flushed)
+        assert results["SoaCheckpointScheduler"] == \
+            results["GroupCheckpointScheduler"]
+
+    def test_settle_now_credits_only_completed_rounds(self):
+        env = Environment(seed=7)
+        sched = make_scheduler(env, defer=True)
+        _, stream = make_stream(env)
+        gid = sched.join("a", stream)
+        interval, dirty, _cap = sched.group_plan(gid)
+        env.run(until=4.5 * interval)
+        flushed = sched.settle_now()
+        assert flushed["a"] == pytest.approx(4 * dirty)
+        assert sched.settle_now() is flushed
+
+    def test_stats_shape_matches_group_scheduler(self):
+        env = Environment(seed=7)
+        sched = make_scheduler(env)
+        _, stream = make_stream(env)
+        sched.join("a", stream)
+        stats = sched.stats()
+        assert set(stats) == {"cohorts_created", "cohorts_active",
+                              "members", "flows_issued", "splits"}
+        assert stats["cohorts_created"] == 1
+        assert stats["cohorts_active"] == 1
+        assert stats["members"] == 1

@@ -1,0 +1,95 @@
+"""Fleet mixes: deterministic heterogeneous workload populations."""
+
+import pytest
+
+from repro.workloads import (
+    FleetMix,
+    MixClass,
+    WriteScaledWorkload,
+    default_fleet_mix,
+)
+from repro.workloads.mix import FLEET_BASE_WRITE_RATE_PAGES
+
+
+class TestWriteScaledWorkload:
+    def test_base_class_matches_default_profile(self):
+        workload = WriteScaledWorkload()
+        assert workload.write_rate_pages == FLEET_BASE_WRITE_RATE_PAGES
+        assert workload.working_set_fraction == 0.2
+        assert workload.cold_write_fraction == 0.02
+
+    def test_factor_scales_write_rate_only(self):
+        base = WriteScaledWorkload()
+        scaled = WriteScaledWorkload(factor=0.25)
+        assert scaled.write_rate_pages == base.write_rate_pages / 4
+        assert scaled.working_set_fraction == base.working_set_fraction
+
+    def test_flat_performance(self):
+        workload = WriteScaledWorkload(factor=0.5)
+        assert workload.performance(None) == 1.0
+        assert workload.degradation_fraction(None) == 0.0
+
+    def test_non_positive_factor_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            WriteScaledWorkload(factor=0.0)
+
+
+class TestFleetMix:
+    def test_counts_apportion_exactly(self):
+        mix = default_fleet_mix(classes=8)
+        counts = mix.counts(100)
+        assert sum(counts) == 100
+        assert len(counts) == 8
+
+    def test_counts_respect_weights(self):
+        mix = FleetMix(classes=(MixClass(1.0, weight=3.0),
+                                MixClass(0.5, weight=1.0)))
+        assert mix.counts(40) == [30, 10]
+
+    def test_counts_deterministic_largest_remainder(self):
+        mix = FleetMix(classes=tuple(MixClass(1.0) for _ in range(3)))
+        # 10 over 3 equal classes: 3.33 each, first remainder (by
+        # index) takes the leftover.
+        assert mix.counts(10) == [4, 3, 3]
+        assert mix.counts(10) == mix.counts(10)
+
+    def test_factory_hands_out_class_blocks(self):
+        mix = FleetMix(classes=(MixClass(1.0), MixClass(0.5)))
+        factory = mix.workload_factory(4)
+        factors = [factory().factor for _ in range(4)]
+        assert factors == [1.0, 1.0, 0.5, 0.5]
+
+    def test_factory_overrun_repeats_last_class(self):
+        mix = FleetMix(classes=(MixClass(1.0), MixClass(0.5)))
+        factory = mix.workload_factory(2)
+        factors = [factory().factor for _ in range(3)]
+        assert factors == [1.0, 0.5, 0.5]
+
+    def test_default_mix_round_rate_stays_under_double(self):
+        mix = default_fleet_mix(classes=8)
+        # Checkpoint rounds scale ~linearly in the write factor, so
+        # the summed round rate over the geometric classes is the
+        # geometric series — ~1.5x the base class, the headroom the
+        # heterogeneity ratchet relies on.
+        assert sum(c.factor for c in mix.classes) < 2.0
+        assert mix.classes[0].factor == 1.0
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError, match="at least one class"):
+            FleetMix(classes=())
+
+    def test_non_mixclass_entries_rejected(self):
+        with pytest.raises(TypeError, match="MixClass"):
+            FleetMix(classes=(0.5,))
+
+    def test_invalid_class_params_rejected(self):
+        with pytest.raises(ValueError, match="factor"):
+            MixClass(factor=-1.0)
+        with pytest.raises(ValueError, match="weight"):
+            MixClass(factor=1.0, weight=0.0)
+
+    def test_default_mix_validates_shape(self):
+        with pytest.raises(ValueError, match="at least one"):
+            default_fleet_mix(classes=0)
+        with pytest.raises(ValueError, match="ratio"):
+            default_fleet_mix(ratio=1.0)
